@@ -1,0 +1,83 @@
+// The paper's section 6 future work, built and measured: deadline-informed
+// voltage scheduling.
+//
+// "Our immediate future work is to provide 'deadline' mechanisms in Linux
+// ... energy scheduling would prefer for the deadline to be met as late as
+// possible."  Our workloads announce each compute action's deadline through
+// Action::ComputeBy; the DeadlineGovernor runs an EDF-style density test
+// every quantum and picks the slowest feasible step.
+//
+// The bench compares, on every app:
+//   * the oblivious best (PAST-peg-peg-93/98),
+//   * the deadline-informed governor (with and without voltage scaling),
+//   * the saturation-aware rate governor (automatic "deadline synthesis
+//     lite": it infers the demand rate without app help), and
+//   * the app-aware fixed-speed optimum.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+
+namespace dcs {
+namespace {
+
+void RunApp(const char* app, const char* optimal_fixed) {
+  char heading[64];
+  std::snprintf(heading, sizeof(heading), "%s", app);
+  PrintHeading(std::cout, heading);
+  const std::string governors[] = {
+      "fixed-206.4",        std::string(optimal_fixed), "PAST-peg-peg-93-98",
+      "satrate4",           "deadline",                 "deadline-vs",
+  };
+  TextTable table({"governor", "energy (J)", "saving vs 206.4", "misses",
+                   "worst lateness", "clock chg", "mean util"});
+  double baseline = 0.0;
+  for (const std::string& spec : governors) {
+    ExperimentConfig config;
+    config.app = app;
+    config.governor = spec;
+    config.seed = 21;
+    const ExperimentResult result = RunExperiment(config);
+    if (spec == "fixed-206.4") {
+      baseline = result.energy_joules;
+    }
+    table.AddRow({result.governor, TextTable::Fixed(result.energy_joules, 2),
+                  TextTable::Percent(1.0 - result.energy_joules / baseline),
+                  std::to_string(result.deadline_misses),
+                  result.worst_lateness.ToString(),
+                  std::to_string(result.clock_changes),
+                  TextTable::Percent(result.avg_utilization)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main() {
+  dcs::PrintHeading(std::cout,
+                    "Section 6 future work — deadline-informed voltage scheduling");
+  dcs::RunApp("mpeg", "fixed-132.7");
+  dcs::RunApp("web", "fixed-132.7");
+  dcs::RunApp("chess", "fixed-59.0");
+  dcs::RunApp("editor", "fixed-132.7");
+  std::cout
+      << "\nReadings:\n"
+         "  * With application-announced deadlines the governor beats every\n"
+         "    oblivious heuristic on MPEG/web/chess and adds voltage scaling for\n"
+         "    free — confirming the paper's hypothesis that the missing ingredient\n"
+         "    was information, not cleverness.\n"
+         "  * On TalkingEditor, stretching synthesis to its deadline *loses* to\n"
+         "    race-to-idle: the SA-1100's frequency-independent static power means\n"
+         "    running longer at a slow clock is not always cheaper.  Deadline\n"
+         "    information is necessary but voltage scaling (the V^2 term) is what\n"
+         "    makes stretching pay — exactly the energy/delay trade-off of\n"
+         "    section 2.1.\n"
+         "  * satrate4 (the repaired Figure 5 policy) shows how far *automatic*\n"
+         "    demand synthesis gets without app help: safe everywhere, but it\n"
+         "    cannot stretch work it cannot see the deadline of.\n";
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Figure 8: "Clock frequency for the MPEG application using the best
+// scheduling policy from our empirical study — the scheduling policy only
+// selects 59MHz or 206MHz clock settings and changes clock settings
+// frequently."
+//
+// Runs MPEG under PAST-peg-peg-93/98 and plots the clock frequency over the
+// first 40 seconds, then summarises switch rate, residency and the
+// energy/deadline outcome.
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/exp/artifacts.h"
+#include "src/exp/ascii_plot.h"
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+
+namespace dcs {
+namespace {
+
+void Run() {
+  ExperimentConfig config;
+  config.app = "mpeg";
+  config.governor = "PAST-peg-peg-93-98";
+  config.seed = 42;
+  config.duration = SimTime::Seconds(40);
+  const ExperimentResult result = RunExperiment(config);
+  MaybeWriteArtifacts("fig8_past_peg_peg", result);
+
+  const TraceSeries* freq = result.sink.Find("freq_mhz");
+  if (freq == nullptr || freq->empty()) {
+    std::cout << "(no frequency changes recorded)\n";
+    return;
+  }
+  PlotOptions options;
+  options.title = "Figure 8: clock frequency, MPEG under PAST-peg-peg-93/98 (40 s)";
+  options.height = 14;
+  options.width = 120;
+  options.x_label = "time (s)";
+  options.y_label = "MHz";
+  options.y_min = 55.0;
+  options.y_max = 210.0;
+  AsciiPlot(std::cout, *freq, options);
+
+  std::printf("\n  clock changes: %d (%.1f per second)\n", result.clock_changes,
+              result.clock_changes / result.duration.ToSeconds());
+  std::printf("  residency: 59.0 MHz %.1f%%, 206.4 MHz %.1f%%, everything else %.1f%%\n",
+              100.0 * result.step_residency[0], 100.0 * result.step_residency[10],
+              100.0 * (1.0 - result.step_residency[0] - result.step_residency[10]));
+  std::printf("  frame misses: %lld  |  energy: %.2f J\n",
+              static_cast<long long>(result.deadline_misses), result.energy_joules);
+
+  ExperimentConfig baseline = config;
+  baseline.governor = "fixed-206.4";
+  const ExperimentResult base = RunExperiment(baseline);
+  std::printf("  vs constant 206.4 MHz: %.2f J (saving %.1f%%)\n", base.energy_joules,
+              100.0 * (1.0 - result.energy_joules / base.energy_joules));
+  std::cout << "\nPaper shape check: the policy bangs between the extreme settings many\n"
+               "times per second, misses nothing, and saves a small amount of energy\n"
+               "(\"suboptimal energy savings but avoids noticeable application slowdown\").\n";
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main() {
+  dcs::PrintHeading(std::cout, "Figure 8 — Best policy clock trace (PAST, peg-peg, 93/98)");
+  dcs::Run();
+  return 0;
+}

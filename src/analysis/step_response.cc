@@ -1,0 +1,33 @@
+#include "src/analysis/step_response.h"
+
+namespace dcs {
+
+int RiseTimeQuanta(UtilizationPredictor& predictor, double threshold, int prime_quanta,
+                   int limit) {
+  predictor.Reset();
+  for (int i = 0; i < prime_quanta; ++i) {
+    predictor.Update(0.0);
+  }
+  for (int quanta = 1; quanta <= limit; ++quanta) {
+    if (predictor.Update(1.0) > threshold) {
+      return quanta;
+    }
+  }
+  return limit;
+}
+
+int FallTimeQuanta(UtilizationPredictor& predictor, double threshold, int prime_quanta,
+                   int limit) {
+  predictor.Reset();
+  for (int i = 0; i < prime_quanta; ++i) {
+    predictor.Update(1.0);
+  }
+  for (int quanta = 1; quanta <= limit; ++quanta) {
+    if (predictor.Update(0.0) < threshold) {
+      return quanta;
+    }
+  }
+  return limit;
+}
+
+}  // namespace dcs

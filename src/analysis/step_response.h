@@ -1,0 +1,30 @@
+// Step-response characterisation of utilization predictors.
+//
+// Table 1's practical content is a *rise time*: AVG9 takes 12 quanta
+// (120 ms) to cross a 70% scale-up threshold from idle.  These helpers
+// measure that for any predictor, plus the matching fall time, so sweeps can
+// tabulate the lag/stability trade-off directly instead of eyeballing
+// filtered traces.
+
+#ifndef SRC_ANALYSIS_STEP_RESPONSE_H_
+#define SRC_ANALYSIS_STEP_RESPONSE_H_
+
+#include "src/core/predictor.h"
+
+namespace dcs {
+
+// Quanta of saturated input (u = 1) until the predictor's output first
+// exceeds `threshold`, starting from a reset predictor primed with
+// `prime_quanta` idle samples.  Returns `limit` if it never crosses.
+int RiseTimeQuanta(UtilizationPredictor& predictor, double threshold,
+                   int prime_quanta = 0, int limit = 10000);
+
+// Quanta of idle input (u = 0) until the output first drops below
+// `threshold`, starting from a predictor primed with `prime_quanta`
+// saturated samples.  Returns `limit` if it never crosses.
+int FallTimeQuanta(UtilizationPredictor& predictor, double threshold,
+                   int prime_quanta = 0, int limit = 10000);
+
+}  // namespace dcs
+
+#endif  // SRC_ANALYSIS_STEP_RESPONSE_H_

@@ -1,0 +1,55 @@
+#include "src/analysis/trace_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace dcs {
+
+void WriteUtilizationTrace(std::ostream& os, std::span<const double> trace,
+                           const std::string& comment) {
+  os << "# itsy-dcs utilization trace (" << trace.size() << " quanta)\n";
+  if (!comment.empty()) {
+    os << "# " << comment << "\n";
+  }
+  for (const double u : trace) {
+    os << u << "\n";
+  }
+}
+
+std::vector<double> ReadUtilizationTrace(std::istream& is) {
+  std::vector<double> trace;
+  std::string line;
+  while (std::getline(is, line)) {
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line = line.substr(0, hash);
+    }
+    std::istringstream fields(line);
+    double value = 0.0;
+    while (fields >> value) {
+      trace.push_back(std::clamp(value, 0.0, 1.0));
+    }
+  }
+  return trace;
+}
+
+bool SaveUtilizationTrace(const std::string& path, std::span<const double> trace,
+                          const std::string& comment) {
+  std::ofstream os(path);
+  if (!os) {
+    return false;
+  }
+  WriteUtilizationTrace(os, trace, comment);
+  return static_cast<bool>(os);
+}
+
+std::vector<double> LoadUtilizationTrace(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) {
+    return {};
+  }
+  return ReadUtilizationTrace(is);
+}
+
+}  // namespace dcs

@@ -1,0 +1,34 @@
+// Plain-text persistence for utilization traces.
+//
+// Weiser's and Govil's studies were trace-driven; this module lets our
+// recorded per-quantum utilization traces round-trip through files so the
+// oracle replays (bench/oracle_bounds) and external tools can share them.
+// Format: one value per line, '#' comments allowed.
+
+#ifndef SRC_ANALYSIS_TRACE_IO_H_
+#define SRC_ANALYSIS_TRACE_IO_H_
+
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace dcs {
+
+// Writes one value per line with a provenance comment header.
+void WriteUtilizationTrace(std::ostream& os, std::span<const double> trace,
+                           const std::string& comment = "");
+
+// Reads a trace written by WriteUtilizationTrace (or any whitespace/line
+// separated list of doubles; '#' starts a comment).  Values are clamped to
+// [0, 1].  Malformed lines are skipped.
+std::vector<double> ReadUtilizationTrace(std::istream& is);
+
+// File convenience wrappers; return false / empty on I/O failure.
+bool SaveUtilizationTrace(const std::string& path, std::span<const double> trace,
+                          const std::string& comment = "");
+std::vector<double> LoadUtilizationTrace(const std::string& path);
+
+}  // namespace dcs
+
+#endif  // SRC_ANALYSIS_TRACE_IO_H_

@@ -1,0 +1,99 @@
+#include "src/analysis/utilization.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace dcs {
+
+TraceSeries MovingAverageSeries(const TraceSeries& series, int window) {
+  TraceSeries out(series.name() + "/ma");
+  const auto& points = series.points();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    sum += points[i].value;
+    if (i >= static_cast<std::size_t>(window)) {
+      sum -= points[i - static_cast<std::size_t>(window)].value;
+    }
+    const std::size_t count = std::min(i + 1, static_cast<std::size_t>(window));
+    out.Append(points[i].at, sum / static_cast<double>(count));
+  }
+  return out;
+}
+
+std::vector<double> SeriesValues(const TraceSeries& series) {
+  std::vector<double> values;
+  values.reserve(series.size());
+  for (const TracePoint& p : series.points()) {
+    values.push_back(p.value);
+  }
+  return values;
+}
+
+OscillationStats AnalyzeOscillation(std::span<const double> signal, std::size_t skip) {
+  OscillationStats stats;
+  if (signal.size() <= skip) {
+    return stats;
+  }
+  const std::span<const double> tail = signal.subspan(skip);
+  stats.min = tail[0];
+  stats.max = tail[0];
+  double sum = 0.0;
+  for (const double x : tail) {
+    stats.min = std::min(stats.min, x);
+    stats.max = std::max(stats.max, x);
+    sum += x;
+  }
+  stats.mean = sum / static_cast<double>(tail.size());
+  stats.amplitude = stats.max - stats.min;
+
+  // Autocorrelation peak on the mean-removed signal.  Small lags correlate
+  // trivially (the signal resembles a shifted copy of itself), so the search
+  // starts after the first zero crossing of the normalised autocorrelation.
+  const std::size_t n = tail.size();
+  if (n >= 8 && stats.amplitude > 1e-12) {
+    std::vector<double> autocorr(n / 2 + 1, 0.0);
+    for (std::size_t lag = 1; lag <= n / 2; ++lag) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i + lag < n; ++i) {
+        acc += (tail[i] - stats.mean) * (tail[i + lag] - stats.mean);
+      }
+      autocorr[lag] = acc / static_cast<double>(n - lag);
+    }
+    std::size_t first_dip = 1;
+    while (first_dip <= n / 2 && autocorr[first_dip] > 0.0) {
+      ++first_dip;
+    }
+    double best = 0.0;
+    // Fall back to the full range when the autocorrelation never dips.
+    const std::size_t search_from = first_dip <= n / 2 ? first_dip : 1;
+    for (std::size_t lag = search_from; lag <= n / 2; ++lag) {
+      best = std::max(best, autocorr[lag]);
+    }
+    // Every multiple of the true period peaks equally (up to estimation
+    // noise); report the smallest lag within 5% of the best peak.
+    std::size_t best_lag = 0;
+    for (std::size_t lag = search_from; lag <= n / 2; ++lag) {
+      if (autocorr[lag] >= 0.95 * best && best > 0.0) {
+        best_lag = lag;
+        break;
+      }
+    }
+    stats.period = static_cast<int>(best_lag);
+  }
+  return stats;
+}
+
+bool SettlesWithin(std::span<const double> signal, double lo, double hi, std::size_t tail) {
+  if (signal.size() < tail || tail == 0) {
+    return false;
+  }
+  for (std::size_t i = signal.size() - tail; i < signal.size(); ++i) {
+    if (signal[i] < lo || signal[i] > hi) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dcs

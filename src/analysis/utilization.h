@@ -1,0 +1,43 @@
+// Utilization-trace post-processing for the Figure 3/4 plots and the
+// oscillation analysis of section 5.3.
+
+#ifndef SRC_ANALYSIS_UTILIZATION_H_
+#define SRC_ANALYSIS_UTILIZATION_H_
+
+#include <span>
+#include <vector>
+
+#include "src/sim/trace_sink.h"
+
+namespace dcs {
+
+// Trailing moving average over `window` consecutive samples of a recorded
+// series (e.g. the kernel's per-10 ms utilization into a 100 ms view,
+// window = 10).  Timestamps carry over from the underlying samples.
+TraceSeries MovingAverageSeries(const TraceSeries& series, int window);
+
+// Extracts just the values of a series.
+std::vector<double> SeriesValues(const TraceSeries& series);
+
+// Steady-state oscillation statistics of a filtered signal.
+struct OscillationStats {
+  double min = 0.0;
+  double max = 0.0;
+  double amplitude = 0.0;       // max - min
+  double mean = 0.0;
+  // Dominant period in samples (0 when no repeating structure is found),
+  // estimated from the peak of the (biased) autocorrelation.
+  int period = 0;
+};
+
+// Analyses `signal`, ignoring the first `skip` samples (filter warm-up).
+OscillationStats AnalyzeOscillation(std::span<const double> signal, std::size_t skip = 0);
+
+// True if the signal eventually stays inside [lo, hi] — i.e. a governor fed
+// this weighted utilization would stop changing the clock.  Checks the last
+// `tail` samples.
+bool SettlesWithin(std::span<const double> signal, double lo, double hi, std::size_t tail);
+
+}  // namespace dcs
+
+#endif  // SRC_ANALYSIS_UTILIZATION_H_

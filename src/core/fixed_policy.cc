@@ -1,0 +1,35 @@
+#include "src/core/fixed_policy.h"
+
+#include <cstdio>
+
+#include "src/hw/clock_table.h"
+
+namespace dcs {
+
+FixedPolicy::FixedPolicy(int step, CoreVoltage voltage)
+    : step_(ClockTable::Clamp(step)), voltage_(voltage) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "fixed-%.1fMHz-%.2fV", ClockTable::FrequencyMhz(step_),
+                VoltageVolts(voltage_));
+  name_ = buf;
+}
+
+std::optional<SpeedRequest> FixedPolicy::OnQuantum(const UtilizationSample& sample) {
+  if (applied_ && sample.step == step_ && sample.voltage == voltage_) {
+    return std::nullopt;
+  }
+  applied_ = true;
+  SpeedRequest request;
+  if (sample.step != step_) {
+    request.step = step_;
+  }
+  if (sample.voltage != voltage_) {
+    request.voltage = voltage_;
+  }
+  if (request.Empty()) {
+    return std::nullopt;
+  }
+  return request;
+}
+
+}  // namespace dcs

@@ -1,0 +1,231 @@
+#include "src/core/governor_registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+#include "src/core/cycle_count_governor.h"
+#include "src/core/deadline_governor.h"
+#include "src/core/fixed_policy.h"
+#include "src/core/govil_policies.h"
+#include "src/core/interval_governor.h"
+#include "src/core/modern_governors.h"
+#include "src/core/predictor.h"
+#include "src/core/rate_governor.h"
+#include "src/core/speed_policy.h"
+#include "src/hw/clock_table.h"
+
+namespace dcs {
+namespace {
+
+std::string Lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+std::vector<std::string> Split(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (begin <= s.size()) {
+    const std::size_t end = s.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(begin));
+      break;
+    }
+    parts.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+  return parts;
+}
+
+bool ParseDouble(const std::string& s, double* out) {
+  if (s.empty()) {
+    return false;
+  }
+  char* end = nullptr;
+  *out = std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+bool ParseInt(const std::string& s, int* out) {
+  double d = 0.0;
+  if (!ParseDouble(s, &d) || d != static_cast<int>(d)) {
+    return false;
+  }
+  *out = static_cast<int>(d);
+  return true;
+}
+
+void SetError(std::string* error, const std::string& message) {
+  if (error != nullptr) {
+    *error = message;
+  }
+}
+
+std::unique_ptr<UtilizationPredictor> MakePredictor(const std::string& token) {
+  const std::string lower = Lower(token);
+  if (lower == "past") {
+    return std::make_unique<PastPredictor>();
+  }
+  int n = 0;
+  if (lower.rfind("avg", 0) == 0 && ParseInt(lower.substr(3), &n) && n >= 0) {
+    return std::make_unique<AvgNPredictor>(n);
+  }
+  if (lower.rfind("win", 0) == 0 && ParseInt(lower.substr(3), &n) && n >= 1) {
+    return std::make_unique<SlidingWindowPredictor>(n);
+  }
+  // Govil et al.'s predictors.
+  if (lower == "ls") {
+    return std::make_unique<LongShortPredictor>();
+  }
+  if (lower == "peak") {
+    return std::make_unique<PeakPredictor>();
+  }
+  if (lower.rfind("cycle", 0) == 0 && ParseInt(lower.substr(5), &n) && n >= 2) {
+    return std::make_unique<CyclePredictor>(n);
+  }
+  return nullptr;
+}
+
+std::unique_ptr<ClockPolicy> MakeFixed(const std::string& spec, std::string* error) {
+  // "fixed-<mhz>" or "fixed-<mhz>@1.23".
+  std::string body = spec.substr(6);
+  CoreVoltage voltage = CoreVoltage::kHigh;
+  const std::size_t at = body.find('@');
+  if (at != std::string::npos) {
+    const std::string volts = body.substr(at + 1);
+    if (volts == "1.23") {
+      voltage = CoreVoltage::kLow;
+    } else if (volts != "1.5" && volts != "1.50") {
+      SetError(error, "unknown voltage '" + volts + "' (expected 1.5 or 1.23)");
+      return nullptr;
+    }
+    body = body.substr(0, at);
+  }
+  double mhz = 0.0;
+  if (!ParseDouble(body, &mhz)) {
+    SetError(error, "bad frequency in fixed spec '" + spec + "'");
+    return nullptr;
+  }
+  const int step = ClockTable::NearestStep(mhz);
+  if (!VoltageRegulator::StepAllowedAt(voltage, step)) {
+    SetError(error, "frequency " + body + " MHz is unsafe at 1.23 V");
+    return nullptr;
+  }
+  return std::make_unique<FixedPolicy>(step, voltage);
+}
+
+std::unique_ptr<ClockPolicy> MakeInterval(const std::string& spec, std::string* error) {
+  std::vector<std::string> parts = Split(spec, '-');
+  bool voltage_scaling = false;
+  if (!parts.empty() && Lower(parts.back()) == "vs") {
+    voltage_scaling = true;
+    parts.pop_back();
+  }
+  if (parts.size() != 5) {
+    SetError(error, "expected <pred>-<up>-<down>-<lo>-<hi>[-vs], got '" + spec + "'");
+    return nullptr;
+  }
+  auto predictor = MakePredictor(parts[0]);
+  if (predictor == nullptr) {
+    SetError(error, "unknown predictor '" + parts[0] + "'");
+    return nullptr;
+  }
+  auto up = MakeSpeedPolicy(Lower(parts[1]));
+  auto down = MakeSpeedPolicy(Lower(parts[2]));
+  if (up == nullptr || down == nullptr) {
+    SetError(error, "unknown speed policy in '" + spec + "' (one|double|peg)");
+    return nullptr;
+  }
+  double lo = 0.0;
+  double hi = 0.0;
+  if (!ParseDouble(parts[3], &lo) || !ParseDouble(parts[4], &hi) || lo < 0.0 ||
+      hi > 100.0 || lo > hi) {
+    SetError(error, "bad thresholds in '" + spec + "' (need 0 <= lo <= hi <= 100)");
+    return nullptr;
+  }
+  IntervalGovernorConfig config;
+  config.thresholds = Thresholds{lo / 100.0, hi / 100.0};
+  config.voltage_scaling = voltage_scaling;
+  return std::make_unique<IntervalGovernor>(std::move(predictor), std::move(up),
+                                            std::move(down), config);
+}
+
+}  // namespace
+
+std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* error) {
+  SetError(error, "");
+  const std::string lower = Lower(spec);
+  if (lower.empty() || lower == "none") {
+    return nullptr;
+  }
+  if (lower == "ondemand") {
+    return std::make_unique<OndemandGovernor>();
+  }
+  if (lower == "schedutil") {
+    return std::make_unique<SchedutilGovernor>();
+  }
+  if (lower.rfind("fixed-", 0) == 0) {
+    return MakeFixed(lower, error);
+  }
+  if (lower.rfind("cycles", 0) == 0) {
+    int window = 0;
+    if (!ParseInt(lower.substr(6), &window) || window < 1) {
+      SetError(error, "bad window in '" + spec + "' (e.g. cycles4)");
+      return nullptr;
+    }
+    return std::make_unique<CycleCountGovernor>(window);
+  }
+  if (lower.rfind("flat-", 0) == 0) {
+    double target = 0.0;
+    if (!ParseDouble(lower.substr(5), &target) || target <= 0.0 || target > 100.0) {
+      SetError(error, "bad target in '" + spec + "' (e.g. flat-75)");
+      return nullptr;
+    }
+    FlatGovernorConfig config;
+    config.target = target / 100.0;
+    return std::make_unique<FlatGovernor>(config);
+  }
+  if (lower.rfind("satrate", 0) == 0) {
+    int window = 0;
+    if (!ParseInt(lower.substr(7), &window) || window < 1) {
+      SetError(error, "bad window in '" + spec + "' (e.g. satrate4)");
+      return nullptr;
+    }
+    RateGovernorConfig config;
+    config.window = window;
+    return std::make_unique<SaturationAwareGovernor>(config);
+  }
+  if (lower.rfind("deadline", 0) == 0) {
+    // "deadline" | "deadline-<cap%>" | with optional "-vs" suffix.
+    DeadlineGovernorConfig config;
+    std::string body = lower.substr(8);
+    if (body.size() >= 3 && body.substr(body.size() - 3) == "-vs") {
+      config.voltage_scaling = true;
+      body = body.substr(0, body.size() - 3);
+    }
+    if (!body.empty()) {
+      double cap = 0.0;
+      if (body[0] != '-' || !ParseDouble(body.substr(1), &cap) || cap <= 0.0 ||
+          cap > 100.0) {
+        SetError(error, "bad density cap in '" + spec + "' (e.g. deadline-85)");
+        return nullptr;
+      }
+      config.density_cap = cap / 100.0;
+    }
+    return std::make_unique<DeadlineGovernor>(config);
+  }
+  return MakeInterval(spec, error);
+}
+
+std::vector<std::string> PaperGovernorSpecs() {
+  return {
+      "fixed-206.4",         "fixed-132.7",          "fixed-132.7@1.23",
+      "PAST-peg-peg-93-98",  "PAST-peg-peg-93-98-vs", "PAST-one-one-50-70",
+      "AVG3-one-one-50-70",  "AVG9-one-one-50-70",    "AVG9-peg-peg-50-70",
+      "cycles4",             "ondemand",              "schedutil",
+  };
+}
+
+}  // namespace dcs

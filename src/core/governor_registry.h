@@ -1,0 +1,38 @@
+// String-spec factory for governors, so benches, sweeps and the example CLI
+// can name policies the way the paper does.
+//
+// Grammar (case-insensitive keywords):
+//   "fixed-<mhz>"              e.g. "fixed-206.4"        (1.5 V)
+//   "fixed-<mhz>@1.23"         e.g. "fixed-132.7@1.23"   (1.23 V rail)
+//   "<pred>-<up>-<down>-<lo>-<hi>[-vs]"
+//        pred: PAST | AVG<n> | WIN<n>
+//        up/down: one | double | peg
+//        lo/hi: scale-down / scale-up thresholds in percent
+//        -vs: enable 1.23 V voltage scaling below 162.2 MHz
+//        e.g. "PAST-peg-peg-93-98", "AVG9-one-one-50-70-vs"
+//   "cycles<window>"           the naive Figure 5 policy, e.g. "cycles4"
+//   "ondemand" | "schedutil"   modern baselines
+//   "none"                     no policy (returns nullptr with no error)
+
+#ifndef SRC_CORE_GOVERNOR_REGISTRY_H_
+#define SRC_CORE_GOVERNOR_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/kernel/policy.h"
+
+namespace dcs {
+
+// Builds a governor from `spec`.  On failure returns nullptr and, if `error`
+// is non-null, stores a human-readable reason.  The spec "none" returns
+// nullptr with an empty error (meaning: run without a policy).
+std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* error = nullptr);
+
+// Specs of the policies highlighted by the paper, for sweep benches.
+std::vector<std::string> PaperGovernorSpecs();
+
+}  // namespace dcs
+
+#endif  // SRC_CORE_GOVERNOR_REGISTRY_H_

@@ -1,0 +1,79 @@
+// The interval clock scheduler: predictor + hysteresis thresholds +
+// independent up/down speed policies + optional voltage scaling.
+//
+// At every 10 ms quantum boundary the kernel feeds the ended quantum's
+// utilization to the predictor; if the weighted utilization rises above the
+// scale-up threshold the up speed policy picks a faster step, if it falls
+// below the scale-down threshold the down policy picks a slower one
+// (hysteresis band in between: no change).  Pering et al. used 50%/70%; the
+// paper's best policy is PAST with peg-peg and a 93%/98% band, optionally
+// dropping the core rail to 1.23 V whenever the chosen step is slow enough.
+
+#ifndef SRC_CORE_INTERVAL_GOVERNOR_H_
+#define SRC_CORE_INTERVAL_GOVERNOR_H_
+
+#include <memory>
+#include <string>
+
+#include "src/core/predictor.h"
+#include "src/core/speed_policy.h"
+#include "src/kernel/policy.h"
+
+namespace dcs {
+
+// Hysteresis band on the *predicted* utilization.
+struct Thresholds {
+  double scale_down = 0.50;  // below this, slow the clock
+  double scale_up = 0.70;    // above this, speed it up
+
+  bool Valid() const { return scale_down <= scale_up; }
+};
+
+struct IntervalGovernorConfig {
+  Thresholds thresholds;
+  // Clamp range for chosen steps.
+  int min_step = ClockTable::MinStep();
+  int max_step = ClockTable::MaxStep();
+  // When true, request the 1.23 V rail whenever the current step is at or
+  // below voltage_scale_max_step, and 1.5 V otherwise (Table 2's "Voltage
+  // Scaling @ 162.2 MHz" row).
+  bool voltage_scaling = false;
+  int voltage_scale_max_step = kMaxStepAtLowVoltage;
+};
+
+class IntervalGovernor final : public ClockPolicy {
+ public:
+  IntervalGovernor(std::unique_ptr<UtilizationPredictor> predictor,
+                   std::unique_ptr<SpeedPolicy> up, std::unique_ptr<SpeedPolicy> down,
+                   const IntervalGovernorConfig& config = {});
+
+  const char* Name() const override { return name_.c_str(); }
+  std::optional<SpeedRequest> OnQuantum(const UtilizationSample& sample) override;
+  void Reset() override;
+
+  // Introspection for tests and benches.
+  double weighted_utilization() const { return predictor_->Current(); }
+  const UtilizationPredictor& predictor() const { return *predictor_; }
+  const IntervalGovernorConfig& config() const { return config_; }
+  int scale_ups() const { return scale_ups_; }
+  int scale_downs() const { return scale_downs_; }
+
+ private:
+  std::unique_ptr<UtilizationPredictor> predictor_;
+  std::unique_ptr<SpeedPolicy> up_;
+  std::unique_ptr<SpeedPolicy> down_;
+  IntervalGovernorConfig config_;
+  std::string name_;
+  int scale_ups_ = 0;
+  int scale_downs_ = 0;
+};
+
+// Convenience factory for the paper's named configurations, e.g.
+// MakePastPegPeg(0.93, 0.98, /*voltage_scaling=*/false) — the "best policy"
+// of section 5.4.
+std::unique_ptr<IntervalGovernor> MakePastPegPeg(double scale_down, double scale_up,
+                                                 bool voltage_scaling);
+
+}  // namespace dcs
+
+#endif  // SRC_CORE_INTERVAL_GOVERNOR_H_

@@ -1,0 +1,39 @@
+#include "src/core/martin_bound.h"
+
+namespace dcs {
+
+std::array<MartinCurvePoint, kNumClockSteps> ComputeMartinCurve(
+    const PowerModel& power, const Battery& battery, const MemoryProfile& profile,
+    const PeripheralState& peripherals) {
+  std::array<MartinCurvePoint, kNumClockSteps> curve{};
+  for (int step = 0; step < kNumClockSteps; ++step) {
+    MartinCurvePoint& point = curve[static_cast<std::size_t>(step)];
+    point.step = step;
+    // 1.23 V is usable at the slow steps; Martin's argument assumes the
+    // platform runs each speed at its cheapest legal voltage.
+    const double volts = VoltageRegulator::StepAllowedAt(CoreVoltage::kLow, step)
+                             ? VoltageVolts(CoreVoltage::kLow)
+                             : VoltageVolts(CoreVoltage::kHigh);
+    point.busy_watts = power.SystemWatts(ExecState::kBusy, step, volts, peripherals);
+    point.lifetime_hours = battery.LifetimeHoursAtConstantPower(point.busy_watts);
+    point.computations_per_discharge = MemoryModel::EffectiveBaseHz(step, profile) *
+                                       point.lifetime_hours * 3600.0;
+  }
+  return curve;
+}
+
+int MartinLowerBoundStep(const PowerModel& power, const Battery& battery,
+                         const MemoryProfile& profile,
+                         const PeripheralState& peripherals) {
+  const auto curve = ComputeMartinCurve(power, battery, profile, peripherals);
+  int best = 0;
+  for (int step = 1; step < kNumClockSteps; ++step) {
+    if (curve[static_cast<std::size_t>(step)].computations_per_discharge >
+        curve[static_cast<std::size_t>(best)].computations_per_discharge) {
+      best = step;
+    }
+  }
+  return best;
+}
+
+}  // namespace dcs

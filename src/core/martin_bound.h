@@ -1,0 +1,50 @@
+// Martin's battery-aware lower bound on clock frequency.
+//
+// The paper (section 3): "Martin [12] revised Weiser's PAST algorithm to
+// account for the non-ideal properties of batteries and the non-linear
+// relationship between system power and clock frequency.  Martin argues that
+// the lower bound on clock frequency should be chosen such that the number
+// of computations per battery lifetime is maximized."
+//
+// With a non-linear power curve (static residue) and a non-ideal battery
+// (Peukert), running slower does not always buy more total computation: at
+// the bottom steps the fixed draw dominates and computations-per-discharge
+// *fall* again.  This module computes that curve and the argmax step, which
+// governors can use as their min_step clamp.
+
+#ifndef SRC_CORE_MARTIN_BOUND_H_
+#define SRC_CORE_MARTIN_BOUND_H_
+
+#include <array>
+
+#include "src/hw/battery.h"
+#include "src/hw/clock_table.h"
+#include "src/hw/memory_model.h"
+#include "src/hw/power_model.h"
+
+namespace dcs {
+
+struct MartinCurvePoint {
+  int step = 0;
+  // System power while continuously computing at this step, watts.
+  double busy_watts = 0.0;
+  // Battery lifetime at that draw, hours.
+  double lifetime_hours = 0.0;
+  // Effective base cycles per discharge (throughput x lifetime).
+  double computations_per_discharge = 0.0;
+};
+
+// Evaluates computations-per-discharge for every clock step, for a workload
+// with the given memory profile, on the given hardware models.
+std::array<MartinCurvePoint, kNumClockSteps> ComputeMartinCurve(
+    const PowerModel& power, const Battery& battery, const MemoryProfile& profile,
+    const PeripheralState& peripherals);
+
+// The step that maximises computations per discharge — Martin's recommended
+// lower bound for clock scaling.
+int MartinLowerBoundStep(const PowerModel& power, const Battery& battery,
+                         const MemoryProfile& profile, const PeripheralState& peripherals);
+
+}  // namespace dcs
+
+#endif  // SRC_CORE_MARTIN_BOUND_H_

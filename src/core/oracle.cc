@@ -1,0 +1,75 @@
+#include "src/core/oracle.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+namespace dcs {
+namespace {
+
+constexpr double kEps = 1e-12;
+
+double ClampSpeed(double s, double min_speed) { return std::clamp(s, min_speed, 1.0); }
+
+// Replays `work` with per-interval speeds chosen by `pick(excess, index)`,
+// filling in the common bookkeeping.
+template <typename PickSpeed>
+OracleResult Replay(std::span<const double> work, PickSpeed pick) {
+  OracleResult result;
+  result.speeds.reserve(work.size());
+  double excess = 0.0;
+  int missed = 0;
+  for (std::size_t i = 0; i < work.size(); ++i) {
+    const double w = std::clamp(work[i], 0.0, 1.0);
+    const double s = pick(excess, i);
+    assert(s > 0.0 && s <= 1.0 + kEps);
+    const double pending = excess + w;
+    // At speed s the interval can absorb s units of full-speed work.
+    const double done = std::min(pending, s);
+    const double busy_time = done / s;  // fraction of the interval non-idle
+    result.energy += busy_time * s * s;
+    result.full_speed_energy += w;  // busy_time at s=1 is w, energy w * 1^2
+    excess = pending - done;
+    if (excess > kEps) {
+      ++missed;
+    }
+    result.total_excess += excess;
+    result.speeds.push_back(s);
+  }
+  result.missed_fraction =
+      work.empty() ? 0.0 : static_cast<double>(missed) / static_cast<double>(work.size());
+  return result;
+}
+
+}  // namespace
+
+OracleResult RunOptOracle(std::span<const double> work, double min_speed) {
+  double total = 0.0;
+  for (const double w : work) {
+    total += std::clamp(w, 0.0, 1.0);
+  }
+  const double constant =
+      work.empty() ? min_speed
+                   : ClampSpeed(total / static_cast<double>(work.size()), min_speed);
+  return Replay(work, [constant](double /*excess*/, std::size_t /*i*/) { return constant; });
+}
+
+OracleResult RunFutureOracle(std::span<const double> work, double min_speed) {
+  return Replay(work, [&work, min_speed](double excess, std::size_t i) {
+    const double w = std::clamp(work[i], 0.0, 1.0);
+    return ClampSpeed(excess + w, min_speed);
+  });
+}
+
+OracleResult RunWeiserPastOracle(std::span<const double> work, double min_speed) {
+  // Speed for interval i is what would have exactly covered interval i-1's
+  // pending work; the first interval starts at full speed.
+  double previous_pending = 1.0;
+  return Replay(work, [&work, &previous_pending, min_speed](double excess, std::size_t i) {
+    const double s = ClampSpeed(previous_pending, min_speed);
+    previous_pending = excess + std::clamp(work[i], 0.0, 1.0);
+    return s;
+  });
+}
+
+}  // namespace dcs

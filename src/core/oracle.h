@@ -1,0 +1,68 @@
+// Offline trace-replay oracles in the style of Weiser et al. (OSDI '94).
+//
+// Weiser's original evaluation replayed utilization traces through three
+// algorithms: OPT (perfect hindsight — stretch all work across all idle
+// time), FUTURE (peek one interval ahead) and PAST.  The paper under
+// reproduction points out that OPT and FUTURE are unimplementable (they use
+// future information) and that even Weiser's PAST is not implementable on a
+// real kernel because it requires knowing how much *unfinished* work was
+// pushed into the next interval — a real scheduler only observes that the
+// CPU stayed busy to the end of the quantum.
+//
+// This module reproduces that replay framework so the repository can
+// demonstrate the gap between trace-based oracle results and the
+// implementable interval schedulers measured on the simulated Itsy.
+//
+// Model: the trace gives, per interval, the work w_t arriving in that
+// interval, expressed as the fraction of an interval the work takes at full
+// speed (w_t in [0, 1]).  A policy picks a relative speed s_t in
+// [min_speed, 1].  Work left over (excess) carries into the next interval.
+// Energy per interval is busy_time * s_t^2, the ideal quadratic
+// (voltage-tracks-frequency) model Weiser and Govil assumed — the paper
+// notes neither modelled idle power or switch costs, which is part of why
+// their predicted savings did not materialise on real hardware.
+
+#ifndef SRC_CORE_ORACLE_H_
+#define SRC_CORE_ORACLE_H_
+
+#include <span>
+#include <vector>
+
+namespace dcs {
+
+struct OracleResult {
+  // Chosen relative speed per interval (fractions of full speed).
+  std::vector<double> speeds;
+  // Total energy in Weiser units (full-speed busy interval == 1).
+  double energy = 0.0;
+  // Energy of running the same trace at full speed (for savings ratios).
+  double full_speed_energy = 0.0;
+  // Sum of excess (carried-over) work across the trace; 0 for OPT.
+  double total_excess = 0.0;
+  // Fraction of intervals that ended with unfinished work.
+  double missed_fraction = 0.0;
+
+  double SavingsPercent() const {
+    if (full_speed_energy <= 0.0) {
+      return 0.0;
+    }
+    return 100.0 * (1.0 - energy / full_speed_energy);
+  }
+};
+
+// OPT: a single constant speed that finishes all work exactly by the end of
+// the trace (perfect stretching; per-interval deadlines ignored).
+OracleResult RunOptOracle(std::span<const double> work, double min_speed);
+
+// FUTURE: looks one interval ahead and picks the exact speed that finishes
+// the carried-over plus arriving work within the interval (clamped).
+OracleResult RunFutureOracle(std::span<const double> work, double min_speed);
+
+// Weiser-style PAST: sets the next interval's speed to what would have
+// finished the *previous* interval's work (arrivals plus carried excess) —
+// information a real kernel does not have, which is the paper's point.
+OracleResult RunWeiserPastOracle(std::span<const double> work, double min_speed);
+
+}  // namespace dcs
+
+#endif  // SRC_CORE_ORACLE_H_

@@ -1,0 +1,75 @@
+#include "src/core/predictor.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcs {
+namespace {
+
+double ClampUtilization(double u) { return std::clamp(u, 0.0, 1.0); }
+
+}  // namespace
+
+PastPredictor::PastPredictor() : name_("PAST") {}
+
+double PastPredictor::Update(double utilization) {
+  last_ = ClampUtilization(utilization);
+  return last_;
+}
+
+std::unique_ptr<UtilizationPredictor> PastPredictor::Clone() const {
+  auto clone = std::make_unique<PastPredictor>();
+  clone->last_ = last_;
+  return clone;
+}
+
+AvgNPredictor::AvgNPredictor(int n) : n_(n), name_("AVG" + std::to_string(n)) {
+  assert(n >= 0);
+}
+
+double AvgNPredictor::Update(double utilization) {
+  weighted_ = (n_ * weighted_ + ClampUtilization(utilization)) / (n_ + 1);
+  return weighted_;
+}
+
+std::unique_ptr<UtilizationPredictor> AvgNPredictor::Clone() const {
+  auto clone = std::make_unique<AvgNPredictor>(n_);
+  clone->weighted_ = weighted_;
+  return clone;
+}
+
+SlidingWindowPredictor::SlidingWindowPredictor(int window)
+    : window_(window), name_("WIN" + std::to_string(window)) {
+  assert(window >= 1);
+}
+
+double SlidingWindowPredictor::Update(double utilization) {
+  samples_.push_back(ClampUtilization(utilization));
+  sum_ += samples_.back();
+  if (static_cast<int>(samples_.size()) > window_) {
+    sum_ -= samples_.front();
+    samples_.pop_front();
+  }
+  return Current();
+}
+
+double SlidingWindowPredictor::Current() const {
+  if (samples_.empty()) {
+    return 0.0;
+  }
+  return sum_ / static_cast<double>(samples_.size());
+}
+
+void SlidingWindowPredictor::Reset() {
+  samples_.clear();
+  sum_ = 0.0;
+}
+
+std::unique_ptr<UtilizationPredictor> SlidingWindowPredictor::Clone() const {
+  auto clone = std::make_unique<SlidingWindowPredictor>(window_);
+  clone->samples_ = samples_;
+  clone->sum_ = sum_;
+  return clone;
+}
+
+}  // namespace dcs

@@ -1,0 +1,42 @@
+#include "src/core/replay_policy.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace dcs {
+
+ScheduleReplayPolicy::ScheduleReplayPolicy(std::vector<int> steps)
+    : steps_(std::move(steps)) {
+  for (int& step : steps_) {
+    step = ClockTable::Clamp(step);
+  }
+  name_ = "replay[" + std::to_string(steps_.size()) + "]";
+}
+
+std::optional<SpeedRequest> ScheduleReplayPolicy::OnQuantum(const UtilizationSample& sample) {
+  if (steps_.empty()) {
+    return std::nullopt;
+  }
+  const int step = steps_[std::min(next_, steps_.size() - 1)];
+  if (next_ < steps_.size()) {
+    ++next_;
+  }
+  if (step == sample.step) {
+    return std::nullopt;
+  }
+  SpeedRequest request;
+  request.step = step;
+  return request;
+}
+
+std::vector<int> StepsFromRelativeSpeeds(const std::vector<double>& speeds) {
+  std::vector<int> steps;
+  steps.reserve(speeds.size());
+  const double top = ClockTable::FrequencyMhz(ClockTable::MaxStep());
+  for (const double speed : speeds) {
+    steps.push_back(ClockTable::StepForAtLeastMhz(speed * top));
+  }
+  return steps;
+}
+
+}  // namespace dcs

@@ -1,0 +1,51 @@
+#include "src/core/speed_policy.h"
+
+#include <algorithm>
+
+namespace dcs {
+namespace {
+
+int ClampTo(int step, int min_step, int max_step) {
+  return std::clamp(step, min_step, max_step);
+}
+
+}  // namespace
+
+int OneStepPolicy::Next(int current, ScaleDirection direction, int min_step,
+                        int max_step) const {
+  const int next = direction == ScaleDirection::kUp ? current + 1 : current - 1;
+  return ClampTo(next, min_step, max_step);
+}
+
+int DoubleStepPolicy::Next(int current, ScaleDirection direction, int min_step,
+                           int max_step) const {
+  int next;
+  if (direction == ScaleDirection::kUp) {
+    // "Since the lowest clock step on the Itsy is zero, we increment the
+    // clock index value before doubling it."
+    next = (current + 1) * 2;
+  } else {
+    next = current / 2;
+  }
+  return ClampTo(next, min_step, max_step);
+}
+
+int PegStepPolicy::Next(int /*current*/, ScaleDirection direction, int min_step,
+                        int max_step) const {
+  return direction == ScaleDirection::kUp ? max_step : min_step;
+}
+
+std::unique_ptr<SpeedPolicy> MakeSpeedPolicy(const std::string& name) {
+  if (name == "one") {
+    return std::make_unique<OneStepPolicy>();
+  }
+  if (name == "double") {
+    return std::make_unique<DoubleStepPolicy>();
+  }
+  if (name == "peg") {
+    return std::make_unique<PegStepPolicy>();
+  }
+  return nullptr;
+}
+
+}  // namespace dcs

@@ -1,0 +1,101 @@
+#include "src/daq/daq.h"
+
+#include <cmath>
+
+namespace dcs {
+namespace {
+
+// Quantises `volts` to an ADC step of `lsb`, clamped to [lo, hi].
+double Quantise(double volts, double lsb, double lo, double hi) {
+  if (volts < lo) {
+    volts = lo;
+  }
+  if (volts > hi) {
+    volts = hi;
+  }
+  return std::round(volts / lsb) * lsb;
+}
+
+}  // namespace
+
+Daq::Daq(const DaqConfig& config) : config_(config), rng_(config.seed) {
+  const double steps = std::pow(2.0, config_.adc_bits);
+  // Shunt channel is bipolar (+/- range); supply channel unipolar.
+  shunt_lsb_ = 2.0 * config_.shunt_range_volts / steps;
+  supply_lsb_ = config_.supply_range_volts / steps;
+}
+
+double Daq::ReadPower(const PowerTape& tape, SimTime t) {
+  const double watts = tape.WattsAt(t);
+  const double amps = watts / config_.supply_volts;
+  // Channel 1: shunt voltage drop.
+  double shunt_v = amps * config_.shunt_ohms;
+  shunt_v += rng_.Gaussian(0.0, config_.noise_lsb * shunt_lsb_);
+  shunt_v = Quantise(shunt_v, shunt_lsb_, -config_.shunt_range_volts,
+                     config_.shunt_range_volts);
+  // Channel 2: supply voltage.
+  double supply_v = config_.supply_volts;
+  supply_v += rng_.Gaussian(0.0, config_.noise_lsb * supply_lsb_);
+  supply_v = Quantise(supply_v, supply_lsb_, 0.0, config_.supply_range_volts);
+  // "The current was then calculated by dividing the voltage by the
+  // resistance."
+  const double measured_amps = shunt_v / config_.shunt_ohms;
+  return measured_amps * supply_v;
+}
+
+std::vector<double> Daq::SamplePowerWatts(const PowerTape& tape, SimTime begin,
+                                          SimTime end) {
+  std::vector<double> samples;
+  if (end <= begin) {
+    return samples;
+  }
+  const double period_s = 1.0 / config_.sample_hz;
+  const std::int64_t count = static_cast<std::int64_t>(
+      std::floor((end - begin).ToSeconds() / period_s));
+  samples.reserve(static_cast<std::size_t>(count));
+  for (std::int64_t i = 0; i < count; ++i) {
+    const SimTime t = begin + SimTime::FromSecondsF(i * period_s);
+    samples.push_back(ReadPower(tape, t));
+  }
+  return samples;
+}
+
+double Daq::EnergyJoules(std::span<const double> samples) const {
+  double joules = 0.0;
+  const double dt = 1.0 / config_.sample_hz;
+  for (const double p : samples) {
+    joules += p * dt;
+  }
+  return joules;
+}
+
+double Daq::AverageWatts(std::span<const double> samples) const {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const double p : samples) {
+    sum += p;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+double Daq::MeasureEnergyJoules(const PowerTape& tape, SimTime begin, SimTime end) {
+  return EnergyJoules(SamplePowerWatts(tape, begin, end));
+}
+
+void GpioTrigger::Attach(Gpio& gpio) {
+  gpio.Observe([this](int pin, SimTime at, bool /*level*/) {
+    if (pin != pin_) {
+      return;
+    }
+    if (!open_start_.has_value()) {
+      open_start_ = at;
+    } else {
+      windows_.emplace_back(*open_start_, at);
+      open_start_.reset();
+    }
+  });
+}
+
+}  // namespace dcs

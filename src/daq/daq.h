@@ -1,0 +1,94 @@
+// The data-acquisition (DAQ) system model.
+//
+// The paper's measurement rig: "we use a data acquisition (DAQ) system to
+// record the current drawn by the Itsy ... and the voltage provided by this
+// supply.  We configured the DAQ system to read the voltage 5000 times per
+// second, and convert these readings to 16-bit values."  The supply current
+// was measured as the voltage drop across a 0.02 ohm precision shunt; a
+// GPIO pin wired to the DAQ's external trigger marks the measurement window.
+//
+// Our DAQ samples the Itsy's ground-truth power tape through the same
+// pipeline: shunt voltage -> 16-bit ADC quantisation (+ optional Gaussian
+// noise) -> current -> power; energy is integrated with the paper's
+// rectangle rule (each sample stands for the following 0.0002 s).
+
+#ifndef SRC_DAQ_DAQ_H_
+#define SRC_DAQ_DAQ_H_
+
+#include <optional>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "src/hw/gpio.h"
+#include "src/hw/power_tape.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace dcs {
+
+struct DaqConfig {
+  double sample_hz = 5000.0;
+  double shunt_ohms = 0.02;
+  double supply_volts = 3.1;
+  // ADC input ranges (full scale) and resolution.
+  double shunt_range_volts = 0.1;   // +/- range for the shunt channel
+  double supply_range_volts = 5.0;  // 0..range for the supply channel
+  int adc_bits = 16;
+  // Additive Gaussian noise on each channel, in LSBs.
+  double noise_lsb = 1.0;
+  std::uint64_t seed = 0x0DA05EEDULL;
+};
+
+class Daq {
+ public:
+  explicit Daq(const DaqConfig& config = {});
+
+  const DaqConfig& config() const { return config_; }
+  SimTime SamplePeriod() const { return SimTime::FromSecondsF(1.0 / config_.sample_hz); }
+
+  // Samples instantaneous power over [begin, end) at sample_hz, applying the
+  // shunt/ADC model.  Sample i is taken at begin + i/sample_hz.
+  std::vector<double> SamplePowerWatts(const PowerTape& tape, SimTime begin, SimTime end);
+
+  // Rectangle-rule energy: sum(p_i * 0.0002 s), exactly as in section 4.1.
+  double EnergyJoules(std::span<const double> samples) const;
+  double AverageWatts(std::span<const double> samples) const;
+
+  // Convenience: sample + integrate in one call.
+  double MeasureEnergyJoules(const PowerTape& tape, SimTime begin, SimTime end);
+
+ private:
+  // One power reading at time `t` through the ADC pipeline.
+  double ReadPower(const PowerTape& tape, SimTime t);
+
+  DaqConfig config_;
+  Rng rng_;
+  double shunt_lsb_;
+  double supply_lsb_;
+};
+
+// Latches a measurement window from GPIO edges, as the paper's trigger wire
+// did: the first observed edge on `pin` starts the window, the second ends
+// it (further edges start new windows).
+class GpioTrigger {
+ public:
+  explicit GpioTrigger(int pin) : pin_(pin) {}
+
+  // Attach to a GPIO bank; observes all subsequent edges.
+  void Attach(Gpio& gpio);
+
+  // Completed [start, end) windows so far.
+  const std::vector<std::pair<SimTime, SimTime>>& windows() const { return windows_; }
+  // Window currently open (started but not yet ended), if any.
+  std::optional<SimTime> open_window_start() const { return open_start_; }
+
+ private:
+  int pin_;
+  std::optional<SimTime> open_start_;
+  std::vector<std::pair<SimTime, SimTime>> windows_;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_DAQ_DAQ_H_

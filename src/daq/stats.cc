@@ -1,0 +1,59 @@
+#include "src/daq/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dcs {
+
+double TCritical95(int df) {
+  // Two-sided 95% critical values; exact for df <= 30, then interpolation
+  // anchors at 40/60/120 and the normal limit.
+  static constexpr double kTable[31] = {
+      0.0,    12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179,  2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086, 2.080,
+      2.074,  2.069,  2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df < 1) {
+    return 0.0;
+  }
+  if (df <= 30) {
+    return kTable[df];
+  }
+  if (df <= 40) {
+    return 2.042 + (2.021 - 2.042) * (df - 30) / 10.0;
+  }
+  if (df <= 60) {
+    return 2.021 + (2.000 - 2.021) * (df - 40) / 20.0;
+  }
+  if (df <= 120) {
+    return 2.000 + (1.980 - 2.000) * (df - 60) / 60.0;
+  }
+  return 1.960;
+}
+
+Summary Summarize(std::span<const double> samples) {
+  Summary s;
+  s.n = static_cast<int>(samples.size());
+  if (s.n == 0) {
+    return s;
+  }
+  double sum = 0.0;
+  s.min = samples[0];
+  s.max = samples[0];
+  for (const double x : samples) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / s.n;
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (const double x : samples) {
+      ss += (x - s.mean) * (x - s.mean);
+    }
+    s.stddev = std::sqrt(ss / (s.n - 1));
+    s.ci95_half = TCritical95(s.n - 1) * s.stddev / std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+}  // namespace dcs

@@ -1,0 +1,38 @@
+// Statistics for repeated-run measurements.
+//
+// The paper: "We measured multiple runs of each workload; in general, we
+// found the 95% confidence interval of the energy to be less than 0.7% of
+// the mean energy."  Table 2 reports energies as 95% CI ranges.  We use the
+// same machinery: sample mean/stddev and a Student-t interval.
+
+#ifndef SRC_DAQ_STATS_H_
+#define SRC_DAQ_STATS_H_
+
+#include <span>
+
+namespace dcs {
+
+struct Summary {
+  int n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;    // sample standard deviation (n-1)
+  double ci95_half = 0.0; // half-width of the 95% confidence interval
+  double min = 0.0;
+  double max = 0.0;
+
+  double ci_low() const { return mean - ci95_half; }
+  double ci_high() const { return mean + ci95_half; }
+  // CI half-width as a percentage of the mean (the paper's "< 0.7%").
+  double ci_percent() const { return mean == 0.0 ? 0.0 : 100.0 * ci95_half / mean; }
+};
+
+// Two-sided 95% Student-t critical value for `df` degrees of freedom
+// (df >= 1; large df converge to 1.960).
+double TCritical95(int df);
+
+// Summarises a sample; n = 0 and n = 1 yield zero-width intervals.
+Summary Summarize(std::span<const double> samples);
+
+}  // namespace dcs
+
+#endif  // SRC_DAQ_STATS_H_

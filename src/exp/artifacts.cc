@@ -1,0 +1,65 @@
+#include "src/exp/artifacts.h"
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+namespace dcs {
+namespace {
+
+std::string Sanitise(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok) {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool WriteArtifacts(const std::string& dir, const std::string& tag,
+                    const ExperimentResult& result) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return false;
+  }
+  const std::string base = dir + "/" + Sanitise(tag);
+
+  for (const std::string& name : result.sink.Names()) {
+    std::ofstream os(base + "." + Sanitise(name) + ".csv");
+    if (!os) {
+      return false;
+    }
+    result.sink.WriteCsv(name, os);
+  }
+
+  std::ofstream summary(base + ".summary.csv");
+  if (!summary) {
+    return false;
+  }
+  summary << "app,governor,duration_s,energy_j,exact_energy_j,average_watts,"
+             "avg_utilization,clock_changes,voltage_transitions,total_stall_us,"
+             "deadline_events,deadline_misses,worst_lateness_us\n";
+  summary << result.app << "," << result.governor << "," << result.duration.ToSeconds()
+          << "," << result.energy_joules << "," << result.exact_energy_joules << ","
+          << result.average_watts << "," << result.avg_utilization << ","
+          << result.clock_changes << "," << result.voltage_transitions << ","
+          << result.total_stall.micros() << "," << result.deadline_events << ","
+          << result.deadline_misses << "," << result.worst_lateness.micros() << "\n";
+  return static_cast<bool>(summary);
+}
+
+bool MaybeWriteArtifacts(const std::string& tag, const ExperimentResult& result) {
+  const char* dir = std::getenv("DCS_ARTIFACTS");
+  if (dir == nullptr || dir[0] == '\0') {
+    return true;
+  }
+  return WriteArtifacts(dir, tag, result);
+}
+
+}  // namespace dcs

@@ -1,0 +1,30 @@
+// CSV artifact export: benches and examples can dump every recorded series
+// of an experiment (utilization, clock frequency) plus a summary row to a
+// directory, so the ASCII figures can be re-plotted with real tooling.
+//
+// Export is opt-in: set the DCS_ARTIFACTS environment variable to a
+// directory (benches call MaybeWriteArtifacts, which is a no-op otherwise).
+
+#ifndef SRC_EXP_ARTIFACTS_H_
+#define SRC_EXP_ARTIFACTS_H_
+
+#include <string>
+
+#include "src/exp/experiment.h"
+
+namespace dcs {
+
+// Writes <dir>/<tag>.<series>.csv for every recorded series and
+// <dir>/<tag>.summary.csv with the scalar metrics.  Creates `dir` if
+// missing.  Returns false (and writes nothing further) on the first I/O
+// error.
+bool WriteArtifacts(const std::string& dir, const std::string& tag,
+                    const ExperimentResult& result);
+
+// WriteArtifacts(getenv("DCS_ARTIFACTS"), ...) if the variable is set;
+// returns true when export was skipped or succeeded.
+bool MaybeWriteArtifacts(const std::string& tag, const ExperimentResult& result);
+
+}  // namespace dcs
+
+#endif  // SRC_EXP_ARTIFACTS_H_

@@ -1,0 +1,75 @@
+#include "src/exp/ascii_plot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace dcs {
+
+void AsciiPlot(std::ostream& os, std::span<const double> x, std::span<const double> y,
+               const PlotOptions& options) {
+  if (x.empty() || y.empty() || x.size() != y.size()) {
+    os << "(no data)\n";
+    return;
+  }
+  double y_lo = options.y_min.value_or(*std::min_element(y.begin(), y.end()));
+  double y_hi = options.y_max.value_or(*std::max_element(y.begin(), y.end()));
+  if (y_hi - y_lo < 1e-12) {
+    y_hi = y_lo + 1.0;
+  }
+  const double x_lo = x.front();
+  const double x_hi = std::max(x.back(), x_lo + 1e-12);
+
+  const int w = std::clamp(options.width, 10, 200);
+  const int h = std::clamp(options.height, 4, 100);
+  std::vector<std::string> grid(static_cast<std::size_t>(h),
+                                std::string(static_cast<std::size_t>(w), ' '));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const int col = static_cast<int>(std::lround((x[i] - x_lo) / (x_hi - x_lo) * (w - 1)));
+    double v = std::clamp(y[i], y_lo, y_hi);
+    const int row = static_cast<int>(std::lround((v - y_lo) / (y_hi - y_lo) * (h - 1)));
+    grid[static_cast<std::size_t>(h - 1 - row)][static_cast<std::size_t>(col)] = '*';
+  }
+
+  if (!options.title.empty()) {
+    os << options.title << "\n";
+  }
+  char label[256];
+  for (int r = 0; r < h; ++r) {
+    if (r == 0) {
+      std::snprintf(label, sizeof(label), "%10.3f |", y_hi);
+    } else if (r == h - 1) {
+      std::snprintf(label, sizeof(label), "%10.3f |", y_lo);
+    } else {
+      std::snprintf(label, sizeof(label), "%10s |", "");
+    }
+    os << label << grid[static_cast<std::size_t>(r)] << "\n";
+  }
+  os << std::string(11, ' ') << '+' << std::string(static_cast<std::size_t>(w), '-') << "\n";
+  std::snprintf(label, sizeof(label), "%10s  %-12.4g", "", x_lo);
+  os << label;
+  std::snprintf(label, sizeof(label), "%*.4g", w - 12, x_hi);
+  os << label << "\n";
+  os << std::string(12, ' ') << options.x_label << " (y: " << options.y_label << ")\n";
+}
+
+void AsciiPlot(std::ostream& os, std::span<const double> y, const PlotOptions& options) {
+  std::vector<double> x(y.size());
+  std::iota(x.begin(), x.end(), 0.0);
+  AsciiPlot(os, x, y, options);
+}
+
+void AsciiPlot(std::ostream& os, const TraceSeries& series, const PlotOptions& options) {
+  std::vector<double> x;
+  std::vector<double> y;
+  x.reserve(series.size());
+  y.reserve(series.size());
+  for (const TracePoint& p : series.points()) {
+    x.push_back(p.at.ToSeconds());
+    y.push_back(p.value);
+  }
+  AsciiPlot(os, x, y, options);
+}
+
+}  // namespace dcs

@@ -1,0 +1,41 @@
+// Terminal line plots so the figure benches can render the paper's figures
+// directly into their stdout (and the corresponding CSVs can be re-plotted
+// elsewhere).
+
+#ifndef SRC_EXP_ASCII_PLOT_H_
+#define SRC_EXP_ASCII_PLOT_H_
+
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/sim/trace_sink.h"
+
+namespace dcs {
+
+struct PlotOptions {
+  int width = 100;
+  int height = 20;
+  std::string title;
+  std::string x_label = "x";
+  std::string y_label = "y";
+  // Fixed y-range; auto-scaled when unset.
+  std::optional<double> y_min;
+  std::optional<double> y_max;
+};
+
+// Plots y[i] against x[i]; x must be non-decreasing.
+void AsciiPlot(std::ostream& os, std::span<const double> x, std::span<const double> y,
+               const PlotOptions& options);
+
+// Plots y[i] against its index.
+void AsciiPlot(std::ostream& os, std::span<const double> y, const PlotOptions& options);
+
+// Plots a recorded series against time in seconds.
+void AsciiPlot(std::ostream& os, const TraceSeries& series, const PlotOptions& options);
+
+}  // namespace dcs
+
+#endif  // SRC_EXP_ASCII_PLOT_H_

@@ -1,0 +1,97 @@
+#include "src/exp/experiment.h"
+
+#include <cassert>
+#include <utility>
+
+#include "src/core/governor_registry.h"
+#include "src/sim/simulator.h"
+
+namespace dcs {
+
+ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  Simulator sim;
+  Itsy itsy(sim, config.itsy);
+  KernelConfig kernel_config = config.kernel;
+  // The experiment seed drives every stochastic element: per-task workload
+  // jitter (via the kernel's forked RNG streams) and the DAQ noise below.
+  kernel_config.rng_seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+  Kernel kernel(sim, itsy, kernel_config);
+
+  std::string error;
+  std::unique_ptr<ClockPolicy> governor = MakeGovernor(config.governor, &error);
+  assert((governor != nullptr || error.empty()) && "invalid governor spec");
+  if (governor != nullptr) {
+    kernel.InstallPolicy(governor.get());
+  }
+
+  DeadlineMonitor deadlines;
+  AppBundle bundle = config.app == "mpeg" && config.mpeg.has_value()
+                         ? MakeMpegApp(*config.mpeg, &deadlines, config.seed)
+                         : MakeApp(config.app, &deadlines, config.seed);
+  for (auto& task : bundle.tasks) {
+    kernel.AddTask(std::move(task));
+  }
+
+  const SimTime duration = config.duration.value_or(bundle.duration + SimTime::Seconds(2));
+  // The measurement window is GPIO-triggered exactly like the paper's rig.
+  constexpr int kTriggerPin = 5;
+  GpioTrigger trigger(kTriggerPin);
+  trigger.Attach(itsy.gpio());
+  itsy.gpio().Toggle(kTriggerPin, sim.Now());
+
+  kernel.Start();
+  sim.RunUntil(duration);
+  itsy.gpio().Toggle(kTriggerPin, sim.Now());
+  itsy.SyncBattery();
+
+  ExperimentResult result;
+  result.app = bundle.name;
+  result.governor = governor != nullptr ? governor->Name() : "none";
+  result.duration = duration;
+
+  assert(trigger.windows().size() == 1);
+  const auto [begin, end] = trigger.windows().front();
+  DaqConfig daq_config = config.daq;
+  daq_config.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
+  Daq daq(daq_config);
+  const std::vector<double> samples = daq.SamplePowerWatts(itsy.tape(), begin, end);
+  result.energy_joules = daq.EnergyJoules(samples);
+  result.exact_energy_joules = itsy.tape().EnergyJoules(begin, end);
+  result.average_watts = daq.AverageWatts(samples);
+
+  result.quanta = kernel.quanta_elapsed();
+  const TraceSeries* util = kernel.sink().Find("utilization");
+  if (util != nullptr && !util->empty()) {
+    double sum = 0.0;
+    for (const TracePoint& p : util->points()) {
+      sum += p.value;
+    }
+    result.avg_utilization = sum / static_cast<double>(util->size());
+  }
+  result.clock_changes = itsy.clock_changes();
+  result.voltage_transitions = itsy.voltage_transitions();
+  result.total_stall = itsy.total_stall();
+  const auto& residency = kernel.step_residency();
+  const double total_s = duration.ToSeconds();
+  for (int k = 0; k < kNumClockSteps; ++k) {
+    result.step_residency[static_cast<std::size_t>(k)] =
+        total_s > 0.0 ? residency[static_cast<std::size_t>(k)].ToSeconds() / total_s : 0.0;
+  }
+
+  for (Pid pid = 1; Task* task = kernel.FindTask(pid); ++pid) {
+    result.task_cpu_seconds.emplace(std::to_string(pid) + ":" + task->name(),
+                                    task->cpu_time().ToSeconds());
+  }
+
+  result.deadline_events = deadlines.TotalEvents();
+  result.deadline_misses = deadlines.TotalMissed();
+  result.worst_lateness = deadlines.WorstLateness();
+  for (const std::string& stream : deadlines.Streams()) {
+    result.streams.emplace(stream, deadlines.Stats(stream));
+  }
+
+  result.sink = std::move(kernel.sink());
+  return result;
+}
+
+}  // namespace dcs

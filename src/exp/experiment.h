@@ -1,0 +1,80 @@
+// One end-to-end experiment: an application bundle running on a simulated
+// Itsy under a governor, measured by the DAQ — the unit every bench and
+// example is built from.
+
+#ifndef SRC_EXP_EXPERIMENT_H_
+#define SRC_EXP_EXPERIMENT_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "src/daq/daq.h"
+#include "src/hw/itsy.h"
+#include "src/kernel/kernel.h"
+#include "src/workload/apps.h"
+#include "src/workload/deadline_monitor.h"
+
+namespace dcs {
+
+struct ExperimentConfig {
+  // Application name ("mpeg" | "web" | "chess" | "editor").
+  std::string app = "mpeg";
+  // Governor spec (see governor_registry.h); "none" runs at the initial
+  // clock step with no policy installed.
+  std::string governor = "none";
+  std::uint64_t seed = 1;
+  // Override the app's natural duration (e.g. to truncate for plots).
+  std::optional<SimTime> duration;
+  // Custom MPEG configuration (only consulted when app == "mpeg").
+  std::optional<MpegConfig> mpeg;
+  ItsyConfig itsy;
+  KernelConfig kernel;
+  DaqConfig daq;
+};
+
+struct ExperimentResult {
+  std::string app;
+  std::string governor;
+  SimTime duration;
+
+  // Energy over the run, through the DAQ pipeline (what the paper reports)
+  // and exactly from the power tape (ground truth the DAQ approximates).
+  double energy_joules = 0.0;
+  double exact_energy_joules = 0.0;
+  double average_watts = 0.0;
+
+  // Scheduling statistics.
+  double avg_utilization = 0.0;
+  std::uint64_t quanta = 0;
+  int clock_changes = 0;
+  int voltage_transitions = 0;
+  SimTime total_stall;
+  // Fraction of wall time spent at each clock step.
+  std::array<double, kNumClockSteps> step_residency{};
+
+  // CPU seconds consumed by each task, keyed "pid:name".
+  std::map<std::string, double> task_cpu_seconds;
+
+  // Deadline outcome.
+  std::int64_t deadline_events = 0;
+  std::int64_t deadline_misses = 0;
+  SimTime worst_lateness;
+  std::map<std::string, DeadlineMonitor::StreamStats> streams;
+
+  // Recorded series ("utilization", "freq_mhz") for plotting.
+  TraceSink sink;
+
+  bool MetAllDeadlines() const { return deadline_misses == 0; }
+};
+
+// Runs one experiment.  Asserts on an invalid governor spec (benches are
+// expected to pass known-good specs; use MakeGovernor directly to validate
+// user input).
+ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+}  // namespace dcs
+
+#endif  // SRC_EXP_EXPERIMENT_H_

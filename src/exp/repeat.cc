@@ -1,0 +1,31 @@
+#include "src/exp/repeat.h"
+
+#include <algorithm>
+
+namespace dcs {
+
+RepeatedResult RunRepeated(ExperimentConfig config, int repetitions) {
+  RepeatedResult result;
+  std::vector<double> energies;
+  energies.reserve(static_cast<std::size_t>(repetitions));
+  const std::uint64_t base_seed = config.seed;
+  for (int i = 0; i < repetitions; ++i) {
+    config.seed = base_seed + static_cast<std::uint64_t>(i);
+    ExperimentResult run = RunExperiment(config);
+    energies.push_back(run.energy_joules);
+    result.total_deadline_misses += run.deadline_misses;
+    result.total_deadline_events += run.deadline_events;
+    result.worst_lateness = std::max(result.worst_lateness, run.worst_lateness);
+    result.mean_utilization += run.avg_utilization;
+    result.mean_clock_changes += run.clock_changes;
+    result.runs.push_back(std::move(run));
+  }
+  if (repetitions > 0) {
+    result.mean_utilization /= repetitions;
+    result.mean_clock_changes /= repetitions;
+  }
+  result.energy = Summarize(energies);
+  return result;
+}
+
+}  // namespace dcs

@@ -1,0 +1,33 @@
+// Repeated-run harness: re-runs an experiment with varied seeds and reports
+// Student-t 95% confidence intervals, like the paper's Table 2 rows.
+
+#ifndef SRC_EXP_REPEAT_H_
+#define SRC_EXP_REPEAT_H_
+
+#include <vector>
+
+#include "src/daq/stats.h"
+#include "src/exp/experiment.h"
+
+namespace dcs {
+
+struct RepeatedResult {
+  std::vector<ExperimentResult> runs;
+  // Energy across runs (DAQ-measured).
+  Summary energy;
+  // Deadline misses summed across runs.
+  std::int64_t total_deadline_misses = 0;
+  std::int64_t total_deadline_events = 0;
+  SimTime worst_lateness;
+  double mean_utilization = 0.0;
+  double mean_clock_changes = 0.0;
+
+  bool MetAllDeadlines() const { return total_deadline_misses == 0; }
+};
+
+// Runs `config` `repetitions` times with seeds config.seed, config.seed+1, ...
+RepeatedResult RunRepeated(ExperimentConfig config, int repetitions);
+
+}  // namespace dcs
+
+#endif  // SRC_EXP_REPEAT_H_

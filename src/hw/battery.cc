@@ -1,0 +1,55 @@
+#include "src/hw/battery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace dcs {
+
+void Battery::Drain(double watts, SimTime dt) {
+  if (dt <= SimTime::Zero() || watts < 0.0) {
+    return;
+  }
+  const double hours = dt.ToSeconds() / 3600.0;
+  const double amps = watts / params_.supply_volts;
+  if (amps <= 0.0) {
+    // Pure rest: recovery only.
+    const double recovered = std::min(recoverable_, recoverable_ * params_.recovery_per_hour * hours);
+    recoverable_ -= recovered;
+    depth_ = std::max(0.0, depth_ - recovered);
+    return;
+  }
+  // Peukert drain: depth accrues at I^k / Cp per hour.
+  const double peukert_rate = std::pow(amps, params_.peukert_exponent) / params_.peukert_capacity;
+  // The "ideal" drain an effect-free battery would see at the same current,
+  // expressed against the capacity available at the reference current.
+  const double ideal_rate =
+      amps * std::pow(params_.reference_current_a, params_.peukert_exponent - 1.0) /
+      params_.peukert_capacity;
+  depth_ += peukert_rate * hours;
+  if (peukert_rate > ideal_rate) {
+    // High-rate segment: bank part of the excess loss as recoverable.
+    recoverable_ += params_.recoverable_fraction * (peukert_rate - ideal_rate) * hours;
+  } else {
+    // Low-rate segment: the chemistry recovers part of the banked loss.
+    const double recovered =
+        std::min(recoverable_, recoverable_ * params_.recovery_per_hour * hours);
+    recoverable_ -= recovered;
+    depth_ = std::max(0.0, depth_ - recovered);
+  }
+}
+
+double Battery::LifetimeHoursAtConstantPower(double watts) const {
+  if (watts <= 0.0) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const double amps = watts / params_.supply_volts;
+  return params_.peukert_capacity / std::pow(amps, params_.peukert_exponent);
+}
+
+void Battery::Reset() {
+  depth_ = 0.0;
+  recoverable_ = 0.0;
+}
+
+}  // namespace dcs

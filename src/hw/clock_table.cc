@@ -1,0 +1,58 @@
+#include "src/hw/clock_table.h"
+
+#include <cmath>
+
+namespace dcs {
+namespace {
+
+constexpr std::array<double, kNumClockSteps> BuildFrequencies() {
+  std::array<double, kNumClockSteps> f{};
+  for (int k = 0; k < kNumClockSteps; ++k) {
+    f[static_cast<std::size_t>(k)] = (16 + 4 * k) * kCrystalMhz;
+  }
+  return f;
+}
+
+constexpr std::array<double, kNumClockSteps> kFrequencies = BuildFrequencies();
+
+}  // namespace
+
+int ClockTable::Clamp(int step) {
+  if (step < 0) {
+    return 0;
+  }
+  if (step >= kNumClockSteps) {
+    return kNumClockSteps - 1;
+  }
+  return step;
+}
+
+double ClockTable::FrequencyMhz(int step) {
+  return kFrequencies[static_cast<std::size_t>(Clamp(step))];
+}
+
+int ClockTable::StepForAtLeastMhz(double mhz) {
+  for (int k = 0; k < kNumClockSteps; ++k) {
+    if (kFrequencies[static_cast<std::size_t>(k)] >= mhz) {
+      return k;
+    }
+  }
+  return kNumClockSteps - 1;
+}
+
+int ClockTable::NearestStep(double mhz) {
+  int best = 0;
+  double best_err = std::abs(kFrequencies[0] - mhz);
+  for (int k = 1; k < kNumClockSteps; ++k) {
+    const double err = std::abs(kFrequencies[static_cast<std::size_t>(k)] - mhz);
+    if (err < best_err) {
+      best_err = err;
+      best = k;
+    }
+  }
+  return best;
+}
+
+const std::array<double, kNumClockSteps>& ClockTable::Frequencies() { return kFrequencies; }
+
+}  // namespace dcs

@@ -1,0 +1,21 @@
+#include "src/hw/cpu.h"
+
+namespace dcs {
+
+Cpu::Cpu(int initial_step, SimTime switch_stall)
+    : step_(ClockTable::Clamp(initial_step)), switch_stall_(switch_stall) {}
+
+SimTime Cpu::BeginClockChange(int new_step, SimTime now) {
+  new_step = ClockTable::Clamp(new_step);
+  if (new_step == step_) {
+    return now;
+  }
+  step_ = new_step;
+  state_ = ExecState::kStalled;
+  stall_until_ = now + switch_stall_;
+  ++clock_changes_;
+  total_stall_ += switch_stall_;
+  return stall_until_;
+}
+
+}  // namespace dcs

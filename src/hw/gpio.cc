@@ -1,0 +1,27 @@
+#include "src/hw/gpio.h"
+
+#include <cassert>
+
+namespace dcs {
+
+bool Gpio::Level(int pin) const {
+  assert(pin >= 0 && pin < kNumGpioPins);
+  return levels_[static_cast<std::size_t>(pin)];
+}
+
+void Gpio::Write(int pin, bool level, SimTime at) {
+  assert(pin >= 0 && pin < kNumGpioPins);
+  if (levels_[static_cast<std::size_t>(pin)] == level) {
+    return;
+  }
+  levels_[static_cast<std::size_t>(pin)] = level;
+  for (const EdgeObserver& observer : observers_) {
+    observer(pin, at, level);
+  }
+}
+
+void Gpio::Toggle(int pin, SimTime at) { Write(pin, !Level(pin), at); }
+
+void Gpio::Observe(EdgeObserver observer) { observers_.push_back(std::move(observer)); }
+
+}  // namespace dcs

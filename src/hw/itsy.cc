@@ -1,0 +1,92 @@
+#include "src/hw/itsy.h"
+
+namespace dcs {
+
+Itsy::Itsy(Simulator& sim, const ItsyConfig& config)
+    : sim_(sim), power_model_(config.power),
+      cpu_(config.initial_step, config.clock_switch_stall) {
+  if (config.initial_voltage == CoreVoltage::kLow) {
+    regulator_.Request(CoreVoltage::kLow, sim_.Now());
+  }
+  if (config.battery) {
+    battery_.emplace(*config.battery);
+  }
+  last_battery_update_ = sim_.Now();
+  RefreshPower();
+}
+
+SimTime Itsy::SetClockStep(int new_step) {
+  new_step = ClockTable::Clamp(new_step);
+  if (new_step == cpu_.step()) {
+    return sim_.Now();
+  }
+  if (!VoltageRegulator::StepAllowedAt(regulator_.target(), new_step)) {
+    // Raise the rail first; upward transitions are instantaneous.
+    regulator_.Request(CoreVoltage::kHigh, sim_.Now());
+  }
+  const SimTime stall_end = cpu_.BeginClockChange(new_step, sim_.Now());
+  RefreshPower();
+  return stall_end;
+}
+
+bool Itsy::SetVoltage(CoreVoltage v) {
+  if (!VoltageRegulator::StepAllowedAt(v, cpu_.step())) {
+    return false;
+  }
+  if (v != regulator_.target()) {
+    regulator_.Request(v, sim_.Now());
+    RefreshPower();
+  }
+  return true;
+}
+
+void Itsy::SetExecState(ExecState state) {
+  if (state == cpu_.state()) {
+    return;
+  }
+  cpu_.SetState(state);
+  RefreshPower();
+}
+
+void Itsy::SetAudio(bool on) {
+  if (peripherals_.audio_on == on) {
+    return;
+  }
+  peripherals_.audio_on = on;
+  RefreshPower();
+}
+
+void Itsy::SetDisplay(bool on) {
+  if (peripherals_.display_on == on) {
+    return;
+  }
+  peripherals_.display_on = on;
+  RefreshPower();
+}
+
+double Itsy::CurrentSystemWatts() const {
+  return power_model_.SystemWatts(cpu_.state(), cpu_.step(),
+                                  VoltageVolts(regulator_.target()), peripherals_);
+}
+
+double Itsy::CurrentProcessorWatts() const {
+  return power_model_.ProcessorWatts(cpu_.state(), cpu_.step(),
+                                     VoltageVolts(regulator_.target()));
+}
+
+void Itsy::SyncBattery() {
+  const SimTime now = sim_.Now();
+  if (battery_) {
+    battery_->Drain(tape_.WattsAt(last_battery_update_), now - last_battery_update_);
+  }
+  last_battery_update_ = now;
+}
+
+void Itsy::RefreshPower() {
+  // Drain the battery over the segment that just ended, at that segment's
+  // power (the tape still holds the old value).
+  SyncBattery();
+  tape_.Set(sim_.Now(), CurrentSystemWatts());
+}
+
+}  // namespace dcs

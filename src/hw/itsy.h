@@ -1,0 +1,105 @@
+// The Itsy pocket computer: composition of the SA-1100 core, voltage
+// regulator, power model, power tape, GPIO bank and (optionally) a battery.
+//
+// The kernel and workloads mutate hardware state exclusively through this
+// class, which keeps the power tape consistent: every state change appends a
+// piecewise-constant power segment that the DAQ later samples.
+
+#ifndef SRC_HW_ITSY_H_
+#define SRC_HW_ITSY_H_
+
+#include <optional>
+
+#include "src/hw/battery.h"
+#include "src/hw/cpu.h"
+#include "src/hw/gpio.h"
+#include "src/hw/power_model.h"
+#include "src/hw/power_tape.h"
+#include "src/hw/voltage_regulator.h"
+#include "src/sim/simulator.h"
+
+namespace dcs {
+
+struct ItsyConfig {
+  PowerModelParams power;
+  int initial_step = ClockTable::MaxStep();
+  // PLL relock stall per clock change (ablation knob; measured: 200 us).
+  SimTime clock_switch_stall = kClockSwitchStall;
+  CoreVoltage initial_voltage = CoreVoltage::kHigh;
+  // When set, every power segment also drains this battery model.
+  std::optional<BatteryParams> battery;
+};
+
+class Itsy {
+ public:
+  Itsy(Simulator& sim, const ItsyConfig& config = {});
+  Itsy(const Itsy&) = delete;
+  Itsy& operator=(const Itsy&) = delete;
+
+  // --- Clock and voltage -------------------------------------------------
+  int step() const { return cpu_.step(); }
+  double frequency_mhz() const { return cpu_.frequency_mhz(); }
+  CoreVoltage voltage() const { return regulator_.target(); }
+
+  // Initiates a clock change; the CPU stalls until the returned time.  If
+  // `new_step` is unsafe at the current rail, the rail is raised first
+  // (instantaneous).  Asking for the current step is a no-op.
+  SimTime SetClockStep(int new_step);
+
+  // Requests a rail change.  Refused (returns false) when the current step is
+  // too fast for the requested rail.
+  bool SetVoltage(CoreVoltage v);
+
+  // --- Execution state (driven by the kernel) ----------------------------
+  ExecState exec_state() const { return cpu_.state(); }
+  void SetExecState(ExecState state);
+  bool Stalled() const { return cpu_.Stalled(sim_.Now()); }
+  SimTime stall_until() const { return cpu_.stall_until(); }
+
+  // --- Peripherals (driven by workloads) ----------------------------------
+  void SetAudio(bool on);
+  void SetDisplay(bool on);
+  const PeripheralState& peripherals() const { return peripherals_; }
+
+  // --- Power --------------------------------------------------------------
+  double CurrentSystemWatts() const;
+  double CurrentProcessorWatts() const;
+  const PowerTape& tape() const { return tape_; }
+  const PowerModel& power_model() const { return power_model_; }
+
+  // --- Components ---------------------------------------------------------
+  // Integrates battery drain up to the current time.  Drain is otherwise
+  // integrated lazily at each power-state change; call this before reading
+  // DepthOfDischarge() after a long constant-power stretch.
+  void SyncBattery();
+
+  Gpio& gpio() { return gpio_; }
+  const Cpu& cpu() const { return cpu_; }
+  const VoltageRegulator& regulator() const { return regulator_; }
+  Battery* battery() { return battery_ ? &*battery_ : nullptr; }
+  Simulator& sim() { return sim_; }
+
+  // Overhead accounting (section 5.4).
+  int clock_changes() const { return cpu_.clock_changes(); }
+  SimTime total_stall() const { return cpu_.total_stall(); }
+  int voltage_transitions() const { return regulator_.transitions(); }
+
+ private:
+  // Re-derives the instantaneous power and appends it to the tape; also
+  // integrates the battery over the segment that just ended.
+  void RefreshPower();
+
+  Simulator& sim_;
+  PowerModel power_model_;
+  Cpu cpu_;
+  VoltageRegulator regulator_;
+  PeripheralState peripherals_;
+  PowerTape tape_;
+  Gpio gpio_;
+  std::optional<Battery> battery_;
+  SimTime last_battery_update_;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_HW_ITSY_H_

@@ -1,0 +1,74 @@
+// EDO-DRAM timing model (paper Table 3) and the resulting non-linear
+// relationship between clock frequency and application throughput.
+//
+// The Itsy's EDO DRAM has a fixed access latency in wall-clock terms, so the
+// number of *CPU cycles* spent per memory access grows with clock frequency —
+// and not smoothly, because the memory controller synchronises to the bus
+// clock.  The paper measured (Table 3):
+//
+//   MHz    59.0 73.7 88.5 103.2 118.0 132.7 147.5 162.2 176.9 191.7 206.4
+//   word     11   11   11    11    13    14    14    15    18    19    20
+//   line     39   39   39    39    41    42    49    50    60    61    69
+//
+// The jump between 162.2 and 176.9 MHz (15->18 word cycles, 50->60 line
+// cycles) is what produces the utilization plateau in the paper's Figure 9:
+// raising the clock across that boundary barely raises effective throughput
+// for memory-bound code.
+//
+// Workloads are characterised by a MemoryProfile: how many uncached word
+// references and cache-line fills they issue per 1000 cycles of pure
+// computation.  The model converts "base cycles" of work into wall time at a
+// given clock step and back.
+
+#ifndef SRC_HW_MEMORY_MODEL_H_
+#define SRC_HW_MEMORY_MODEL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "src/hw/clock_table.h"
+#include "src/sim/time.h"
+
+namespace dcs {
+
+// Memory behaviour of a workload, normalised per 1000 cycles of computation.
+// A purely compute-bound loop has both rates at 0; the paper's large Java
+// applications "exhibit more significant memory behavior".
+struct MemoryProfile {
+  double word_refs_per_kilocycle = 0.0;
+  double line_fills_per_kilocycle = 0.0;
+
+  bool operator==(const MemoryProfile&) const = default;
+};
+
+class MemoryModel {
+ public:
+  // Measured cycles for an individual uncached word read at `step`
+  // (paper Table 3, first column).
+  static int WordAccessCycles(int step);
+
+  // Measured cycles for a full cache-line fill at `step` (Table 3, second
+  // column).
+  static int LineFillCycles(int step);
+
+  // Total CPU cycles consumed per base cycle of computation for `profile` at
+  // `step`; always >= 1.  This is the factor by which memory stalls inflate
+  // execution time.
+  static double MixFactor(int step, const MemoryProfile& profile);
+
+  // Effective throughput in base cycles per second at `step`: frequency
+  // divided by the mix factor.  Not monotone gains: between steps 7 and 8
+  // (162.2 -> 176.9 MHz) the gain nearly vanishes for memory-heavy profiles.
+  static double EffectiveBaseHz(int step, const MemoryProfile& profile);
+
+  // Wall time to execute `base_cycles` of work at `step`.
+  static SimTime WallTimeForWork(double base_cycles, int step, const MemoryProfile& profile);
+
+  // Base cycles completed in `wall` time at `step` (inverse of
+  // WallTimeForWork; non-negative).
+  static double WorkCompletedIn(SimTime wall, int step, const MemoryProfile& profile);
+};
+
+}  // namespace dcs
+
+#endif  // SRC_HW_MEMORY_MODEL_H_

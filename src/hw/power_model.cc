@@ -1,0 +1,32 @@
+#include "src/hw/power_model.h"
+
+namespace dcs {
+
+double PowerModel::ProcessorWatts(ExecState state, int step, double volts) const {
+  const double f_mhz = ClockTable::FrequencyMhz(step);
+  const double v2f = volts * volts * f_mhz;
+  switch (state) {
+    case ExecState::kBusy:
+      return (params_.core_dynamic_mw_per_v2mhz * v2f + params_.core_static_busy_mw) * 1e-3;
+    case ExecState::kNap:
+      return params_.nap_mw_per_v2mhz * v2f * 1e-3;
+    case ExecState::kStalled:
+      return params_.stall_mw * 1e-3;
+  }
+  return 0.0;
+}
+
+double PowerModel::SystemWatts(ExecState state, int step, double volts,
+                               const PeripheralState& peripherals) const {
+  double watts = ProcessorWatts(state, step, volts);
+  watts += (peripherals.display_on ? params_.peripherals_mw
+                                   : params_.peripherals_display_off_mw) *
+           1e-3;
+  watts += params_.peripherals_bus_mw_per_mhz * ClockTable::FrequencyMhz(step) * 1e-3;
+  if (peripherals.audio_on) {
+    watts += params_.audio_mw * 1e-3;
+  }
+  return watts;
+}
+
+}  // namespace dcs

@@ -1,0 +1,58 @@
+#include "src/hw/power_tape.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcs {
+
+void PowerTape::Set(SimTime now, double watts) {
+  assert((segments_.empty() || now >= segments_.back().start) &&
+         "PowerTape segments must be time-ordered");
+  if (!segments_.empty() && segments_.back().watts == watts) {
+    return;
+  }
+  if (!segments_.empty() && segments_.back().start == now) {
+    // Multiple state changes at the same instant collapse to the last one.
+    segments_.back().watts = watts;
+    // Collapsing can expose a merge with the (new) previous segment.
+    if (segments_.size() >= 2 && segments_[segments_.size() - 2].watts == watts) {
+      segments_.pop_back();
+    }
+    return;
+  }
+  segments_.push_back(Segment{now, watts});
+}
+
+double PowerTape::WattsAt(SimTime t) const {
+  if (segments_.empty() || t < segments_.front().start) {
+    return 0.0;
+  }
+  auto it = std::upper_bound(segments_.begin(), segments_.end(), t,
+                             [](SimTime x, const Segment& s) { return x < s.start; });
+  return std::prev(it)->watts;
+}
+
+double PowerTape::EnergyJoules(SimTime begin, SimTime end) const {
+  if (segments_.empty() || end <= begin) {
+    return 0.0;
+  }
+  double joules = 0.0;
+  for (std::size_t i = 0; i < segments_.size(); ++i) {
+    const SimTime seg_begin = std::max(segments_[i].start, begin);
+    const SimTime seg_end =
+        std::min(i + 1 < segments_.size() ? segments_[i + 1].start : end, end);
+    if (seg_end > seg_begin) {
+      joules += segments_[i].watts * (seg_end - seg_begin).ToSeconds();
+    }
+  }
+  return joules;
+}
+
+double PowerTape::AverageWatts(SimTime begin, SimTime end) const {
+  if (end <= begin) {
+    return 0.0;
+  }
+  return EnergyJoules(begin, end) / (end - begin).ToSeconds();
+}
+
+}  // namespace dcs

@@ -1,0 +1,47 @@
+// Piecewise-constant record of instantaneous system power.
+//
+// Every hardware state change (busy/nap/stall, clock step, voltage,
+// peripheral activity) appends a segment.  The tape is the ground truth the
+// DAQ samples from, and also supports exact energy integration so tests can
+// verify the sampled estimate against the analytic value.
+
+#ifndef SRC_HW_POWER_TAPE_H_
+#define SRC_HW_POWER_TAPE_H_
+
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace dcs {
+
+class PowerTape {
+ public:
+  struct Segment {
+    SimTime start;
+    double watts = 0.0;
+  };
+
+  // Declares that from `now` onward the system draws `watts`.  Consecutive
+  // equal-power segments are merged; `now` must be >= the last segment start.
+  void Set(SimTime now, double watts);
+
+  // Instantaneous power at `t` (0 before the first segment).
+  double WattsAt(SimTime t) const;
+
+  // Exact energy in joules over [begin, end), extending the last segment to
+  // `end`.
+  double EnergyJoules(SimTime begin, SimTime end) const;
+
+  // Mean power over [begin, end).
+  double AverageWatts(SimTime begin, SimTime end) const;
+
+  const std::vector<Segment>& segments() const { return segments_; }
+  bool empty() const { return segments_.empty(); }
+
+ private:
+  std::vector<Segment> segments_;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_HW_POWER_TAPE_H_

@@ -1,0 +1,51 @@
+#include "src/hw/voltage_regulator.h"
+
+#include <cmath>
+
+namespace dcs {
+
+double VoltageVolts(CoreVoltage v) { return v == CoreVoltage::kHigh ? 1.50 : 1.23; }
+
+bool VoltageRegulator::StepAllowedAt(CoreVoltage v, int step) {
+  return v == CoreVoltage::kHigh || step <= kMaxStepAtLowVoltage;
+}
+
+SimTime VoltageRegulator::Request(CoreVoltage v, SimTime now) {
+  if (v == target_) {
+    return settle_until_;
+  }
+  previous_ = target_;
+  target_ = v;
+  transition_start_ = now;
+  ++transitions_;
+  if (v == CoreVoltage::kHigh) {
+    // Raising the rail was measured as effectively instantaneous.
+    settle_until_ = now;
+  } else {
+    settle_until_ = now + kVoltageDownSettle;
+  }
+  return settle_until_;
+}
+
+double VoltageRegulator::VoltsAt(SimTime now) const {
+  if (now >= settle_until_) {
+    return VoltageVolts(target_);
+  }
+  // Mid-settle on a downward transition: exponential decay from the old rail
+  // with a small undershoot before converging, as the paper observed ("the
+  // voltage slowly reduces, drops below 1.23V and then rapidly settles").
+  const double from = VoltageVolts(previous_);
+  const double to = VoltageVolts(target_);
+  const double span = kVoltageDownSettle.ToSeconds();
+  const double t = (now - transition_start_).ToSeconds();
+  const double progress = t / span;  // in [0,1)
+  // Decay with time constant span/6, plus an undershoot lobe peaking at ~80%
+  // of the settle interval worth ~2% of the swing (the lobe dominates the
+  // residual decay there, so the rail dips below the target before settling).
+  const double decay = std::exp(-6.0 * progress);
+  const double undershoot =
+      0.02 * (from - to) * std::exp(-std::pow((progress - 0.8) / 0.12, 2.0));
+  return to + (from - to) * decay - undershoot;
+}
+
+}  // namespace dcs

@@ -1,0 +1,340 @@
+#include "src/kernel/kernel.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/sim/logger.h"
+
+namespace dcs {
+namespace {
+
+// A workload returning this many zero-duration actions at one instant is
+// broken (e.g. SpinUntil a past time in a loop); fail loudly.
+constexpr int kMaxInstantActions = 100000;
+
+// gettimeofday granularity: one period of the 3.6864 MHz timer.
+constexpr std::int64_t kTimerGranularityNs = 271;  // 1e9 / 3.6864e6 ~= 271.3
+
+}  // namespace
+
+Kernel::Kernel(Simulator& sim, Itsy& itsy, const KernelConfig& config)
+    : sim_(sim), itsy_(itsy), config_(config), sched_log_(config.sched_log_capacity),
+      rng_(config.rng_seed) {}
+
+Pid Kernel::AddTask(std::unique_ptr<Workload> workload) {
+  const Pid pid = next_pid_++;
+  auto task = std::make_unique<Task>(pid, std::move(workload), rng_.Fork());
+  run_queue_.Push(pid);
+  tasks_.emplace(pid, std::move(task));
+  if (started_ && current_ == nullptr && !dispatch_pending_) {
+    AccountSegment();
+    Dispatch();
+  }
+  return pid;
+}
+
+void Kernel::Start() {
+  assert(!started_ && "Kernel::Start() called twice");
+  started_ = true;
+  start_time_ = sim_.Now();
+  quantum_start_ = start_time_;
+  segment_start_ = start_time_;
+  sink_.Series("freq_mhz").Append(start_time_, itsy_.frequency_mhz());
+  sim_.After(config_.quantum, [this] { Tick(); });
+  Dispatch();
+}
+
+SimTime Kernel::GetTimeOfDay() const {
+  const std::int64_t ns = sim_.Now().nanos();
+  return SimTime::Nanos(ns - ns % kTimerGranularityNs);
+}
+
+SimTime Kernel::JiffyAlign(SimTime t) const {
+  if (t <= start_time_) {
+    return start_time_;
+  }
+  const std::int64_t q = config_.quantum.nanos();
+  const std::int64_t delta = (t - start_time_).nanos();
+  const std::int64_t k = (delta + q - 1) / q;
+  return start_time_ + SimTime::Nanos(k * q);
+}
+
+Task* Kernel::FindTask(Pid pid) {
+  const auto it = tasks_.find(pid);
+  return it == tasks_.end() ? nullptr : it->second.get();
+}
+
+std::vector<Kernel::PendingDeadline> Kernel::PendingDeadlines() const {
+  std::vector<PendingDeadline> pending;
+  for (const auto& [pid, task] : tasks_) {
+    if (task->state() == TaskState::kExited) {
+      continue;
+    }
+    const Action& action = task->action();
+    if (action.kind == Action::Kind::kCompute && action.has_deadline &&
+        task->remaining_cycles() > 0.0) {
+      pending.push_back(
+          PendingDeadline{pid, task->remaining_cycles(), action.deadline, task->profile()});
+    }
+  }
+  return pending;
+}
+
+std::size_t Kernel::LiveTasks() const {
+  std::size_t n = 0;
+  for (const auto& [pid, task] : tasks_) {
+    if (task->state() != TaskState::kExited) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void Kernel::AccountSegment() {
+  const SimTime now = sim_.Now();
+  if (now <= segment_start_) {
+    // Inside a prepaid overhead/stall gap (or zero time elapsed).
+    return;
+  }
+  const SimTime elapsed = now - segment_start_;
+  step_residency_[static_cast<std::size_t>(itsy_.step())] += elapsed;
+  if (current_ != nullptr) {
+    busy_in_quantum_ += elapsed;
+    total_busy_ += elapsed;
+    current_->AddCpuTime(elapsed);
+    if (current_->action().kind == Action::Kind::kCompute) {
+      current_->ConsumeCycles(
+          MemoryModel::WorkCompletedIn(elapsed, itsy_.step(), current_->profile()));
+    }
+  } else {
+    total_idle_ += elapsed;
+  }
+  segment_start_ = now;
+}
+
+void Kernel::Tick() {
+  const SimTime now = sim_.Now();
+  AccountSegment();
+  CancelCompletion();
+
+  // Utilization of the quantum that just ended.
+  const double quantum_seconds = config_.quantum.ToSeconds();
+  double utilization = busy_in_quantum_.ToSeconds() / quantum_seconds;
+  utilization = std::clamp(utilization, 0.0, 1.0);
+  last_utilization_ = utilization;
+  sink_.Series("utilization").Append(quantum_start_, utilization);
+
+  UtilizationSample sample;
+  sample.quantum_start = quantum_start_;
+  sample.quantum_end = now;
+  sample.utilization = utilization;
+  sample.step = itsy_.step();
+  sample.voltage = itsy_.voltage();
+  sample.quantum_index = quantum_index_;
+
+  busy_in_quantum_ = SimTime::Zero();
+  quantum_start_ = now;
+  ++quantum_index_;
+  sim_.After(config_.quantum, [this] { Tick(); });
+
+  // Policy runs in the clock interrupt; the forced reschedule costs
+  // tick_overhead of busy time before anything can execute.
+  SimTime dispatch_at = now + config_.tick_overhead;
+  if (policy_ != nullptr) {
+    const std::optional<SpeedRequest> request = policy_->OnQuantum(sample);
+    if (request.has_value() && !request->Empty()) {
+      dispatch_at = ApplyRequest(*request, dispatch_at);
+    }
+  }
+
+  // Prepay the overhead (and any relock stall) as busy time: the CPU is not
+  // in the idle loop, which is exactly how the paper's accounting saw it.
+  const SimTime gap = dispatch_at - now;
+  busy_in_quantum_ += gap;
+  total_busy_ += gap;
+  step_residency_[static_cast<std::size_t>(itsy_.step())] += gap;
+  segment_start_ = dispatch_at;
+
+  // Round-robin: the preempted task goes to the back of the queue.
+  if (current_ != nullptr) {
+    run_queue_.Push(current_->pid());
+    current_ = nullptr;
+  }
+
+  // A clock-change stall can outlast the quantum, in which case the previous
+  // tick's dispatch is still pending; replace it rather than double-dispatch.
+  if (dispatch_event_ != kInvalidEventId) {
+    sim_.Cancel(dispatch_event_);
+  }
+  dispatch_pending_ = true;
+  dispatch_event_ = sim_.At(dispatch_at, [this] {
+    dispatch_pending_ = false;
+    dispatch_event_ = kInvalidEventId;
+    Dispatch();
+  });
+}
+
+SimTime Kernel::ApplyRequest(const SpeedRequest& request, SimTime earliest_dispatch) {
+  // Raising the rail first is always safe (instantaneous); dropping it is
+  // refused by the hardware layer when the (new) step is too fast.
+  if (request.voltage.has_value() && *request.voltage == CoreVoltage::kHigh) {
+    itsy_.SetVoltage(CoreVoltage::kHigh);
+  }
+  if (request.step.has_value()) {
+    const int old_step = itsy_.step();
+    const SimTime stall_end = itsy_.SetClockStep(*request.step);
+    if (itsy_.step() != old_step) {
+      sink_.Series("freq_mhz").Append(sim_.Now(), itsy_.frequency_mhz());
+      earliest_dispatch = std::max(earliest_dispatch, stall_end);
+    }
+  }
+  if (request.voltage.has_value() && *request.voltage == CoreVoltage::kLow) {
+    itsy_.SetVoltage(CoreVoltage::kLow);
+  }
+  return earliest_dispatch;
+}
+
+void Kernel::Dispatch() {
+  const SimTime now = sim_.Now();
+  assert(current_ == nullptr && "Dispatch() with a task still current");
+  if (run_queue_.Empty()) {
+    itsy_.SetExecState(ExecState::kNap);
+    sched_log_.Record(now, kIdlePid, itsy_.step());
+    return;
+  }
+  const Pid pid = run_queue_.Pop();
+  Task* task = FindTask(pid);
+  assert(task != nullptr && task->state() == TaskState::kRunnable);
+  current_ = task;
+  current_->CountDispatch();
+  itsy_.SetExecState(ExecState::kBusy);
+  sched_log_.Record(now, pid, itsy_.step());
+  segment_start_ = now;
+  if (current_->action().kind == Action::Kind::kCompute &&
+      current_->remaining_cycles() > 0.0) {
+    ArmCompletion();
+  } else if (current_->action().kind == Action::Kind::kSpinUntil &&
+             current_->action().until > now) {
+    ArmCompletion();
+  } else {
+    // Fresh task or an action that already ran out: ask the workload.
+    ProcessNextActions();
+  }
+}
+
+void Kernel::ArmCompletion() {
+  assert(current_ != nullptr);
+  SimTime at;
+  switch (current_->action().kind) {
+    case Action::Kind::kCompute:
+      at = sim_.Now() + MemoryModel::WallTimeForWork(current_->remaining_cycles(),
+                                                     itsy_.step(), current_->profile());
+      break;
+    case Action::Kind::kSpinUntil:
+      at = std::max(sim_.Now(), current_->action().until);
+      break;
+    default:
+      assert(false && "ArmCompletion on a non-running action");
+      return;
+  }
+  completion_event_ = sim_.At(at, [this] { OnCompletion(); });
+}
+
+void Kernel::CancelCompletion() {
+  if (completion_event_ != kInvalidEventId) {
+    sim_.Cancel(completion_event_);
+    completion_event_ = kInvalidEventId;
+  }
+}
+
+void Kernel::OnCompletion() {
+  completion_event_ = kInvalidEventId;
+  AccountSegment();
+  ProcessNextActions();
+}
+
+void Kernel::ProcessNextActions() {
+  assert(current_ != nullptr);
+  const SimTime now = sim_.Now();
+  for (int spins = 0; spins < kMaxInstantActions; ++spins) {
+    WorkloadContext ctx{now, &current_->rng(), this};
+    const Action action = current_->workload().Next(ctx);
+    current_->set_action(action);
+    switch (action.kind) {
+      case Action::Kind::kCompute:
+        if (action.base_cycles <= 0.0) {
+          continue;
+        }
+        ArmCompletion();
+        return;
+      case Action::Kind::kSpinUntil:
+        if (action.until <= now) {
+          continue;
+        }
+        ArmCompletion();
+        return;
+      case Action::Kind::kSleepUntil: {
+        const SimTime wake = action.jiffy_rounded ? JiffyAlign(action.until) : action.until;
+        if (wake <= now) {
+          continue;
+        }
+        Task* task = current_;
+        task->set_state(TaskState::kSleeping);
+        const Pid pid = task->pid();
+        task->set_wake_event(sim_.At(wake, [this, pid] { WakeTask(pid); }));
+        current_ = nullptr;
+        Dispatch();
+        return;
+      }
+      case Action::Kind::kYield: {
+        if (run_queue_.Empty()) {
+          // Nothing else to run: yield returns immediately.
+          continue;
+        }
+        Task* task = current_;
+        current_ = nullptr;
+        run_queue_.Push(task->pid());
+        // The yield syscall and context switch cost real (busy) time; the
+        // next task dispatches after it.  Charging it here also guarantees
+        // simulated time advances even if every task yields in a loop.
+        const SimTime resume = now + config_.yield_cost;
+        busy_in_quantum_ += config_.yield_cost;
+        total_busy_ += config_.yield_cost;
+        step_residency_[static_cast<std::size_t>(itsy_.step())] += config_.yield_cost;
+        segment_start_ = resume;
+        if (dispatch_event_ != kInvalidEventId) {
+          sim_.Cancel(dispatch_event_);
+        }
+        dispatch_pending_ = true;
+        dispatch_event_ = sim_.At(resume, [this] {
+          dispatch_pending_ = false;
+          dispatch_event_ = kInvalidEventId;
+          Dispatch();
+        });
+        return;
+      }
+      case Action::Kind::kExit: {
+        current_->set_state(TaskState::kExited);
+        current_ = nullptr;
+        Dispatch();
+        return;
+      }
+    }
+  }
+  assert(false && "workload produced too many instantaneous actions");
+}
+
+void Kernel::WakeTask(Pid pid) {
+  Task* task = FindTask(pid);
+  assert(task != nullptr && task->state() == TaskState::kSleeping);
+  task->set_state(TaskState::kRunnable);
+  task->set_wake_event(kInvalidEventId);
+  run_queue_.Push(pid);
+  if (current_ == nullptr && !dispatch_pending_) {
+    // CPU was idle: dispatch immediately (idle wake-up path).
+    AccountSegment();
+    Dispatch();
+  }
+}
+
+}  // namespace dcs

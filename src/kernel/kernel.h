@@ -1,0 +1,171 @@
+// The simulated Linux 2.0.30 kernel used on the Itsy.
+//
+// Reproduces the machinery the paper added for its study:
+//   * a round-robin scheduler with 10 ms quanta where "we set the counter to
+//     one each time we schedule a process, forcing the scheduler to be
+//     called every 10ms" (measured overhead ~6 us per tick, 0.06%);
+//   * per-quantum CPU-utilization accounting — the idle task has pid 0 and
+//     naps; any non-idle execution (including application spin loops and
+//     kernel overhead) counts as busy;
+//   * an installable clock-scaling policy module invoked from the clock
+//     interrupt with the utilization of the quantum that just ended;
+//   * a bounded scheduler activity log (pid, microsecond timestamp, clock
+//     rate).
+//
+// Execution model: tasks are Workload state machines.  Compute actions are
+// charged lazily — whenever a segment of uninterrupted execution ends (tick
+// preemption, completion, wake-up) the elapsed wall time is converted back
+// into base cycles at the frequency that was in effect.  Clock changes only
+// happen at quantum boundaries (the policy runs in the clock interrupt), so
+// a segment always has a single frequency.
+
+#ifndef SRC_KERNEL_KERNEL_H_
+#define SRC_KERNEL_KERNEL_H_
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "src/hw/itsy.h"
+#include "src/kernel/policy.h"
+#include "src/kernel/run_queue.h"
+#include "src/kernel/sched_log.h"
+#include "src/kernel/task.h"
+#include "src/kernel/workload_api.h"
+#include "src/sim/trace_sink.h"
+
+namespace dcs {
+
+struct KernelConfig {
+  // Scheduling quantum; Linux 2.0.30's default 10 ms (100 Hz).
+  SimTime quantum = SimTime::Millis(10);
+  // Measured cost of the forced per-tick reschedule.
+  SimTime tick_overhead = SimTime::Micros(6);
+  // Cost of an explicit yield (sched_yield syscall + context switch).  Must
+  // be positive: it is also what prevents two mutually-yielding tasks from
+  // livelocking the simulation at a single instant.
+  SimTime yield_cost = SimTime::Micros(2);
+  // Ring-buffer capacity of the scheduler log.
+  std::size_t sched_log_capacity = std::size_t{1} << 18;
+  // Seed for per-task RNG streams.
+  std::uint64_t rng_seed = 1;
+};
+
+class Kernel {
+ public:
+  Kernel(Simulator& sim, Itsy& itsy, const KernelConfig& config = {});
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- Setup ----------------------------------------------------------------
+  // Adds a task; tasks added before Start() begin at time zero.  Returns the
+  // pid (1, 2, ...).
+  Pid AddTask(std::unique_ptr<Workload> workload);
+
+  // Installs / removes the clock-scaling policy module (non-owning).
+  void InstallPolicy(ClockPolicy* policy) {
+    policy_ = policy;
+    if (policy_ != nullptr) {
+      policy_->OnInstall(*this);
+    }
+  }
+  void RemovePolicy() { policy_ = nullptr; }
+  ClockPolicy* policy() const { return policy_; }
+
+  // Schedules the first clock interrupt and dispatches.  Call once.
+  void Start();
+
+  // --- Introspection ----------------------------------------------------------
+  SimTime Now() const { return sim_.Now(); }
+  SimTime quantum() const { return config_.quantum; }
+  Simulator& sim() { return sim_; }
+  Itsy& itsy() { return itsy_; }
+
+  // gettimeofday with the 3.6864 MHz timer granularity the paper used.
+  SimTime GetTimeOfDay() const;
+
+  // Next tick boundary at or after `t` (jiffy rounding for sleeps).
+  SimTime JiffyAlign(SimTime t) const;
+
+  Task* FindTask(Pid pid);
+  std::size_t LiveTasks() const;
+
+  // --- Deadline registry (section 6 future work) -----------------------------
+  // Announced-but-unfinished compute work: every live task whose current
+  // compute action carries a deadline and still has cycles remaining.
+  struct PendingDeadline {
+    Pid pid = 0;
+    double remaining_cycles = 0.0;
+    SimTime deadline;
+    MemoryProfile profile;
+  };
+  std::vector<PendingDeadline> PendingDeadlines() const;
+
+  const SchedLog& sched_log() const { return sched_log_; }
+  SchedLog& sched_log() { return sched_log_; }
+
+  // Recorded series: "utilization" (one point per quantum, at quantum start)
+  // and "freq_mhz" (one point per clock change).
+  TraceSink& sink() { return sink_; }
+
+  // --- Aggregate statistics ---------------------------------------------------
+  std::uint64_t quanta_elapsed() const { return quantum_index_; }
+  double last_utilization() const { return last_utilization_; }
+  SimTime total_busy() const { return total_busy_; }
+  SimTime total_idle() const { return total_idle_; }
+  // Wall time spent at each clock step.
+  const std::array<SimTime, kNumClockSteps>& step_residency() const {
+    return step_residency_;
+  }
+
+ private:
+  // Clock interrupt: account the ended quantum, run the policy, round-robin.
+  void Tick();
+  // Charges busy/idle time and compute progress since segment_start_.
+  void AccountSegment();
+  // Applies a policy request; returns when the CPU may execute again.
+  SimTime ApplyRequest(const SpeedRequest& request, SimTime earliest_dispatch);
+  // Picks the next task (or idles) and arms its completion event.
+  void Dispatch();
+  void ArmCompletion();
+  void CancelCompletion();
+  // The current task finished its action: pull next actions from the
+  // workload until it blocks, yields, exits, or starts real work.
+  void OnCompletion();
+  void ProcessNextActions();
+  void WakeTask(Pid pid);
+
+  Simulator& sim_;
+  Itsy& itsy_;
+  KernelConfig config_;
+
+  std::map<Pid, std::unique_ptr<Task>> tasks_;
+  Pid next_pid_ = 1;
+  RunQueue run_queue_;
+  Task* current_ = nullptr;
+
+  ClockPolicy* policy_ = nullptr;
+  SchedLog sched_log_;
+  TraceSink sink_;
+  Rng rng_;
+
+  bool started_ = false;
+  SimTime start_time_;
+  SimTime segment_start_;
+  EventId completion_event_ = kInvalidEventId;
+  EventId dispatch_event_ = kInvalidEventId;
+  bool dispatch_pending_ = false;
+
+  SimTime quantum_start_;
+  SimTime busy_in_quantum_;
+  std::uint64_t quantum_index_ = 0;
+  double last_utilization_ = 0.0;
+  SimTime total_busy_;
+  SimTime total_idle_;
+  std::array<SimTime, kNumClockSteps> step_residency_{};
+};
+
+}  // namespace dcs
+
+#endif  // SRC_KERNEL_KERNEL_H_

@@ -1,0 +1,33 @@
+#include "src/kernel/run_queue.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace dcs {
+
+void RunQueue::Push(Pid pid) {
+  assert(!Contains(pid) && "pid already on run queue");
+  queue_.push_back(pid);
+}
+
+Pid RunQueue::Pop() {
+  assert(!queue_.empty());
+  const Pid pid = queue_.front();
+  queue_.pop_front();
+  return pid;
+}
+
+bool RunQueue::Remove(Pid pid) {
+  const auto it = std::find(queue_.begin(), queue_.end(), pid);
+  if (it == queue_.end()) {
+    return false;
+  }
+  queue_.erase(it);
+  return true;
+}
+
+bool RunQueue::Contains(Pid pid) const {
+  return std::find(queue_.begin(), queue_.end(), pid) != queue_.end();
+}
+
+}  // namespace dcs

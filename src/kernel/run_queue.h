@@ -1,0 +1,36 @@
+// Round-robin run queue, matching Linux 2.0.30's behaviour for same-priority
+// tasks under the paper's forced-reschedule-every-tick modification.
+
+#ifndef SRC_KERNEL_RUN_QUEUE_H_
+#define SRC_KERNEL_RUN_QUEUE_H_
+
+#include <deque>
+
+#include "src/kernel/task.h"
+
+namespace dcs {
+
+class RunQueue {
+ public:
+  bool Empty() const { return queue_.empty(); }
+  std::size_t Size() const { return queue_.size(); }
+
+  // Appends a runnable pid.  A pid must not be enqueued twice.
+  void Push(Pid pid);
+
+  // Removes and returns the pid at the front.  Requires !Empty().
+  Pid Pop();
+
+  // Removes a pid anywhere in the queue (used when a queued task exits).
+  // Returns true if it was present.
+  bool Remove(Pid pid);
+
+  bool Contains(Pid pid) const;
+
+ private:
+  std::deque<Pid> queue_;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_KERNEL_RUN_QUEUE_H_

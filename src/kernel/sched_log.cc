@@ -1,0 +1,37 @@
+#include "src/kernel/sched_log.h"
+
+namespace dcs {
+
+SchedLog::SchedLog(std::size_t capacity) : buffer_(capacity) {}
+
+void SchedLog::Record(SimTime at, Pid pid, int clock_step) {
+  if (!enabled_ || buffer_.empty()) {
+    return;
+  }
+  buffer_[next_] = SchedLogEntry{at.micros(), pid, clock_step};
+  next_ = (next_ + 1) % buffer_.size();
+  ++total_;
+}
+
+std::vector<SchedLogEntry> SchedLog::Snapshot() const {
+  std::vector<SchedLogEntry> out;
+  if (total_ == 0) {
+    return out;
+  }
+  if (total_ <= buffer_.size()) {
+    out.assign(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(total_));
+    return out;
+  }
+  out.reserve(buffer_.size());
+  for (std::size_t i = 0; i < buffer_.size(); ++i) {
+    out.push_back(buffer_[(next_ + i) % buffer_.size()]);
+  }
+  return out;
+}
+
+void SchedLog::Clear() {
+  next_ = 0;
+  total_ = 0;
+}
+
+}  // namespace dcs

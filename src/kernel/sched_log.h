@@ -1,0 +1,56 @@
+// Bounded in-kernel scheduler activity log.
+//
+// The paper: "For each scheduling decision, we record the process identifier
+// of the process being scheduled, the time at which it was scheduled (with
+// microsecond resolution) and the current clock rate.  Due to kernel memory
+// limitations, we could only capture a subset of the process behavior."
+// We reproduce both the record format and the bounded-memory behaviour (a
+// ring buffer that overwrites the oldest entries).
+
+#ifndef SRC_KERNEL_SCHED_LOG_H_
+#define SRC_KERNEL_SCHED_LOG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/kernel/task.h"
+#include "src/sim/time.h"
+
+namespace dcs {
+
+struct SchedLogEntry {
+  std::int64_t time_us = 0;  // microsecond resolution, like the paper
+  Pid pid = 0;
+  int clock_step = 0;
+};
+
+class SchedLog {
+ public:
+  // `capacity` bounds kernel memory; older entries are overwritten.
+  explicit SchedLog(std::size_t capacity = 1 << 18);
+
+  void set_enabled(bool on) { enabled_ = on; }
+  bool enabled() const { return enabled_; }
+
+  void Record(SimTime at, Pid pid, int clock_step);
+
+  // Entries in chronological order (oldest surviving entry first).
+  std::vector<SchedLogEntry> Snapshot() const;
+
+  // Total records attempted, including ones that were overwritten.
+  std::uint64_t total_recorded() const { return total_; }
+  std::size_t capacity() const { return buffer_.size(); }
+  bool Wrapped() const { return total_ > buffer_.size(); }
+
+  void Clear();
+
+ private:
+  std::vector<SchedLogEntry> buffer_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+  bool enabled_ = true;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_KERNEL_SCHED_LOG_H_

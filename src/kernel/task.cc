@@ -1,0 +1,12 @@
+#include "src/kernel/task.h"
+
+#include <utility>
+
+namespace dcs {
+
+Task::Task(Pid pid, std::unique_ptr<Workload> workload, Rng rng)
+    : pid_(pid), workload_(std::move(workload)), rng_(rng) {
+  profile_ = workload_->Profile();
+}
+
+}  // namespace dcs

@@ -1,0 +1,110 @@
+// The interface between the kernel and application workloads.
+//
+// A workload is a state machine that the kernel drives: whenever the task's
+// previous action completes, the kernel asks the workload for the next one.
+// Actions model what real Itsy applications do — compute for some number of
+// cycles, sleep until a wall-clock time (with Linux 2.0.30 jiffy rounding),
+// busy-wait in a spin loop (the MPEG player's sub-12 ms wait), yield, or
+// exit.  Compute demand is expressed in *base cycles* plus a MemoryProfile;
+// the memory model converts that to wall time at the current clock step, so
+// the same workload automatically slows down non-linearly as the governor
+// scales the clock (paper Figure 9).
+
+#ifndef SRC_KERNEL_WORKLOAD_API_H_
+#define SRC_KERNEL_WORKLOAD_API_H_
+
+#include <cstdint>
+
+#include "src/hw/memory_model.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace dcs {
+
+class Kernel;
+
+// What a task does next.  Produced by Workload::Next().
+struct Action {
+  enum class Kind {
+    kCompute,     // execute `base_cycles` of work (memory-profile scaled)
+    kSleepUntil,  // block until `until` (jiffy-rounded unless disabled)
+    kSpinUntil,   // busy-wait until `until` (counts as CPU-busy, burns power)
+    kYield,       // go to the back of the run queue
+    kExit,        // terminate the task
+  };
+
+  Kind kind = Kind::kExit;
+  double base_cycles = 0.0;
+  SimTime until;
+  // Real usleep() on Linux 2.0.30 cannot wake between 100 Hz ticks; when
+  // true the wake-up is rounded up to the next tick boundary.
+  bool jiffy_rounded = true;
+  // Optional deadline *announcement* for a compute action (the paper's
+  // section 6 future work: "provide 'deadline' mechanisms in Linux").  An
+  // announcement is advisory — oblivious policies ignore it; the
+  // DeadlineGovernor uses it to stretch the work to finish "as late as
+  // possible".
+  bool has_deadline = false;
+  SimTime deadline;
+
+  static Action Compute(double cycles) {
+    Action a;
+    a.kind = Kind::kCompute;
+    a.base_cycles = cycles;
+    return a;
+  }
+  // Compute with an announced completion deadline.
+  static Action ComputeBy(double cycles, SimTime deadline) {
+    Action a = Compute(cycles);
+    a.has_deadline = true;
+    a.deadline = deadline;
+    return a;
+  }
+  static Action SleepUntil(SimTime t, bool jiffy = true) {
+    Action a;
+    a.kind = Kind::kSleepUntil;
+    a.until = t;
+    a.jiffy_rounded = jiffy;
+    return a;
+  }
+  static Action SpinUntil(SimTime t) {
+    Action a;
+    a.kind = Kind::kSpinUntil;
+    a.until = t;
+    return a;
+  }
+  static Action Yield() {
+    Action a;
+    a.kind = Kind::kYield;
+    return a;
+  }
+  static Action Exit() { return Action{}; }
+};
+
+// Context handed to Workload::Next(); `now` is the completion time of the
+// previous action.
+struct WorkloadContext {
+  SimTime now;
+  Rng* rng = nullptr;
+  Kernel* kernel = nullptr;
+};
+
+// A generative application model.  Implementations live in src/workload.
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  // Task name for the scheduler log (e.g. "mpeg_video").
+  virtual const char* Name() const = 0;
+
+  // Returns the next action.  Called once at task start and then each time
+  // the previous action completes.
+  virtual Action Next(const WorkloadContext& ctx) = 0;
+
+  // Memory behaviour of this task's compute phases.
+  virtual MemoryProfile Profile() const { return {}; }
+};
+
+}  // namespace dcs
+
+#endif  // SRC_KERNEL_WORKLOAD_API_H_

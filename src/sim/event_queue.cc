@@ -1,0 +1,56 @@
+#include "src/sim/event_queue.h"
+
+#include <cassert>
+#include <utility>
+
+namespace dcs {
+
+EventId EventQueue::Push(SimTime at, std::function<void()> fn) {
+  const EventId id = next_id_++;
+  heap_.push(HeapEntry{at, next_seq_++, id});
+  callbacks_.emplace(id, std::move(fn));
+  ++live_count_;
+  return id;
+}
+
+bool EventQueue::Cancel(EventId id) {
+  const auto it = callbacks_.find(id);
+  if (it == callbacks_.end()) {
+    return false;
+  }
+  callbacks_.erase(it);
+  --live_count_;
+  return true;
+}
+
+void EventQueue::SkipDead() {
+  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
+    heap_.pop();
+  }
+}
+
+SimTime EventQueue::NextTime() {
+  SkipDead();
+  assert(!heap_.empty() && "NextTime() on empty queue");
+  return heap_.top().at;
+}
+
+EventQueue::Entry EventQueue::Pop() {
+  SkipDead();
+  assert(!heap_.empty() && "Pop() on empty queue");
+  const HeapEntry top = heap_.top();
+  heap_.pop();
+  auto it = callbacks_.find(top.id);
+  Entry entry{top.at, top.id, std::move(it->second)};
+  callbacks_.erase(it);
+  --live_count_;
+  return entry;
+}
+
+void EventQueue::Clear() {
+  heap_ = {};
+  callbacks_.clear();
+  live_count_ = 0;
+}
+
+}  // namespace dcs

@@ -1,0 +1,90 @@
+// Cancellable priority queue of timed events for the discrete-event engine.
+
+#ifndef SRC_SIM_EVENT_QUEUE_H_
+#define SRC_SIM_EVENT_QUEUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace dcs {
+
+// Identifies a scheduled event; returned by Push() and accepted by Cancel().
+// Ids are unique for the lifetime of the queue and never reused.
+using EventId = std::uint64_t;
+
+inline constexpr EventId kInvalidEventId = 0;
+
+// A min-heap of (time, callback) entries with stable FIFO ordering for
+// simultaneous events and O(1) amortised cancellation (lazy deletion: a
+// cancelled entry stays in the heap and is skipped when popped).
+class EventQueue {
+ public:
+  EventQueue() = default;
+
+  // Non-copyable: callbacks frequently capture raw pointers to simulator
+  // state, so an accidental copy would double-fire events.
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  // Schedules `fn` at absolute time `at`.  Events that tie on time fire in
+  // insertion order.
+  EventId Push(SimTime at, std::function<void()> fn);
+
+  // Cancels a previously scheduled event.  Returns true if the event was
+  // still pending (i.e. had not fired and had not already been cancelled).
+  bool Cancel(EventId id);
+
+  // True if no live events remain.
+  bool Empty() const { return live_count_ == 0; }
+
+  // Number of live (non-cancelled, not-yet-fired) events.
+  std::size_t Size() const { return live_count_; }
+
+  // Time of the earliest live event.  Requires !Empty().
+  SimTime NextTime();
+
+  // Removes and returns the earliest live event.  Requires !Empty().
+  struct Entry {
+    SimTime at;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Entry Pop();
+
+  // Removes everything (the queue can be reused afterwards).
+  void Clear();
+
+ private:
+  struct HeapEntry {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      if (a.at != b.at) {
+        return a.at > b.at;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Drops cancelled entries from the top of the heap.
+  void SkipDead();
+
+  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
+  // Callbacks are kept out of the heap so heap moves stay cheap.
+  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_SIM_EVENT_QUEUE_H_

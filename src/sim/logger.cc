@@ -1,0 +1,39 @@
+#include "src/sim/logger.h"
+
+#include <cstdio>
+
+namespace dcs {
+
+LogLevel Logger::level_ = LogLevel::kNone;
+
+void Logger::SetLevel(LogLevel level) { level_ = level; }
+
+LogLevel Logger::Level() { return level_; }
+
+void Logger::Log(LogLevel level, const char* fmt, ...) {
+  if (static_cast<int>(level) > static_cast<int>(level_)) {
+    return;
+  }
+  const char* tag = "?";
+  switch (level) {
+    case LogLevel::kError:
+      tag = "E";
+      break;
+    case LogLevel::kInfo:
+      tag = "I";
+      break;
+    case LogLevel::kDebug:
+      tag = "D";
+      break;
+    case LogLevel::kNone:
+      return;
+  }
+  std::fprintf(stderr, "[%s] ", tag);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace dcs

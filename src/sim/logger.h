@@ -1,0 +1,43 @@
+// Minimal leveled logger for simulator diagnostics.
+//
+// Logging is off by default so tests and benches stay quiet; examples enable
+// it with Logger::SetLevel().  printf-style formatting keeps call sites
+// cheap when the level is filtered out.
+
+#ifndef SRC_SIM_LOGGER_H_
+#define SRC_SIM_LOGGER_H_
+
+#include <cstdarg>
+
+namespace dcs {
+
+enum class LogLevel {
+  kNone = 0,
+  kError = 1,
+  kInfo = 2,
+  kDebug = 3,
+};
+
+class Logger {
+ public:
+  // Sets the global verbosity; messages above this level are dropped.
+  static void SetLevel(LogLevel level);
+  static LogLevel Level();
+
+  // printf-style logging to stderr, prefixed with the level tag.
+  static void Log(LogLevel level, const char* fmt, ...)
+      __attribute__((format(printf, 2, 3)));
+
+ private:
+  static LogLevel level_;
+};
+
+// Convenience macros; arguments are not evaluated when filtered by the
+// compiler's short-circuit in Log itself (cheap enough for this project).
+#define DCS_LOG_ERROR(...) ::dcs::Logger::Log(::dcs::LogLevel::kError, __VA_ARGS__)
+#define DCS_LOG_INFO(...) ::dcs::Logger::Log(::dcs::LogLevel::kInfo, __VA_ARGS__)
+#define DCS_LOG_DEBUG(...) ::dcs::Logger::Log(::dcs::LogLevel::kDebug, __VA_ARGS__)
+
+}  // namespace dcs
+
+#endif  // SRC_SIM_LOGGER_H_

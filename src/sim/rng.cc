@@ -1,0 +1,115 @@
+#include "src/sim/rng.h"
+
+#include <cmath>
+
+namespace dcs {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t x = seed;
+  for (auto& word : s_) {
+    word = SplitMix64(x);
+  }
+}
+
+std::uint64_t Rng::Next() {
+  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> uniform on [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (range == 0) {
+    // Full 64-bit range requested.
+    return static_cast<std::int64_t>(Next());
+  }
+  // Rejection sampling to remove modulo bias.
+  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+  std::uint64_t draw;
+  do {
+    draw = Next();
+  } while (draw >= limit);
+  return lo + static_cast<std::int64_t>(draw % range);
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  // Box-Muller; u1 is kept away from 0 so log() stays finite.
+  double u1 = NextDouble();
+  const double u2 = NextDouble();
+  if (u1 < 1e-300) {
+    u1 = 1e-300;
+  }
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+}
+
+double Rng::Exponential(double mean) {
+  double u = NextDouble();
+  if (u < 1e-300) {
+    u = 1e-300;
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::TruncatedGaussian(double mean, double stddev, double lo, double hi) {
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    const double draw = Gaussian(mean, stddev);
+    if (draw >= lo && draw <= hi) {
+      return draw;
+    }
+  }
+  const double draw = Gaussian(mean, stddev);
+  if (draw < lo) {
+    return lo;
+  }
+  if (draw > hi) {
+    return hi;
+  }
+  return draw;
+}
+
+Rng Rng::Fork() {
+  // Derive a child seed from two draws; advancing this stream by two ensures
+  // successive forks are decorrelated.
+  const std::uint64_t a = Next();
+  const std::uint64_t b = Next();
+  return Rng(a ^ Rotl(b, 32) ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace dcs

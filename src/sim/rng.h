@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// We implement our own generator (xoshiro256++) and distributions rather than
+// using <random> because the standard distributions are
+// implementation-defined: identical seeds must reproduce identical workload
+// traces on every toolchain, or the repeated-run confidence intervals in
+// bench/tab2_energy_summary would not be comparable across machines.
+
+#ifndef SRC_SIM_RNG_H_
+#define SRC_SIM_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace dcs {
+
+// xoshiro256++ 1.0 generator seeded via splitmix64.  Not cryptographic; it is
+// a small, fast generator with good statistical quality for simulation.
+class Rng {
+ public:
+  // Seeds the four 64-bit state words from `seed` using splitmix64, so that
+  // any seed (including 0) yields a well-mixed state.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  // Uniform 64-bit draw.
+  std::uint64_t Next();
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  // Gaussian via Box-Muller (no cached spare: keeps the state stream
+  // position a pure function of the number of calls).
+  double Gaussian(double mean, double stddev);
+
+  // Exponential with given mean (> 0).
+  double Exponential(double mean);
+
+  // A draw from a truncated Gaussian, re-sampled until it lands in
+  // [lo, hi]; falls back to clamping after 64 rejections so adversarial
+  // bounds cannot loop forever.
+  double TruncatedGaussian(double mean, double stddev, double lo, double hi);
+
+  // Forks an independent generator whose stream is decorrelated from this
+  // one; used to give every task its own stream so adding a task does not
+  // perturb the draws seen by the others.
+  Rng Fork();
+
+  // Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformInt(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace dcs
+
+#endif  // SRC_SIM_RNG_H_

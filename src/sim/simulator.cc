@@ -1,0 +1,47 @@
+#include "src/sim/simulator.h"
+
+#include <utility>
+
+namespace dcs {
+
+EventId Simulator::At(SimTime at, std::function<void()> fn) {
+  if (at < now_) {
+    at = now_;
+  }
+  return queue_.Push(at, std::move(fn));
+}
+
+EventId Simulator::After(SimTime delay, std::function<void()> fn) {
+  return At(now_ + delay, std::move(fn));
+}
+
+bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
+
+bool Simulator::Step() {
+  if (queue_.Empty()) {
+    return false;
+  }
+  EventQueue::Entry entry = queue_.Pop();
+  now_ = entry.at;
+  ++events_executed_;
+  entry.fn();
+  return true;
+}
+
+void Simulator::Run() {
+  stop_requested_ = false;
+  while (!stop_requested_ && Step()) {
+  }
+}
+
+void Simulator::RunUntil(SimTime deadline) {
+  stop_requested_ = false;
+  while (!stop_requested_ && !queue_.Empty() && queue_.NextTime() <= deadline) {
+    Step();
+  }
+  if (!stop_requested_ && now_ < deadline) {
+    now_ = deadline;
+  }
+}
+
+}  // namespace dcs

@@ -1,0 +1,23 @@
+#include "src/sim/time.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace dcs {
+
+std::string SimTime::ToString() const {
+  char buf[64];
+  const std::int64_t abs_ns = ns_ < 0 ? -ns_ : ns_;
+  if (abs_ns >= 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fs", static_cast<double>(ns_) * 1e-9);
+  } else if (abs_ns >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.3fms", static_cast<double>(ns_) * 1e-6);
+  } else if (abs_ns >= 1000) {
+    std::snprintf(buf, sizeof(buf), "%.3fus", static_cast<double>(ns_) * 1e-3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%" PRId64 "ns", ns_);
+  }
+  return buf;
+}
+
+}  // namespace dcs

@@ -1,0 +1,58 @@
+#include "src/workload/deadline_monitor.h"
+
+#include <algorithm>
+
+namespace dcs {
+
+void DeadlineMonitor::Report(const std::string& stream, SimTime deadline, SimTime completed,
+                             SimTime tolerance) {
+  StreamStats& stats = streams_[stream];
+  ++stats.total;
+  const SimTime lateness =
+      completed > deadline ? completed - deadline : SimTime::Zero();
+  if (completed > deadline + tolerance) {
+    ++stats.missed;
+  }
+  stats.worst_lateness = std::max(stats.worst_lateness, lateness);
+  stats.total_lateness += lateness;
+}
+
+DeadlineMonitor::StreamStats DeadlineMonitor::Stats(const std::string& stream) const {
+  const auto it = streams_.find(stream);
+  return it == streams_.end() ? StreamStats{} : it->second;
+}
+
+std::vector<std::string> DeadlineMonitor::Streams() const {
+  std::vector<std::string> names;
+  names.reserve(streams_.size());
+  for (const auto& [name, stats] : streams_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+std::int64_t DeadlineMonitor::TotalEvents() const {
+  std::int64_t n = 0;
+  for (const auto& [name, stats] : streams_) {
+    n += stats.total;
+  }
+  return n;
+}
+
+std::int64_t DeadlineMonitor::TotalMissed() const {
+  std::int64_t n = 0;
+  for (const auto& [name, stats] : streams_) {
+    n += stats.missed;
+  }
+  return n;
+}
+
+SimTime DeadlineMonitor::WorstLateness() const {
+  SimTime worst;
+  for (const auto& [name, stats] : streams_) {
+    worst = std::max(worst, stats.worst_lateness);
+  }
+  return worst;
+}
+
+}  // namespace dcs

@@ -1,0 +1,60 @@
+// Inelastic-constraint tracking.
+//
+// The paper evaluates policies under the assumption that applications have
+// *inelastic* performance constraints: "we assumed the applications had no
+// way to accommodate 'missed deadlines'" and "the user should see no visible
+// changes induced by the scheduling algorithms".  Each application reports
+// its natural deadline events here — MPEG frame display times, audio buffer
+// refills, speech-synthesis hand-offs, interactive response times — and the
+// experiment layer judges a policy unacceptable if any stream misses.
+
+#ifndef SRC_WORKLOAD_DEADLINE_MONITOR_H_
+#define SRC_WORKLOAD_DEADLINE_MONITOR_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace dcs {
+
+class DeadlineMonitor {
+ public:
+  struct StreamStats {
+    std::int64_t total = 0;
+    std::int64_t missed = 0;
+    SimTime worst_lateness;     // max(completed - deadline, 0) over all events
+    SimTime total_lateness;     // sum of positive lateness
+    double MissRate() const {
+      return total == 0 ? 0.0 : static_cast<double>(missed) / static_cast<double>(total);
+    }
+  };
+
+  // Reports one deadline event on `stream`.  The event is a miss if
+  // `completed` is later than `deadline + tolerance`.
+  void Report(const std::string& stream, SimTime deadline, SimTime completed,
+              SimTime tolerance = SimTime::Zero());
+
+  // Stats for one stream (zeroes if the stream never reported).
+  StreamStats Stats(const std::string& stream) const;
+
+  // All stream names that reported at least one event.
+  std::vector<std::string> Streams() const;
+
+  // Aggregates across every stream.
+  std::int64_t TotalEvents() const;
+  std::int64_t TotalMissed() const;
+  SimTime WorstLateness() const;
+  bool AnyMissed() const { return TotalMissed() > 0; }
+
+  void Clear() { streams_.clear(); }
+
+ private:
+  std::map<std::string, StreamStats> streams_;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_WORKLOAD_DEADLINE_MONITOR_H_

@@ -1,0 +1,69 @@
+#include "src/workload/input_trace.h"
+
+#include <algorithm>
+#include <cassert>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace dcs {
+
+void InputTrace::Record(SimTime at, std::string kind, double magnitude) {
+  assert((events_.empty() || at >= events_.back().at) &&
+         "input events must be time-ordered");
+  events_.push_back(InputEvent{at, std::move(kind), magnitude});
+}
+
+SimTime InputTrace::Duration() const {
+  return events_.empty() ? SimTime::Zero() : events_.back().at;
+}
+
+InputTrace InputTrace::WithReplayJitter(Rng& rng, SimTime jitter) const {
+  InputTrace out;
+  SimTime previous;
+  for (const InputEvent& event : events_) {
+    const std::int64_t delta =
+        rng.UniformInt(-jitter.nanos(), jitter.nanos());
+    SimTime at = event.at + SimTime::Nanos(delta);
+    at = std::max(at, previous);  // keep ordering
+    at = std::max(at, SimTime::Zero());
+    out.Record(at, event.kind, event.magnitude);
+    previous = at;
+  }
+  return out;
+}
+
+void InputTrace::WriteCsv(std::ostream& os) const {
+  os << "time_us,kind,magnitude\n";
+  for (const InputEvent& event : events_) {
+    os << event.at.micros() << "," << event.kind << "," << event.magnitude << "\n";
+  }
+}
+
+InputTrace InputTrace::ReadCsv(std::istream& is) {
+  InputTrace trace;
+  std::string line;
+  bool first = true;
+  while (std::getline(is, line)) {
+    if (first) {
+      first = false;  // header
+      continue;
+    }
+    if (line.empty()) {
+      continue;
+    }
+    std::istringstream row(line);
+    std::string time_field;
+    std::string kind;
+    std::string magnitude_field;
+    if (!std::getline(row, time_field, ',') || !std::getline(row, kind, ',') ||
+        !std::getline(row, magnitude_field)) {
+      continue;  // malformed row: skip
+    }
+    trace.Record(SimTime::Micros(std::stoll(time_field)), kind,
+                 std::stod(magnitude_field));
+  }
+  return trace;
+}
+
+}  // namespace dcs

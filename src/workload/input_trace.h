@@ -1,0 +1,63 @@
+// Timestamped input-event traces.
+//
+// "To capture repeatable behavior for the interactive applications, we used
+// a tracing mechanism that recorded timestamped input events and then
+// allowed us to replay those events with millisecond accuracy."
+//
+// The interactive workloads (Web, Chess, TalkingEditor) are driven by an
+// InputTrace: a time-ordered list of user events.  Traces can be generated
+// from scripted scenario builders (with a seed for jitter), saved to and
+// loaded from CSV, and replayed with sub-millisecond timing noise to model
+// the replay hardware's accuracy.
+
+#ifndef SRC_WORKLOAD_INPUT_TRACE_H_
+#define SRC_WORKLOAD_INPUT_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace dcs {
+
+struct InputEvent {
+  SimTime at;
+  // Event kind, e.g. "tap", "scroll", "load", "open_dialog", "move".
+  std::string kind;
+  // Kind-specific magnitude (e.g. page weight multiplier); 1.0 by default.
+  double magnitude = 1.0;
+
+  bool operator==(const InputEvent&) const = default;
+};
+
+class InputTrace {
+ public:
+  InputTrace() = default;
+
+  // Appends an event; events must be added in non-decreasing time order.
+  void Record(SimTime at, std::string kind, double magnitude = 1.0);
+
+  const std::vector<InputEvent>& events() const { return events_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t size() const { return events_.size(); }
+  // Time of the last event (zero for an empty trace).
+  SimTime Duration() const;
+
+  // Returns a copy with every timestamp perturbed by up to +/- `jitter`
+  // (uniform), clamped to preserve ordering — models the millisecond replay
+  // accuracy of the paper's replay rig.
+  InputTrace WithReplayJitter(Rng& rng, SimTime jitter = SimTime::Micros(500)) const;
+
+  // CSV round-trip ("time_us,kind,magnitude").
+  void WriteCsv(std::ostream& os) const;
+  static InputTrace ReadCsv(std::istream& is);
+
+ private:
+  std::vector<InputEvent> events_;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_WORKLOAD_INPUT_TRACE_H_

@@ -1,0 +1,36 @@
+#include "src/workload/java_vm.h"
+
+#include "src/workload/demand.h"
+
+namespace dcs {
+
+JavaPollWorkload::JavaPollWorkload(SimTime period, double poll_cost_ms_at_top)
+    : period_(period) {
+  // JIT'ed polling code touches dispatch tables but little data: light
+  // memory profile.
+  profile_ = MemoryProfile{8.0, 3.0};
+  poll_cycles_ = BaseCyclesForMsAtTop(poll_cost_ms_at_top, profile_);
+}
+
+Action JavaPollWorkload::Next(const WorkloadContext& ctx) {
+  if (!primed_) {
+    primed_ = true;
+    next_poll_ = ctx.now + period_;
+    return Action::SleepUntil(next_poll_, /*jiffy=*/true);
+  }
+  if (!computing_) {
+    computing_ = true;
+    // The poll handler should finish before the next poll is due.
+    return Action::ComputeBy(poll_cycles_, ctx.now + period_);
+  }
+  computing_ = false;
+  // Fixed-period schedule: drift does not accumulate, but a poll that ran
+  // late shortens the next sleep, exactly like a timer-driven loop.
+  next_poll_ += period_;
+  if (next_poll_ <= ctx.now) {
+    next_poll_ = ctx.now + period_;
+  }
+  return Action::SleepUntil(next_poll_, /*jiffy=*/true);
+}
+
+}  // namespace dcs

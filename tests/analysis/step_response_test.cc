@@ -1,0 +1,85 @@
+#include "src/analysis/step_response.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/core/govil_policies.h"
+
+namespace dcs {
+namespace {
+
+TEST(StepResponseTest, PastRisesAndFallsInOneQuantum) {
+  PastPredictor past;
+  EXPECT_EQ(RiseTimeQuanta(past, 0.7), 1);
+  EXPECT_EQ(FallTimeQuanta(past, 0.5, /*prime_quanta=*/10), 1);
+}
+
+TEST(StepResponseTest, Avg9RiseTimeMatchesTable1) {
+  // "Starting from an idle state, the clock will not scale to 206MHz for
+  // 120 ms (12 quanta)."
+  AvgNPredictor avg9(9);
+  EXPECT_EQ(RiseTimeQuanta(avg9, 0.7), 12);
+}
+
+TEST(StepResponseTest, Avg9FallTimeMatchesTable1) {
+  // Table 1's idle tail: primed with exactly its 15 active quanta
+  // (W = 0.7941), W sinks below 50% on the 5th idle quantum
+  // (7941 -> 7147 -> 6432 -> 5789 -> 5210 -> 4689).
+  AvgNPredictor avg9(9);
+  EXPECT_EQ(FallTimeQuanta(avg9, 0.5, /*prime_quanta=*/15), 5);
+}
+
+TEST(StepResponseTest, Avg9FallsSlowerFromFullSaturation) {
+  // From W ~= 1.0 the same crossing takes 7 idle quanta — history depth
+  // matters, which is exactly why tuned thresholds do not transfer.
+  AvgNPredictor avg9(9);
+  EXPECT_EQ(FallTimeQuanta(avg9, 0.5, /*prime_quanta=*/100), 7);
+}
+
+TEST(StepResponseTest, RiseTimeGrowsWithN) {
+  int previous = 0;
+  for (int n = 0; n <= 10; ++n) {
+    AvgNPredictor avg(n);
+    const int rise = RiseTimeQuanta(avg, 0.7);
+    EXPECT_GE(rise, previous) << "N=" << n;
+    previous = rise;
+  }
+  EXPECT_GT(previous, 10);  // AVG10 is slower than a full 100 ms
+}
+
+TEST(StepResponseTest, WindowRiseTimeIsCeilOfThresholdTimesWindow) {
+  // A W-wide window crosses threshold t after ceil(t*W) saturated quanta
+  // when primed with idle history.
+  for (int window : {4, 10, 20}) {
+    SlidingWindowPredictor win(window);
+    const int rise = RiseTimeQuanta(win, 0.7, /*prime_quanta=*/window);
+    EXPECT_EQ(rise, static_cast<int>(std::ceil(0.7 * window)) +
+                        (0.7 * window == std::floor(0.7 * window) ? 1 : 0))
+        << "window " << window;
+  }
+}
+
+TEST(StepResponseTest, LongShortRisesFasterThanPureLongWindow) {
+  LongShortPredictor ls(3, 12);
+  SlidingWindowPredictor win(12);
+  EXPECT_LT(RiseTimeQuanta(ls, 0.7, 12), RiseTimeQuanta(win, 0.7, 12));
+}
+
+TEST(StepResponseTest, NeverCrossingReturnsLimit) {
+  // A threshold above 1 can never be crossed.
+  PastPredictor past;
+  EXPECT_EQ(RiseTimeQuanta(past, 1.5, 0, 50), 50);
+}
+
+TEST(StepResponseTest, ResetsPredictorFirst) {
+  AvgNPredictor avg(9);
+  for (int i = 0; i < 100; ++i) {
+    avg.Update(1.0);  // saturate
+  }
+  // RiseTimeQuanta resets, so the rise time is the cold-start one.
+  EXPECT_EQ(RiseTimeQuanta(avg, 0.7), 12);
+}
+
+}  // namespace
+}  // namespace dcs

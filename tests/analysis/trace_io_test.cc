@@ -1,0 +1,68 @@
+#include "src/analysis/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+#include <vector>
+
+#include "src/workload/synthetic.h"
+
+namespace dcs {
+namespace {
+
+TEST(TraceIoTest, RoundTripThroughStream) {
+  const std::vector<double> trace = {0.0, 0.25, 0.5, 1.0};
+  std::stringstream ss;
+  WriteUtilizationTrace(ss, trace, "test trace");
+  const std::vector<double> loaded = ReadUtilizationTrace(ss);
+  EXPECT_EQ(loaded, trace);
+}
+
+TEST(TraceIoTest, CommentsAndBlanksSkipped) {
+  std::stringstream ss("# header\n0.5\n\n# mid comment\n0.75 # trailing\n");
+  const std::vector<double> loaded = ReadUtilizationTrace(ss);
+  EXPECT_EQ(loaded, (std::vector<double>{0.5, 0.75}));
+}
+
+TEST(TraceIoTest, MultipleValuesPerLine) {
+  std::stringstream ss("0.1 0.2 0.3\n0.4\n");
+  EXPECT_EQ(ReadUtilizationTrace(ss).size(), 4u);
+}
+
+TEST(TraceIoTest, OutOfRangeValuesClamped) {
+  std::stringstream ss("-0.5\n1.7\n");
+  const std::vector<double> loaded = ReadUtilizationTrace(ss);
+  EXPECT_EQ(loaded, (std::vector<double>{0.0, 1.0}));
+}
+
+TEST(TraceIoTest, MalformedLinesSkipped) {
+  std::stringstream ss("0.5\nnot-a-number\n0.25\n");
+  const std::vector<double> loaded = ReadUtilizationTrace(ss);
+  // Parsing stops at the malformed token on that line but other lines load.
+  ASSERT_GE(loaded.size(), 2u);
+  EXPECT_DOUBLE_EQ(loaded.front(), 0.5);
+  EXPECT_DOUBLE_EQ(loaded.back(), 0.25);
+}
+
+TEST(TraceIoTest, FileRoundTrip) {
+  const auto wave = RectangleWaveSamples(9, 1, 100);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "dcs_trace_io_test.txt").string();
+  ASSERT_TRUE(SaveUtilizationTrace(path, wave, "rect wave"));
+  const std::vector<double> loaded = LoadUtilizationTrace(path);
+  EXPECT_EQ(loaded, wave);
+  std::filesystem::remove(path);
+}
+
+TEST(TraceIoTest, MissingFileLoadsEmpty) {
+  EXPECT_TRUE(LoadUtilizationTrace("/nonexistent/path/trace.txt").empty());
+}
+
+TEST(TraceIoTest, UnwritablePathFails) {
+  const auto wave = RectangleWaveSamples(2, 1, 5);
+  EXPECT_FALSE(SaveUtilizationTrace("/nonexistent/dir/trace.txt", wave));
+}
+
+}  // namespace
+}  // namespace dcs

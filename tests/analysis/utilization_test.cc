@@ -1,0 +1,131 @@
+#include "src/analysis/utilization.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/analysis/filters.h"
+#include "src/workload/synthetic.h"
+
+namespace dcs {
+namespace {
+
+TraceSeries MakeSeries(const std::vector<double>& values) {
+  TraceSeries s("test");
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    s.Append(SimTime::Millis(10 * static_cast<std::int64_t>(i)), values[i]);
+  }
+  return s;
+}
+
+TEST(MovingAverageSeriesTest, SmoothsPerQuantumSamples) {
+  const TraceSeries s = MakeSeries({1.0, 0.0, 1.0, 0.0, 1.0, 0.0});
+  const TraceSeries out = MovingAverageSeries(s, 2);
+  ASSERT_EQ(out.size(), s.size());
+  EXPECT_DOUBLE_EQ(out.points()[0].value, 1.0);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_DOUBLE_EQ(out.points()[i].value, 0.5);
+  }
+}
+
+TEST(MovingAverageSeriesTest, TimestampsPreserved) {
+  const TraceSeries s = MakeSeries({0.2, 0.4, 0.6});
+  const TraceSeries out = MovingAverageSeries(s, 3);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_EQ(out.points()[i].at, s.points()[i].at);
+  }
+}
+
+TEST(MovingAverageSeriesTest, Window10TurnsQuantaIntoHundredMsView) {
+  // Figure 3 -> Figure 4: 10 ms samples smoothed with a 10-wide window.
+  std::vector<double> wave = RectangleWaveSamples(9, 1, 100);
+  const TraceSeries s = MakeSeries(wave);
+  const TraceSeries out = MovingAverageSeries(s, 10);
+  // Steady state: each window holds one full period -> exactly 0.9.
+  for (std::size_t i = 20; i < out.size(); ++i) {
+    EXPECT_NEAR(out.points()[i].value, 0.9, 1e-12);
+  }
+}
+
+TEST(SeriesValuesTest, ExtractsValues) {
+  const TraceSeries s = MakeSeries({0.1, 0.2, 0.3});
+  EXPECT_EQ(SeriesValues(s), (std::vector<double>{0.1, 0.2, 0.3}));
+}
+
+TEST(AnalyzeOscillationTest, ConstantSignalHasNoAmplitude) {
+  const std::vector<double> flat(100, 0.5);
+  const OscillationStats stats = AnalyzeOscillation(flat);
+  EXPECT_DOUBLE_EQ(stats.amplitude, 0.0);
+  EXPECT_DOUBLE_EQ(stats.mean, 0.5);
+  EXPECT_EQ(stats.period, 0);
+}
+
+TEST(AnalyzeOscillationTest, DetectsSineWavePeriod) {
+  std::vector<double> sine;
+  for (int i = 0; i < 400; ++i) {
+    sine.push_back(std::sin(2.0 * M_PI * i / 20.0));
+  }
+  const OscillationStats stats = AnalyzeOscillation(sine);
+  EXPECT_NEAR(stats.amplitude, 2.0, 0.01);
+  EXPECT_EQ(stats.period, 20);
+}
+
+TEST(AnalyzeOscillationTest, FilteredRectangleWaveOscillatesAtWavePeriod) {
+  // Figure 7: AVG3 on a 9-busy/1-idle wave keeps the 10-sample period.
+  const auto wave = RectangleWaveSamples(9, 1, 800);
+  const auto filtered = AvgNFilter(wave, 3);
+  const OscillationStats stats = AnalyzeOscillation(filtered, 100);
+  EXPECT_EQ(stats.period % 10, 0);
+  EXPECT_GT(stats.amplitude, 0.15);  // "a surprisingly wide range"
+  EXPECT_NEAR(stats.mean, 0.9, 0.02);
+}
+
+TEST(AnalyzeOscillationTest, SkipIgnoresWarmup) {
+  std::vector<double> signal(50, 0.0);
+  signal.insert(signal.end(), 50, 1.0);
+  const OscillationStats all = AnalyzeOscillation(signal, 0);
+  const OscillationStats tail = AnalyzeOscillation(signal, 50);
+  EXPECT_DOUBLE_EQ(all.amplitude, 1.0);
+  EXPECT_DOUBLE_EQ(tail.amplitude, 0.0);
+}
+
+TEST(AnalyzeOscillationTest, EmptyAfterSkipIsZeroed) {
+  const std::vector<double> tiny = {1.0};
+  const OscillationStats stats = AnalyzeOscillation(tiny, 5);
+  EXPECT_EQ(stats.amplitude, 0.0);
+}
+
+TEST(SettlesWithinTest, DetectsSettling) {
+  std::vector<double> signal;
+  for (int i = 0; i < 50; ++i) {
+    signal.push_back(i % 2 == 0 ? 0.2 : 0.9);  // oscillating prefix
+  }
+  signal.insert(signal.end(), 50, 0.6);  // settled tail
+  EXPECT_TRUE(SettlesWithin(signal, 0.5, 0.7, 40));
+  EXPECT_FALSE(SettlesWithin(signal, 0.5, 0.7, 60));  // tail reaches prefix
+}
+
+TEST(SettlesWithinTest, EdgeCases) {
+  const std::vector<double> signal = {0.5, 0.5};
+  EXPECT_FALSE(SettlesWithin(signal, 0.0, 1.0, 0));   // zero tail: vacuous -> false
+  EXPECT_FALSE(SettlesWithin(signal, 0.0, 1.0, 10));  // tail longer than signal
+  EXPECT_TRUE(SettlesWithin(signal, 0.4, 0.6, 2));
+}
+
+TEST(SettlesWithinTest, AvgNOnRectangleWaveNeverSettlesInHysteresisBand) {
+  // The integration of section 5.3's claim with Pering's 50/70 thresholds:
+  // AVG_N output keeps leaving the [0.5, 0.7] band.  (At a 0.9 duty cycle
+  // the mean itself is outside the band, and even a band centred on the
+  // mean fails for small N.)
+  const auto wave = RectangleWaveSamples(9, 1, 2000);
+  for (int n = 0; n <= 10; ++n) {
+    const auto filtered = AvgNFilter(wave, n);
+    EXPECT_FALSE(SettlesWithin(filtered, 0.5, 0.7, 500)) << "AVG" << n;
+  }
+  const auto avg3 = AvgNFilter(wave, 3);
+  EXPECT_FALSE(SettlesWithin(avg3, 0.85, 0.95, 500));
+}
+
+}  // namespace
+}  // namespace dcs

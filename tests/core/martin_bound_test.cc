@@ -1,0 +1,79 @@
+#include "src/core/martin_bound.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+const PeripheralState kDisplayOn{true, false};
+
+TEST(MartinBoundTest, CurveCoversAllSteps) {
+  const auto curve = ComputeMartinCurve(PowerModel{}, Battery{}, MemoryProfile{}, kDisplayOn);
+  for (int step = 0; step < kNumClockSteps; ++step) {
+    EXPECT_EQ(curve[static_cast<std::size_t>(step)].step, step);
+    EXPECT_GT(curve[static_cast<std::size_t>(step)].busy_watts, 0.0);
+    EXPECT_GT(curve[static_cast<std::size_t>(step)].lifetime_hours, 0.0);
+    EXPECT_GT(curve[static_cast<std::size_t>(step)].computations_per_discharge, 0.0);
+  }
+}
+
+TEST(MartinBoundTest, InteriorMaximumExists) {
+  // On the Itsy models the optimum is neither the floor nor the ceiling —
+  // Martin's whole point.
+  const int bound = MartinLowerBoundStep(PowerModel{}, Battery{}, MemoryProfile{}, kDisplayOn);
+  EXPECT_GT(bound, 0);
+  EXPECT_LT(bound, kNumClockSteps - 1);
+}
+
+TEST(MartinBoundTest, BoundSitsAtTheLowVoltageCeiling) {
+  // The 1.23 V rail is the dominant lever: the last step that can use it
+  // (162.2 MHz) maximises computations per discharge for the default models.
+  const int bound = MartinLowerBoundStep(PowerModel{}, Battery{}, MemoryProfile{}, kDisplayOn);
+  EXPECT_EQ(bound, kMaxStepAtLowVoltage);
+}
+
+TEST(MartinBoundTest, LifetimeDecreasesWithStepPower) {
+  const auto curve = ComputeMartinCurve(PowerModel{}, Battery{}, MemoryProfile{}, kDisplayOn);
+  for (int step = 1; step < kNumClockSteps; ++step) {
+    EXPECT_GE(curve[static_cast<std::size_t>(step - 1)].lifetime_hours,
+              curve[static_cast<std::size_t>(step)].lifetime_hours);
+  }
+}
+
+TEST(MartinBoundTest, MemoryBoundWorkloadsGetFewerComputations) {
+  const auto compute = ComputeMartinCurve(PowerModel{}, Battery{}, MemoryProfile{}, kDisplayOn);
+  const auto memory =
+      ComputeMartinCurve(PowerModel{}, Battery{}, MemoryProfile{25.0, 10.0}, kDisplayOn);
+  for (int step = 0; step < kNumClockSteps; ++step) {
+    EXPECT_LT(memory[static_cast<std::size_t>(step)].computations_per_discharge,
+              compute[static_cast<std::size_t>(step)].computations_per_discharge);
+  }
+}
+
+TEST(MartinBoundTest, IdealPlatformPrefersSlowest) {
+  // With an ideal battery and a purely dynamic power model (no static
+  // residue, no peripherals), slower is always more efficient per cycle:
+  // the bound falls to step 0.
+  PowerModelParams params;
+  params.core_static_busy_mw = 0.0;
+  params.peripherals_mw = 0.0;
+  params.peripherals_display_off_mw = 0.0;
+  params.audio_mw = 0.0;
+  BatteryParams battery_params;
+  battery_params.peukert_exponent = 1.0;
+  const int bound = MartinLowerBoundStep(PowerModel{params}, Battery{battery_params},
+                                         MemoryProfile{}, PeripheralState{false, false});
+  EXPECT_EQ(bound, 0);
+}
+
+TEST(MartinBoundTest, VoltageDiscontinuityVisibleInPower) {
+  // Crossing the 1.23 V ceiling (step 7 -> 8) jumps busy power by more than
+  // a normal step-to-step increment.
+  const auto curve = ComputeMartinCurve(PowerModel{}, Battery{}, MemoryProfile{}, kDisplayOn);
+  const double jump = curve[8].busy_watts - curve[7].busy_watts;
+  const double normal = curve[7].busy_watts - curve[6].busy_watts;
+  EXPECT_GT(jump, 2.0 * normal);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,94 @@
+#include "src/daq/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace dcs {
+namespace {
+
+TEST(StatsTest, EmptySample) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.n, 0);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.ci95_half, 0.0);
+}
+
+TEST(StatsTest, SingleSampleZeroWidthInterval) {
+  const std::vector<double> one = {5.0};
+  const Summary s = Summarize(one);
+  EXPECT_EQ(s.n, 1);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(StatsTest, KnownValues) {
+  const std::vector<double> data = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = Summarize(data);
+  EXPECT_EQ(s.n, 8);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.138, 0.001);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  // t(7, 0.975) = 2.365 -> half width = 2.365 * 2.138 / sqrt(8) = 1.788.
+  EXPECT_NEAR(s.ci95_half, 1.788, 0.005);
+}
+
+TEST(StatsTest, CiBoundsAndPercent) {
+  const std::vector<double> data = {10.0, 12.0, 11.0, 9.0, 13.0};
+  const Summary s = Summarize(data);
+  EXPECT_NEAR(s.ci_low(), s.mean - s.ci95_half, 1e-12);
+  EXPECT_NEAR(s.ci_high(), s.mean + s.ci95_half, 1e-12);
+  EXPECT_NEAR(s.ci_percent(), 100.0 * s.ci95_half / s.mean, 1e-12);
+}
+
+TEST(StatsTest, ConstantSampleZeroWidth) {
+  const std::vector<double> data(10, 3.3);
+  const Summary s = Summarize(data);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.ci95_half, 0.0);
+}
+
+TEST(TCritical95Test, KnownValues) {
+  EXPECT_NEAR(TCritical95(1), 12.706, 1e-3);
+  EXPECT_NEAR(TCritical95(4), 2.776, 1e-3);
+  EXPECT_NEAR(TCritical95(9), 2.262, 1e-3);
+  EXPECT_NEAR(TCritical95(30), 2.042, 1e-3);
+  EXPECT_NEAR(TCritical95(1000), 1.960, 1e-3);
+}
+
+TEST(TCritical95Test, MonotoneDecreasing) {
+  double prev = TCritical95(1);
+  for (int df = 2; df <= 200; ++df) {
+    const double t = TCritical95(df);
+    EXPECT_LE(t, prev + 1e-12) << "df " << df;
+    prev = t;
+  }
+  EXPECT_GE(prev, 1.959);
+}
+
+TEST(TCritical95Test, InvalidDfIsZero) { EXPECT_EQ(TCritical95(0), 0.0); }
+
+TEST(StatsTest, CoverageSanity) {
+  // The 95% CI should contain the true mean in most repeated experiments.
+  Rng rng(17);
+  int contained = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sample;
+    for (int i = 0; i < 10; ++i) {
+      sample.push_back(rng.Gaussian(100.0, 5.0));
+    }
+    const Summary s = Summarize(sample);
+    if (s.ci_low() <= 100.0 && 100.0 <= s.ci_high()) {
+      ++contained;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(contained) / trials, 0.95, 0.04);
+}
+
+}  // namespace
+}  // namespace dcs

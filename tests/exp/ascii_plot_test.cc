@@ -1,0 +1,72 @@
+#include "src/exp/ascii_plot.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace dcs {
+namespace {
+
+TEST(AsciiPlotTest, RendersGridWithMarks) {
+  std::vector<double> y = {0.0, 0.5, 1.0, 0.5, 0.0};
+  std::ostringstream os;
+  PlotOptions options;
+  options.width = 20;
+  options.height = 5;
+  options.title = "wave";
+  AsciiPlot(os, y, options);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("wave"), std::string::npos);
+  EXPECT_NE(out.find('*'), std::string::npos);
+  EXPECT_NE(out.find("1.000"), std::string::npos);
+  EXPECT_NE(out.find("0.000"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, EmptyDataHandled) {
+  std::ostringstream os;
+  AsciiPlot(os, std::vector<double>{}, PlotOptions{});
+  EXPECT_EQ(os.str(), "(no data)\n");
+}
+
+TEST(AsciiPlotTest, ConstantSignalDoesNotDivideByZero) {
+  std::vector<double> y(10, 2.0);
+  std::ostringstream os;
+  AsciiPlot(os, y, PlotOptions{});
+  EXPECT_NE(os.str().find('*'), std::string::npos);
+}
+
+TEST(AsciiPlotTest, FixedRangeClampsOutliers) {
+  std::vector<double> y = {0.5, 100.0, 0.5};
+  std::ostringstream os;
+  PlotOptions options;
+  options.y_min = 0.0;
+  options.y_max = 1.0;
+  options.height = 4;
+  AsciiPlot(os, y, options);
+  EXPECT_NE(os.str().find("1.000"), std::string::npos);
+  EXPECT_EQ(os.str().find("100"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, SeriesOverloadUsesSeconds) {
+  TraceSeries series("power");
+  series.Append(SimTime::Seconds(0), 1.0);
+  series.Append(SimTime::Seconds(10), 2.0);
+  std::ostringstream os;
+  PlotOptions options;
+  options.x_label = "seconds";
+  AsciiPlot(os, series, options);
+  EXPECT_NE(os.str().find("seconds"), std::string::npos);
+  EXPECT_NE(os.str().find("10"), std::string::npos);
+}
+
+TEST(AsciiPlotTest, MismatchedXySizesRejected) {
+  std::vector<double> x = {1.0, 2.0};
+  std::vector<double> y = {1.0};
+  std::ostringstream os;
+  AsciiPlot(os, x, y, PlotOptions{});
+  EXPECT_EQ(os.str(), "(no data)\n");
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,64 @@
+#include "src/exp/repeat.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+ExperimentConfig ShortMpeg() {
+  ExperimentConfig config;
+  config.app = "mpeg";
+  config.governor = "fixed-206.4";
+  config.seed = 100;
+  config.duration = SimTime::Seconds(6);
+  return config;
+}
+
+TEST(RepeatTest, RunsRequestedRepetitions) {
+  const RepeatedResult result = RunRepeated(ShortMpeg(), 4);
+  EXPECT_EQ(result.runs.size(), 4u);
+  EXPECT_EQ(result.energy.n, 4);
+}
+
+TEST(RepeatTest, SeedsVaryAcrossRuns) {
+  const RepeatedResult result = RunRepeated(ShortMpeg(), 3);
+  EXPECT_NE(result.runs[0].energy_joules, result.runs[1].energy_joules);
+  EXPECT_NE(result.runs[1].energy_joules, result.runs[2].energy_joules);
+}
+
+TEST(RepeatTest, ConfidenceIntervalTightLikePaper) {
+  // "we found the 95% confidence interval of the energy to be less than
+  // 0.7% of the mean energy" — ours should be in the same ballpark.
+  const RepeatedResult result = RunRepeated(ShortMpeg(), 6);
+  EXPECT_LT(result.energy.ci_percent(), 0.7);
+  EXPECT_GT(result.energy.mean, 0.0);
+}
+
+TEST(RepeatTest, AggregatesDeadlinesAcrossRuns) {
+  ExperimentConfig config = ShortMpeg();
+  config.governor = "fixed-103.2";  // misses frames
+  const RepeatedResult result = RunRepeated(config, 3);
+  EXPECT_GT(result.total_deadline_misses, 0);
+  EXPECT_GT(result.total_deadline_events, 0);
+  EXPECT_FALSE(result.MetAllDeadlines());
+  EXPECT_GT(result.worst_lateness, SimTime::Zero());
+}
+
+TEST(RepeatTest, MeansAveragedOverRuns) {
+  const RepeatedResult result = RunRepeated(ShortMpeg(), 3);
+  double util_sum = 0.0;
+  for (const ExperimentResult& run : result.runs) {
+    util_sum += run.avg_utilization;
+  }
+  EXPECT_NEAR(result.mean_utilization, util_sum / 3.0, 1e-12);
+}
+
+TEST(RepeatTest, ZeroRepetitionsIsEmpty) {
+  const RepeatedResult result = RunRepeated(ShortMpeg(), 0);
+  EXPECT_TRUE(result.runs.empty());
+  EXPECT_EQ(result.energy.n, 0);
+  EXPECT_TRUE(result.MetAllDeadlines());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,128 @@
+#include "src/hw/battery.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace dcs {
+namespace {
+
+// The paper's calibration points (section 2.1): an idle Itsy at 206 MHz
+// drains two AAA cells in ~2 h; at 59 MHz the same cells last ~18 h.
+constexpr double kIdleWatts206 = 1.029;
+constexpr double kIdleWatts59 = kIdleWatts206 / 3.5;
+
+TEST(BatteryTest, StartsFull) {
+  Battery battery;
+  EXPECT_EQ(battery.DepthOfDischarge(), 0.0);
+  EXPECT_FALSE(battery.Empty());
+}
+
+TEST(BatteryTest, PaperLifetimeAt206MHz) {
+  Battery battery;
+  EXPECT_NEAR(battery.LifetimeHoursAtConstantPower(kIdleWatts206), 2.0, 0.1);
+}
+
+TEST(BatteryTest, PaperLifetimeAt59MHz) {
+  // 9x the lifetime for a 3.5x power reduction — the rate-capacity effect.
+  Battery battery;
+  EXPECT_NEAR(battery.LifetimeHoursAtConstantPower(kIdleWatts59), 18.0, 1.0);
+}
+
+TEST(BatteryTest, LifetimeRatioExceedsPowerRatio) {
+  Battery battery;
+  const double ratio = battery.LifetimeHoursAtConstantPower(kIdleWatts59) /
+                       battery.LifetimeHoursAtConstantPower(kIdleWatts206);
+  EXPECT_GT(ratio, 3.5);  // super-linear: the whole point of section 2.1
+  EXPECT_NEAR(ratio, 9.0, 0.5);
+}
+
+TEST(BatteryTest, DrainIntegratesToClosedFormLifetime) {
+  Battery battery;
+  const double hours = battery.LifetimeHoursAtConstantPower(kIdleWatts206);
+  // Integrate in 1-minute segments until the predicted lifetime.
+  const int minutes = static_cast<int>(hours * 60.0);
+  for (int i = 0; i < minutes; ++i) {
+    battery.Drain(kIdleWatts206, SimTime::Seconds(60));
+  }
+  EXPECT_NEAR(battery.DepthOfDischarge(), 1.0, 0.02);
+}
+
+TEST(BatteryTest, EmptyAfterOverdrain) {
+  Battery battery;
+  battery.Drain(kIdleWatts206, SimTime::Seconds(3 * 3600));
+  EXPECT_TRUE(battery.Empty());
+}
+
+TEST(BatteryTest, HigherPowerDrainsDisproportionately) {
+  Battery a;
+  Battery b;
+  a.Drain(1.0, SimTime::Seconds(3600));
+  b.Drain(2.0, SimTime::Seconds(1800));  // same energy, higher rate
+  EXPECT_GT(b.DepthOfDischarge(), a.DepthOfDischarge());
+}
+
+TEST(BatteryTest, ZeroOrNegativeInputsAreIgnored) {
+  Battery battery;
+  battery.Drain(-1.0, SimTime::Seconds(10));
+  battery.Drain(1.0, SimTime::Zero());
+  EXPECT_EQ(battery.DepthOfDischarge(), 0.0);
+}
+
+TEST(BatteryTest, PulsedDischargeBeatsContinuousHighRate) {
+  // Chiasserini & Rao: interspersing high-power bursts with rest periods
+  // recovers part of the rate-induced loss.
+  Battery pulsed;
+  Battery continuous;
+  const double burst_watts = 2.0;
+  // Continuous: 1 hour at 2 W.
+  continuous.Drain(burst_watts, SimTime::Seconds(3600));
+  // Pulsed: 60 bursts of 1 minute at 2 W with 4-minute rests (same active
+  // energy).
+  for (int i = 0; i < 60; ++i) {
+    pulsed.Drain(burst_watts, SimTime::Seconds(60));
+    pulsed.Drain(0.0, SimTime::Seconds(240));
+  }
+  EXPECT_LT(pulsed.DepthOfDischarge(), continuous.DepthOfDischarge());
+}
+
+TEST(BatteryTest, RecoverablePoolFillsOnHighRate) {
+  Battery battery;
+  battery.Drain(3.0, SimTime::Seconds(600));
+  EXPECT_GT(battery.RecoverablePool(), 0.0);
+}
+
+TEST(BatteryTest, RecoveryDrainsPool) {
+  Battery battery;
+  battery.Drain(3.0, SimTime::Seconds(600));
+  const double pool_before = battery.RecoverablePool();
+  const double depth_before = battery.DepthOfDischarge();
+  battery.Drain(0.0, SimTime::Seconds(3600));
+  EXPECT_LT(battery.RecoverablePool(), pool_before);
+  EXPECT_LT(battery.DepthOfDischarge(), depth_before);
+}
+
+TEST(BatteryTest, ResetRestoresFullCharge) {
+  Battery battery;
+  battery.Drain(2.0, SimTime::Seconds(3600));
+  battery.Reset();
+  EXPECT_EQ(battery.DepthOfDischarge(), 0.0);
+  EXPECT_EQ(battery.RecoverablePool(), 0.0);
+}
+
+TEST(BatteryTest, ZeroPowerLastsForever) {
+  Battery battery;
+  EXPECT_TRUE(std::isinf(battery.LifetimeHoursAtConstantPower(0.0)));
+}
+
+TEST(BatteryTest, IdealBatteryHasLinearLifetime) {
+  BatteryParams params;
+  params.peukert_exponent = 1.0;
+  Battery battery(params);
+  const double t1 = battery.LifetimeHoursAtConstantPower(1.0);
+  const double t2 = battery.LifetimeHoursAtConstantPower(2.0);
+  EXPECT_NEAR(t1 / t2, 2.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,78 @@
+#include "src/hw/cpu.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(CpuTest, StartsAtRequestedStepNapping) {
+  Cpu cpu(5);
+  EXPECT_EQ(cpu.step(), 5);
+  EXPECT_EQ(cpu.state(), ExecState::kNap);
+  EXPECT_FALSE(cpu.Stalled(SimTime::Zero()));
+}
+
+TEST(CpuTest, DefaultStartsAtTopStep) {
+  Cpu cpu;
+  EXPECT_EQ(cpu.step(), ClockTable::MaxStep());
+  EXPECT_NEAR(cpu.frequency_mhz(), 206.4, 0.1);
+}
+
+TEST(CpuTest, InitialStepClamped) {
+  EXPECT_EQ(Cpu(-2).step(), 0);
+  EXPECT_EQ(Cpu(99).step(), 10);
+}
+
+TEST(CpuTest, ClockChangeStallsFor200us) {
+  Cpu cpu(10);
+  const SimTime now = SimTime::Millis(50);
+  const SimTime stall_end = cpu.BeginClockChange(0, now);
+  EXPECT_EQ(stall_end, now + SimTime::Micros(200));
+  EXPECT_EQ(cpu.step(), 0);
+  EXPECT_EQ(cpu.state(), ExecState::kStalled);
+  EXPECT_TRUE(cpu.Stalled(now + SimTime::Micros(199)));
+  EXPECT_FALSE(cpu.Stalled(stall_end));
+}
+
+TEST(CpuTest, StallIndependentOfDistance) {
+  // "Clock scaling took approximately 200 microseconds, independent of the
+  // starting or target speed."
+  Cpu a(10);
+  Cpu b(10);
+  const SimTime now = SimTime::Zero();
+  EXPECT_EQ(a.BeginClockChange(9, now) - now, b.BeginClockChange(0, now) - now);
+}
+
+TEST(CpuTest, NoOpChangeReturnsNowWithoutStall) {
+  Cpu cpu(4);
+  const SimTime now = SimTime::Millis(1);
+  EXPECT_EQ(cpu.BeginClockChange(4, now), now);
+  EXPECT_EQ(cpu.clock_changes(), 0);
+  EXPECT_NE(cpu.state(), ExecState::kStalled);
+}
+
+TEST(CpuTest, ChangeCountsAndTotalStallAccumulate) {
+  Cpu cpu(10);
+  cpu.BeginClockChange(0, SimTime::Millis(0));
+  cpu.BeginClockChange(10, SimTime::Millis(10));
+  cpu.BeginClockChange(5, SimTime::Millis(20));
+  EXPECT_EQ(cpu.clock_changes(), 3);
+  EXPECT_EQ(cpu.total_stall(), SimTime::Micros(600));
+}
+
+TEST(CpuTest, TargetStepClamped) {
+  Cpu cpu(5);
+  cpu.BeginClockChange(42, SimTime::Zero());
+  EXPECT_EQ(cpu.step(), 10);
+}
+
+TEST(CpuTest, SetStateTransitions) {
+  Cpu cpu(5);
+  cpu.SetState(ExecState::kBusy);
+  EXPECT_EQ(cpu.state(), ExecState::kBusy);
+  cpu.SetState(ExecState::kNap);
+  EXPECT_EQ(cpu.state(), ExecState::kNap);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,67 @@
+#include "src/hw/gpio.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcs {
+namespace {
+
+TEST(GpioTest, PinsStartLow) {
+  Gpio gpio;
+  for (int pin = 0; pin < kNumGpioPins; ++pin) {
+    EXPECT_FALSE(gpio.Level(pin));
+  }
+}
+
+TEST(GpioTest, WriteSetsLevel) {
+  Gpio gpio;
+  gpio.Write(3, true, SimTime::Millis(1));
+  EXPECT_TRUE(gpio.Level(3));
+  EXPECT_FALSE(gpio.Level(4));
+}
+
+TEST(GpioTest, ObserverFiresOnTransitionsOnly) {
+  Gpio gpio;
+  int edges = 0;
+  gpio.Observe([&](int, SimTime, bool) { ++edges; });
+  gpio.Write(1, true, SimTime::Millis(1));
+  gpio.Write(1, true, SimTime::Millis(2));  // no transition
+  gpio.Write(1, false, SimTime::Millis(3));
+  EXPECT_EQ(edges, 2);
+}
+
+TEST(GpioTest, ObserverSeesPinTimeAndLevel) {
+  Gpio gpio;
+  std::vector<std::tuple<int, std::int64_t, bool>> seen;
+  gpio.Observe([&](int pin, SimTime at, bool level) {
+    seen.emplace_back(pin, at.millis(), level);
+  });
+  gpio.Write(7, true, SimTime::Millis(5));
+  gpio.Write(7, false, SimTime::Millis(9));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], std::make_tuple(7, std::int64_t{5}, true));
+  EXPECT_EQ(seen[1], std::make_tuple(7, std::int64_t{9}, false));
+}
+
+TEST(GpioTest, ToggleInverts) {
+  Gpio gpio;
+  gpio.Toggle(2, SimTime::Millis(1));
+  EXPECT_TRUE(gpio.Level(2));
+  gpio.Toggle(2, SimTime::Millis(2));
+  EXPECT_FALSE(gpio.Level(2));
+}
+
+TEST(GpioTest, MultipleObserversAllFire) {
+  Gpio gpio;
+  int a = 0;
+  int b = 0;
+  gpio.Observe([&](int, SimTime, bool) { ++a; });
+  gpio.Observe([&](int, SimTime, bool) { ++b; });
+  gpio.Toggle(0, SimTime::Zero());
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,137 @@
+#include "src/hw/itsy.h"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/simulator.h"
+
+namespace dcs {
+namespace {
+
+TEST(ItsyTest, DefaultsToTopStepHighVoltageNapping) {
+  Simulator sim;
+  Itsy itsy(sim);
+  EXPECT_EQ(itsy.step(), 10);
+  EXPECT_EQ(itsy.voltage(), CoreVoltage::kHigh);
+  EXPECT_EQ(itsy.exec_state(), ExecState::kNap);
+  EXPECT_FALSE(itsy.tape().empty());
+}
+
+TEST(ItsyTest, ClockChangeUpdatesStepAndStalls) {
+  Simulator sim;
+  Itsy itsy(sim);
+  const SimTime stall_end = itsy.SetClockStep(0);
+  EXPECT_EQ(itsy.step(), 0);
+  EXPECT_EQ(stall_end, SimTime::Micros(200));
+  EXPECT_TRUE(itsy.Stalled());
+  EXPECT_EQ(itsy.exec_state(), ExecState::kStalled);
+}
+
+TEST(ItsyTest, NoOpClockChangeHasNoStall) {
+  Simulator sim;
+  Itsy itsy(sim);
+  EXPECT_EQ(itsy.SetClockStep(10), sim.Now());
+  EXPECT_EQ(itsy.clock_changes(), 0);
+}
+
+TEST(ItsyTest, RaisingClockAboveLowVoltageCeilingRaisesRailFirst) {
+  Simulator sim;
+  ItsyConfig config;
+  config.initial_step = 5;
+  config.initial_voltage = CoreVoltage::kLow;
+  Itsy itsy(sim, config);
+  ASSERT_EQ(itsy.voltage(), CoreVoltage::kLow);
+  itsy.SetClockStep(10);
+  EXPECT_EQ(itsy.voltage(), CoreVoltage::kHigh);
+  EXPECT_EQ(itsy.step(), 10);
+}
+
+TEST(ItsyTest, LoweringVoltageRefusedAtFastStep) {
+  Simulator sim;
+  Itsy itsy(sim);  // 206.4 MHz
+  EXPECT_FALSE(itsy.SetVoltage(CoreVoltage::kLow));
+  EXPECT_EQ(itsy.voltage(), CoreVoltage::kHigh);
+}
+
+TEST(ItsyTest, LoweringVoltageAllowedAtSafeStep) {
+  Simulator sim;
+  ItsyConfig config;
+  config.initial_step = 7;  // 162.2 MHz
+  Itsy itsy(sim, config);
+  EXPECT_TRUE(itsy.SetVoltage(CoreVoltage::kLow));
+  EXPECT_EQ(itsy.voltage(), CoreVoltage::kLow);
+}
+
+TEST(ItsyTest, PowerTapeTracksExecState) {
+  Simulator sim;
+  Itsy itsy(sim);
+  const double nap = itsy.CurrentSystemWatts();
+  sim.RunUntil(SimTime::Millis(1));
+  itsy.SetExecState(ExecState::kBusy);
+  const double busy = itsy.CurrentSystemWatts();
+  EXPECT_GT(busy, nap);
+  EXPECT_EQ(itsy.tape().WattsAt(SimTime::Micros(500)), nap);
+  EXPECT_EQ(itsy.tape().WattsAt(SimTime::Millis(1)), busy);
+}
+
+TEST(ItsyTest, AudioTogglesPower) {
+  Simulator sim;
+  Itsy itsy(sim);
+  const double before = itsy.CurrentSystemWatts();
+  itsy.SetAudio(true);
+  EXPECT_GT(itsy.CurrentSystemWatts(), before);
+  itsy.SetAudio(false);
+  EXPECT_DOUBLE_EQ(itsy.CurrentSystemWatts(), before);
+}
+
+TEST(ItsyTest, DisplayOffReducesPower) {
+  Simulator sim;
+  Itsy itsy(sim);
+  const double on = itsy.CurrentSystemWatts();
+  itsy.SetDisplay(false);
+  EXPECT_LT(itsy.CurrentSystemWatts(), on);
+}
+
+TEST(ItsyTest, LowerStepLowersBusyPower) {
+  Simulator sim;
+  Itsy itsy(sim);
+  itsy.SetExecState(ExecState::kBusy);
+  sim.RunUntil(SimTime::Millis(1));
+  const double fast = itsy.CurrentSystemWatts();
+  itsy.SetClockStep(0);
+  sim.RunUntil(SimTime::Millis(2));
+  itsy.SetExecState(ExecState::kBusy);
+  EXPECT_LT(itsy.CurrentSystemWatts(), fast);
+}
+
+TEST(ItsyTest, BatteryDrainsWithTime) {
+  Simulator sim;
+  ItsyConfig config;
+  config.battery = BatteryParams{};
+  Itsy itsy(sim, config);
+  ASSERT_NE(itsy.battery(), nullptr);
+  itsy.SetExecState(ExecState::kBusy);
+  sim.RunUntil(SimTime::Seconds(600));
+  itsy.SyncBattery();
+  EXPECT_GT(itsy.battery()->DepthOfDischarge(), 0.0);
+  EXPECT_FALSE(itsy.battery()->Empty());
+}
+
+TEST(ItsyTest, NoBatteryByDefault) {
+  Simulator sim;
+  Itsy itsy(sim);
+  EXPECT_EQ(itsy.battery(), nullptr);
+  itsy.SyncBattery();  // must be harmless
+}
+
+TEST(ItsyTest, VoltageTransitionCountVisible) {
+  Simulator sim;
+  ItsyConfig config;
+  config.initial_step = 5;
+  Itsy itsy(sim, config);
+  itsy.SetVoltage(CoreVoltage::kLow);
+  itsy.SetVoltage(CoreVoltage::kHigh);
+  EXPECT_EQ(itsy.voltage_transitions(), 2);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,98 @@
+#include "src/hw/power_tape.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(PowerTapeTest, EmptyTape) {
+  PowerTape tape;
+  EXPECT_TRUE(tape.empty());
+  EXPECT_EQ(tape.WattsAt(SimTime::Millis(5)), 0.0);
+  EXPECT_EQ(tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(1)), 0.0);
+}
+
+TEST(PowerTapeTest, SingleSegmentExtendsForever) {
+  PowerTape tape;
+  tape.Set(SimTime::Zero(), 2.0);
+  EXPECT_EQ(tape.WattsAt(SimTime::Zero()), 2.0);
+  EXPECT_EQ(tape.WattsAt(SimTime::Seconds(100)), 2.0);
+  EXPECT_DOUBLE_EQ(tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(3)), 6.0);
+}
+
+TEST(PowerTapeTest, BeforeFirstSegmentIsZeroPower) {
+  PowerTape tape;
+  tape.Set(SimTime::Seconds(1), 5.0);
+  EXPECT_EQ(tape.WattsAt(SimTime::Millis(500)), 0.0);
+  EXPECT_DOUBLE_EQ(tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(2)), 5.0);
+}
+
+TEST(PowerTapeTest, PiecewiseEnergyIntegration) {
+  PowerTape tape;
+  tape.Set(SimTime::Zero(), 1.0);
+  tape.Set(SimTime::Seconds(1), 3.0);
+  tape.Set(SimTime::Seconds(2), 0.5);
+  // [0,1): 1 J, [1,2): 3 J, [2,4): 1 J -> 5 J.
+  EXPECT_DOUBLE_EQ(tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(4)), 5.0);
+}
+
+TEST(PowerTapeTest, EnergyOverPartialWindow) {
+  PowerTape tape;
+  tape.Set(SimTime::Zero(), 2.0);
+  tape.Set(SimTime::Seconds(10), 4.0);
+  EXPECT_DOUBLE_EQ(tape.EnergyJoules(SimTime::Seconds(9), SimTime::Seconds(11)), 6.0);
+}
+
+TEST(PowerTapeTest, AverageWatts) {
+  PowerTape tape;
+  tape.Set(SimTime::Zero(), 1.0);
+  tape.Set(SimTime::Seconds(1), 2.0);
+  EXPECT_DOUBLE_EQ(tape.AverageWatts(SimTime::Zero(), SimTime::Seconds(2)), 1.5);
+}
+
+TEST(PowerTapeTest, EqualPowerSegmentsMerge) {
+  PowerTape tape;
+  tape.Set(SimTime::Zero(), 1.0);
+  tape.Set(SimTime::Seconds(1), 1.0);
+  EXPECT_EQ(tape.segments().size(), 1u);
+}
+
+TEST(PowerTapeTest, SameInstantUpdatesCollapse) {
+  PowerTape tape;
+  tape.Set(SimTime::Seconds(1), 1.0);
+  tape.Set(SimTime::Seconds(2), 2.0);
+  tape.Set(SimTime::Seconds(2), 3.0);
+  ASSERT_EQ(tape.segments().size(), 2u);
+  EXPECT_EQ(tape.WattsAt(SimTime::Seconds(2)), 3.0);
+}
+
+TEST(PowerTapeTest, SameInstantCollapseCanRemergeWithPrevious) {
+  PowerTape tape;
+  tape.Set(SimTime::Seconds(1), 1.0);
+  tape.Set(SimTime::Seconds(2), 2.0);
+  tape.Set(SimTime::Seconds(2), 1.0);  // back to the previous power
+  EXPECT_EQ(tape.segments().size(), 1u);
+  EXPECT_EQ(tape.WattsAt(SimTime::Seconds(3)), 1.0);
+}
+
+TEST(PowerTapeTest, EmptyOrInvertedWindowHasZeroEnergy) {
+  PowerTape tape;
+  tape.Set(SimTime::Zero(), 2.0);
+  EXPECT_EQ(tape.EnergyJoules(SimTime::Seconds(2), SimTime::Seconds(2)), 0.0);
+  EXPECT_EQ(tape.EnergyJoules(SimTime::Seconds(3), SimTime::Seconds(1)), 0.0);
+  EXPECT_EQ(tape.AverageWatts(SimTime::Seconds(3), SimTime::Seconds(1)), 0.0);
+}
+
+TEST(PowerTapeTest, EnergyAdditiveOverAdjacentWindows) {
+  PowerTape tape;
+  tape.Set(SimTime::Zero(), 1.3);
+  tape.Set(SimTime::Millis(700), 0.4);
+  tape.Set(SimTime::Millis(1400), 2.2);
+  const double whole = tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(2));
+  const double first = tape.EnergyJoules(SimTime::Zero(), SimTime::Millis(900));
+  const double second = tape.EnergyJoules(SimTime::Millis(900), SimTime::Seconds(2));
+  EXPECT_NEAR(whole, first + second, 1e-12);
+}
+
+}  // namespace
+}  // namespace dcs

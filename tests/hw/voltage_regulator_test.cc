@@ -1,0 +1,91 @@
+#include "src/hw/voltage_regulator.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/clock_table.h"
+
+namespace dcs {
+namespace {
+
+TEST(VoltageRegulatorTest, StartsHighAndStable) {
+  VoltageRegulator reg;
+  EXPECT_EQ(reg.target(), CoreVoltage::kHigh);
+  EXPECT_TRUE(reg.IsStable(SimTime::Zero()));
+  EXPECT_DOUBLE_EQ(reg.VoltsAt(SimTime::Zero()), 1.50);
+}
+
+TEST(VoltageRegulatorTest, VoltageVolts) {
+  EXPECT_DOUBLE_EQ(VoltageVolts(CoreVoltage::kHigh), 1.50);
+  EXPECT_DOUBLE_EQ(VoltageVolts(CoreVoltage::kLow), 1.23);
+}
+
+TEST(VoltageRegulatorTest, DownwardTransitionTakes250us) {
+  VoltageRegulator reg;
+  const SimTime now = SimTime::Millis(10);
+  const SimTime settle = reg.Request(CoreVoltage::kLow, now);
+  EXPECT_EQ(settle, now + SimTime::Micros(250));
+  EXPECT_FALSE(reg.IsStable(now + SimTime::Micros(100)));
+  EXPECT_TRUE(reg.IsStable(settle));
+}
+
+TEST(VoltageRegulatorTest, UpwardTransitionInstantaneous) {
+  VoltageRegulator reg;
+  reg.Request(CoreVoltage::kLow, SimTime::Zero());
+  const SimTime now = SimTime::Millis(1);
+  const SimTime settle = reg.Request(CoreVoltage::kHigh, now);
+  EXPECT_EQ(settle, now);
+  EXPECT_TRUE(reg.IsStable(now));
+}
+
+TEST(VoltageRegulatorTest, RerequestingCurrentTargetIsNoOp) {
+  VoltageRegulator reg;
+  reg.Request(CoreVoltage::kLow, SimTime::Zero());
+  EXPECT_EQ(reg.transitions(), 1);
+  reg.Request(CoreVoltage::kLow, SimTime::Millis(5));
+  EXPECT_EQ(reg.transitions(), 1);
+}
+
+TEST(VoltageRegulatorTest, SettleCurveDecaysAndUndershoots) {
+  // "the voltage slowly reduces, drops below 1.23V and then rapidly
+  // settles" (paper section 5.4).
+  VoltageRegulator reg;
+  reg.Request(CoreVoltage::kLow, SimTime::Zero());
+  const double early = reg.VoltsAt(SimTime::Micros(20));
+  const double mid = reg.VoltsAt(SimTime::Micros(120));
+  EXPECT_GT(early, mid);
+  EXPECT_GT(early, 1.23);
+  EXPECT_LT(early, 1.50);
+  // Undershoot near 80% of the settle interval.
+  const double undershoot = reg.VoltsAt(SimTime::Micros(200));
+  EXPECT_LT(undershoot, 1.23);
+  // Settled exactly at the target afterwards.
+  EXPECT_DOUBLE_EQ(reg.VoltsAt(SimTime::Micros(250)), 1.23);
+}
+
+TEST(VoltageRegulatorTest, StepSafetyRule) {
+  // 1.23 V is safe only up to 162.2 MHz (step 7).
+  for (int step = 0; step <= kMaxStepAtLowVoltage; ++step) {
+    EXPECT_TRUE(VoltageRegulator::StepAllowedAt(CoreVoltage::kLow, step));
+  }
+  for (int step = kMaxStepAtLowVoltage + 1; step < kNumClockSteps; ++step) {
+    EXPECT_FALSE(VoltageRegulator::StepAllowedAt(CoreVoltage::kLow, step));
+  }
+  for (int step = 0; step < kNumClockSteps; ++step) {
+    EXPECT_TRUE(VoltageRegulator::StepAllowedAt(CoreVoltage::kHigh, step));
+  }
+}
+
+TEST(VoltageRegulatorTest, MaxLowVoltageStepIs162MHz) {
+  EXPECT_NEAR(ClockTable::FrequencyMhz(kMaxStepAtLowVoltage), 162.2, 0.1);
+}
+
+TEST(VoltageRegulatorTest, TransitionCountTracksBothDirections) {
+  VoltageRegulator reg;
+  reg.Request(CoreVoltage::kLow, SimTime::Zero());
+  reg.Request(CoreVoltage::kHigh, SimTime::Millis(1));
+  reg.Request(CoreVoltage::kLow, SimTime::Millis(2));
+  EXPECT_EQ(reg.transitions(), 3);
+}
+
+}  // namespace
+}  // namespace dcs

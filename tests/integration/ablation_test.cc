@@ -1,0 +1,141 @@
+// Tests for the ablation knobs: configurable clock-change stall, MPEG pacing
+// modes and memory-profile overrides.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/exp/experiment.h"
+#include "src/hw/memory_model.h"
+
+namespace dcs {
+namespace {
+
+ExperimentConfig BaseMpeg(const char* governor) {
+  ExperimentConfig config;
+  config.app = "mpeg";
+  config.governor = governor;
+  config.seed = 17;
+  config.duration = SimTime::Seconds(20);
+  return config;
+}
+
+TEST(SwitchCostAblationTest, ZeroCostSwitchingHasNoStall) {
+  ExperimentConfig config = BaseMpeg("PAST-peg-peg-93-98");
+  config.itsy.clock_switch_stall = SimTime::Zero();
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.clock_changes, 100);
+  EXPECT_EQ(result.total_stall, SimTime::Zero());
+}
+
+TEST(SwitchCostAblationTest, PastPegDegradesGracefullyWithExpensiveSwitches) {
+  // PAST-peg-peg leaves slack (it pegs to the top on any busy quantum), so
+  // even very expensive switches only erode lateness margins — an emergent
+  // robustness of the paper's best policy.
+  ExperimentConfig config = BaseMpeg("PAST-peg-peg-93-98");
+  const ExperimentResult cheap = RunExperiment(config);
+  config.itsy.clock_switch_stall = SimTime::Millis(10);
+  const ExperimentResult expensive = RunExperiment(config);
+  EXPECT_EQ(cheap.deadline_misses, 0);
+  EXPECT_EQ(expensive.deadline_misses, 0);
+  EXPECT_GT(expensive.worst_lateness, cheap.worst_lateness);
+  EXPECT_GT(expensive.avg_utilization, cheap.avg_utilization + 0.05);
+}
+
+TEST(SwitchCostAblationTest, ExpensiveSwitchingBreaksZeroSlackPolicies) {
+  // The deadline governor runs with almost no slack by design, so
+  // millisecond-class switch stalls push announced work past its deadline.
+  ExperimentConfig config = BaseMpeg("deadline");
+  const ExperimentResult cheap = RunExperiment(config);
+  config.itsy.clock_switch_stall = SimTime::Millis(5);
+  const ExperimentResult expensive = RunExperiment(config);
+  EXPECT_EQ(cheap.deadline_misses, 0);
+  EXPECT_GT(expensive.deadline_misses, 0);
+}
+
+TEST(SwitchCostAblationTest, StallScalesWithConfiguredCost) {
+  ExperimentConfig config = BaseMpeg("PAST-peg-peg-93-98");
+  config.itsy.clock_switch_stall = SimTime::Micros(400);
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_EQ(result.total_stall, SimTime::Micros(400) * result.clock_changes);
+}
+
+TEST(MpegPacingAblationTest, SleepOnlyLowersUtilizationAt206) {
+  ExperimentConfig hybrid = BaseMpeg("fixed-206.4");
+  MpegConfig sleep_only;
+  sleep_only.pacing = MpegPacing::kSleepOnly;
+  ExperimentConfig sleepy = BaseMpeg("fixed-206.4");
+  sleepy.mpeg = sleep_only;
+  const double hybrid_util = RunExperiment(hybrid).avg_utilization;
+  const double sleepy_util = RunExperiment(sleepy).avg_utilization;
+  EXPECT_LT(sleepy_util, hybrid_util - 0.05);
+}
+
+TEST(MpegPacingAblationTest, SpinOnlySaturates) {
+  MpegConfig spin_only;
+  spin_only.pacing = MpegPacing::kSpinOnly;
+  ExperimentConfig config = BaseMpeg("fixed-206.4");
+  config.mpeg = spin_only;
+  const ExperimentResult result = RunExperiment(config);
+  EXPECT_GT(result.avg_utilization, 0.95);
+  EXPECT_EQ(result.deadline_misses, 0);  // spinning still hits display times
+}
+
+TEST(MpegPacingAblationTest, SpinLoopCostsEnergyAtHighClock) {
+  MpegConfig sleep_only;
+  sleep_only.pacing = MpegPacing::kSleepOnly;
+  ExperimentConfig hybrid = BaseMpeg("fixed-206.4");
+  ExperimentConfig sleepy = BaseMpeg("fixed-206.4");
+  sleepy.mpeg = sleep_only;
+  EXPECT_GT(RunExperiment(hybrid).energy_joules, RunExperiment(sleepy).energy_joules);
+}
+
+TEST(MpegPacingAblationTest, SleepOnlyStillMeetsDeadlines) {
+  MpegConfig sleep_only;
+  sleep_only.pacing = MpegPacing::kSleepOnly;
+  for (const char* governor : {"fixed-206.4", "fixed-132.7"}) {
+    ExperimentConfig config = BaseMpeg(governor);
+    config.mpeg = sleep_only;
+    EXPECT_EQ(RunExperiment(config).deadline_misses, 0) << governor;
+  }
+}
+
+TEST(MemoryProfileAblationTest, FlatProfileRemovesPlateau) {
+  // With a flat profile the utilization change from 162.2 to 176.9 MHz is a
+  // normal-sized step instead of the Table 3 plateau.
+  auto util_at = [](int step, bool flat) {
+    char spec[32];
+    std::snprintf(spec, sizeof(spec), "fixed-%.1f", ClockTable::FrequencyMhz(step));
+    ExperimentConfig config;
+    config.app = "mpeg";
+    config.governor = spec;
+    config.seed = 17;
+    config.duration = SimTime::Seconds(15);
+    if (flat) {
+      MpegConfig mpeg;
+      mpeg.video_profile = MemoryProfile{};
+      mpeg.audio_profile = MemoryProfile{};
+      mpeg.mean_decode_ms_at_top = 36.0;  // refit so 132.7 stays feasible
+      config.mpeg = mpeg;
+    }
+    return RunExperiment(config).avg_utilization;
+  };
+  const double real_delta = util_at(7, false) - util_at(8, false);
+  const double flat_delta = util_at(7, true) - util_at(8, true);
+  EXPECT_LT(real_delta, 0.02);
+  EXPECT_GT(flat_delta, 0.03);
+}
+
+TEST(QuantumAblationTest, LongQuantaMissMpegDeadlines) {
+  ExperimentConfig config = BaseMpeg("PAST-peg-peg-93-98");
+  config.kernel.quantum = SimTime::Millis(100);
+  const ExperimentResult slow = RunExperiment(config);
+  config.kernel.quantum = SimTime::Millis(10);
+  const ExperimentResult normal = RunExperiment(config);
+  EXPECT_EQ(normal.deadline_misses, 0);
+  EXPECT_GT(slow.deadline_misses + slow.worst_lateness.nanos(),
+            normal.deadline_misses + normal.worst_lateness.nanos());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,149 @@
+// End-to-end reproduction of section 5.3's qualitative findings about the
+// interval schedulers: lag-induced deadline misses, threshold sensitivity,
+// minimal savings when tuned safe, and the failure of the naive
+// busy-cycle-averaging policy.
+
+#include <gtest/gtest.h>
+
+#include "src/exp/experiment.h"
+
+namespace dcs {
+namespace {
+
+ExperimentResult RunMpeg(const std::string& governor, double seconds = 30.0) {
+  ExperimentConfig config;
+  config.app = "mpeg";
+  config.governor = governor;
+  config.seed = 13;
+  config.duration = SimTime::FromSecondsF(seconds);
+  return RunExperiment(config);
+}
+
+TEST(GovernorBehaviorTest, NaiveCycleCountingMissesBadly) {
+  // Figure 5: "exceptionally poor responsiveness" — the policy parks the
+  // clock at the floor and MPEG falls hopelessly behind.
+  const ExperimentResult result = RunMpeg("cycles4");
+  EXPECT_GT(result.deadline_misses, 100);
+  EXPECT_GT(result.worst_lateness, SimTime::Seconds(1));
+}
+
+TEST(GovernorBehaviorTest, Avg9WithTightThresholdsMissesFromLag) {
+  // AVG9's 120 ms reaction lag makes tight thresholds (93/98) miss frames:
+  // the clock is still slow when a burst arrives.
+  const ExperimentResult result = RunMpeg("AVG9-peg-peg-93-98");
+  EXPECT_GT(result.deadline_misses, 20);
+}
+
+TEST(GovernorBehaviorTest, Avg9WithLooseThresholdsSavesAlmostNothing) {
+  // "The AVG_N policy can be easily designed to ensure that very few
+  // deadlines will be missed, but this results in minimal energy savings."
+  const ExperimentResult avg = RunMpeg("AVG9-one-one-50-70");
+  const ExperimentResult baseline = RunMpeg("fixed-206.4");
+  EXPECT_LE(avg.deadline_misses, 2);
+  EXPECT_NEAR(avg.energy_joules, baseline.energy_joules, 0.01 * baseline.energy_joules);
+}
+
+TEST(GovernorBehaviorTest, HundredMsAveragingMissesDeadlines) {
+  // "averaging over such a long period of time caused us to miss our
+  // 'deadline'": WIN10 is the 100 ms sliding average.
+  const ExperimentResult result = RunMpeg("WIN10-peg-peg-93-98");
+  EXPECT_GT(result.deadline_misses, 2);
+}
+
+TEST(GovernorBehaviorTest, PastPegPegMeetsDeadlinesOnEveryApp) {
+  // The paper's best policy "never misses any deadline (across all the
+  // applications)".
+  for (const char* app : {"mpeg", "web", "chess", "editor"}) {
+    ExperimentConfig config;
+    config.app = app;
+    config.governor = "PAST-peg-peg-93-98";
+    config.seed = 13;
+    const ExperimentResult result = RunExperiment(config);
+    EXPECT_EQ(result.deadline_misses, 0) << app;
+    EXPECT_GT(result.deadline_events, 0) << app;
+  }
+}
+
+TEST(GovernorBehaviorTest, PastPegPegSavesEnergyOnEveryApp) {
+  for (const char* app : {"mpeg", "web", "chess", "editor"}) {
+    ExperimentConfig config;
+    config.app = app;
+    config.seed = 13;
+    config.governor = "PAST-peg-peg-93-98";
+    const double with_policy = RunExperiment(config).energy_joules;
+    config.governor = "fixed-206.4";
+    const double baseline = RunExperiment(config).energy_joules;
+    EXPECT_LT(with_policy, baseline) << app;
+  }
+}
+
+TEST(GovernorBehaviorTest, ThresholdSensitivityForLaggyPredictors) {
+  // "the specific values are very sensitive to application behavior": with
+  // AVG9, tight thresholds slash energy but miss deadlines; loose ones are
+  // safe but save nothing.
+  const ExperimentResult tight = RunMpeg("AVG9-peg-peg-93-98");
+  const ExperimentResult loose = RunMpeg("AVG9-one-one-50-70");
+  EXPECT_GT(tight.deadline_misses, loose.deadline_misses);
+  EXPECT_LT(tight.energy_joules, loose.energy_joules);
+}
+
+TEST(GovernorBehaviorTest, PastIsThresholdInsensitiveOnBimodalLoad) {
+  // MPEG's quanta are bimodal (saturated or idle), so PAST's observed
+  // utilization rarely lands between any sensible threshold pair: 50/70 and
+  // 93/98 yield the same schedule.  This is why the paper reports "most of
+  // them resulted in equivalent (and poor) behavior".
+  const ExperimentResult tight = RunMpeg("PAST-peg-peg-93-98");
+  const ExperimentResult loose = RunMpeg("PAST-peg-peg-50-70");
+  EXPECT_EQ(tight.clock_changes, loose.clock_changes);
+  EXPECT_NEAR(tight.energy_joules, loose.energy_joules, 0.01 * tight.energy_joules);
+}
+
+TEST(GovernorBehaviorTest, OneStepPoliciesChangeClockMoreOften) {
+  const ExperimentResult one = RunMpeg("PAST-one-one-93-98");
+  const ExperimentResult peg = RunMpeg("PAST-peg-peg-93-98");
+  EXPECT_GT(one.clock_changes, peg.clock_changes);
+}
+
+TEST(GovernorBehaviorTest, OndemandBehavesLikePegUp) {
+  // ondemand's burst-to-max mirrors PAST-peg up-scaling; both stay safe on
+  // MPEG with comparable energy.
+  const ExperimentResult ondemand = RunMpeg("ondemand");
+  const ExperimentResult past = RunMpeg("PAST-peg-peg-93-98");
+  EXPECT_EQ(ondemand.deadline_misses, 0);
+  EXPECT_NEAR(ondemand.energy_joules, past.energy_joules, 0.05 * past.energy_joules);
+}
+
+TEST(GovernorBehaviorTest, SchedutilSafeOnMpeg) {
+  const ExperimentResult result = RunMpeg("schedutil");
+  EXPECT_EQ(result.deadline_misses, 0);
+}
+
+TEST(GovernorBehaviorTest, ModernGovernorsStillLeaveEnergyOnTable) {
+  // Even today's heuristics cannot reach the app-aware optimum (fixed
+  // 132.7 MHz) on MPEG — the paper's conclusion outlived its hardware.
+  const double optimal = RunMpeg("fixed-132.7").energy_joules;
+  for (const char* spec : {"ondemand", "schedutil"}) {
+    const ExperimentResult result = RunMpeg(spec);
+    EXPECT_GT(result.energy_joules, optimal) << spec;
+  }
+}
+
+TEST(GovernorBehaviorTest, ParameterTuningDoesNotTransferBetweenApps) {
+  // "these tuned parameters will probably not work for other applications":
+  // thresholds that save the most on chess differ from mpeg's safe choice.
+  ExperimentConfig chess;
+  chess.app = "chess";
+  chess.seed = 13;
+  chess.duration = SimTime::Seconds(60);
+  chess.governor = "PAST-peg-peg-50-70";
+  const double chess_loose = RunExperiment(chess).energy_joules;
+  chess.governor = "PAST-peg-peg-93-98";
+  const double chess_tight = RunExperiment(chess).energy_joules;
+  // Chess tolerates (and profits from) looser thresholds...
+  EXPECT_LT(chess_loose, chess_tight * 1.02);
+  // ...while on MPEG loose thresholds would be the risky choice whenever
+  // the predictor lags (shown in the AVG9 tests above).
+}
+
+}  // namespace
+}  // namespace dcs

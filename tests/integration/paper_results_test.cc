@@ -1,0 +1,165 @@
+// End-to-end assertions of the paper's headline quantitative results
+// (shape, not absolute numbers): Table 2's energy ordering, Figure 9's
+// plateau, section 2.1's battery lifetimes and section 5.4's switch costs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "src/exp/experiment.h"
+#include "src/exp/repeat.h"
+#include "src/hw/battery.h"
+#include "src/hw/memory_model.h"
+
+namespace dcs {
+namespace {
+
+ExperimentConfig Mpeg(const std::string& governor, double seconds = 60.0) {
+  ExperimentConfig config;
+  config.app = "mpeg";
+  config.governor = governor;
+  config.seed = 11;
+  config.duration = SimTime::FromSecondsF(seconds);
+  return config;
+}
+
+class Table2Test : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    rows_ = new std::map<std::string, ExperimentResult>;
+    for (const char* spec : {"fixed-206.4", "fixed-132.7", "fixed-132.7@1.23",
+                             "PAST-peg-peg-93-98", "PAST-peg-peg-93-98-vs"}) {
+      rows_->emplace(spec, RunExperiment(Mpeg(spec)));
+    }
+  }
+  static void TearDownTestSuite() {
+    delete rows_;
+    rows_ = nullptr;
+  }
+  static const ExperimentResult& Row(const std::string& spec) { return rows_->at(spec); }
+
+ private:
+  static std::map<std::string, ExperimentResult>* rows_;
+};
+
+std::map<std::string, ExperimentResult>* Table2Test::rows_ = nullptr;
+
+TEST_F(Table2Test, EnergiesInPaperBallpark) {
+  // Paper: ~86 / ~80 / ~74 J for the three constant-speed rows.
+  EXPECT_NEAR(Row("fixed-206.4").energy_joules, 86.0, 5.0);
+  EXPECT_NEAR(Row("fixed-132.7").energy_joules, 80.3, 5.0);
+  EXPECT_NEAR(Row("fixed-132.7@1.23").energy_joules, 74.1, 5.0);
+}
+
+TEST_F(Table2Test, ConstantSpeedOrdering) {
+  // 206.4/1.5 > 132.7/1.5 > 132.7/1.23 — slower and lower-voltage wins.
+  EXPECT_GT(Row("fixed-206.4").energy_joules, Row("fixed-132.7").energy_joules);
+  EXPECT_GT(Row("fixed-132.7").energy_joules, Row("fixed-132.7@1.23").energy_joules);
+}
+
+TEST_F(Table2Test, VoltageDropSavesSeveralPercentSystemEnergy) {
+  const double reduction = 1.0 - Row("fixed-132.7@1.23").energy_joules /
+                                     Row("fixed-132.7").energy_joules;
+  // Paper: ~8%.
+  EXPECT_GT(reduction, 0.04);
+  EXPECT_LT(reduction, 0.12);
+}
+
+TEST_F(Table2Test, BestPolicySavesSmallButRealEnergy) {
+  // "a small but significant amount of energy": PAST-peg-peg-93/98 lands
+  // between the 206.4 baseline and the (unreachable without app knowledge)
+  // optimal fixed speed.
+  const double baseline = Row("fixed-206.4").energy_joules;
+  const double best = Row("PAST-peg-peg-93-98").energy_joules;
+  const double optimal = Row("fixed-132.7").energy_joules;
+  EXPECT_LT(best, baseline);
+  EXPECT_GT(best, optimal);
+}
+
+TEST_F(Table2Test, BestPolicyNeverMissesDeadlines) {
+  EXPECT_EQ(Row("PAST-peg-peg-93-98").deadline_misses, 0);
+  EXPECT_EQ(Row("PAST-peg-peg-93-98-vs").deadline_misses, 0);
+}
+
+TEST_F(Table2Test, ConstantSpeedsMeetDeadlinesDownTo132) {
+  EXPECT_EQ(Row("fixed-206.4").deadline_misses, 0);
+  EXPECT_EQ(Row("fixed-132.7").deadline_misses, 0);
+  EXPECT_EQ(Row("fixed-132.7@1.23").deadline_misses, 0);
+}
+
+TEST_F(Table2Test, VoltageScalingAddsLittleOnThisPlatform) {
+  // "Allowing the processor to scale the voltage when the clock speed drops
+  // below 162.2MHz results in no statistical decrease" — tiny effect.
+  const double no_vs = Row("PAST-peg-peg-93-98").energy_joules;
+  const double vs = Row("PAST-peg-peg-93-98-vs").energy_joules;
+  EXPECT_LE(vs, no_vs);
+  EXPECT_LT(no_vs - vs, 0.02 * no_vs);
+}
+
+TEST_F(Table2Test, BestPolicyChangesClockFrequently) {
+  // Figure 8: "changes clock settings frequently" — hundreds of changes in
+  // 60 s, pinned to the extremes.
+  const ExperimentResult& row = Row("PAST-peg-peg-93-98");
+  EXPECT_GT(row.clock_changes, 300);
+  // Residency concentrates at the bottom and top steps.
+  const double extremes = row.step_residency[0] + row.step_residency[10];
+  EXPECT_GT(extremes, 0.95);
+}
+
+TEST_F(Table2Test, SwitchOverheadUnderTwoPercent) {
+  // Section 5.4: clock/voltage switching costs < 2% of the run.
+  const ExperimentResult& row = Row("PAST-peg-peg-93-98");
+  EXPECT_LT(row.total_stall.ToSeconds(), 0.02 * row.duration.ToSeconds());
+}
+
+TEST(Figure9Test, UtilizationPlateauBetween162And177) {
+  double util[kNumClockSteps] = {};
+  for (int step = 5; step <= 10; ++step) {
+    char spec[32];
+    std::snprintf(spec, sizeof(spec), "fixed-%.1f", ClockTable::FrequencyMhz(step));
+    util[step] = RunExperiment(Mpeg(spec, 30.0)).avg_utilization;
+  }
+  // Overall: utilization falls as frequency rises (~91% down to ~76%).
+  EXPECT_GT(util[5], 0.85);
+  EXPECT_LT(util[10], 0.80);
+  // The plateau: moving 162.2 -> 176.9 changes utilization by < 2 points,
+  // while neighbouring transitions move it by > 2 points.
+  EXPECT_LT(std::abs(util[7] - util[8]), 0.02);
+  EXPECT_GT(util[6] - util[7], 0.02);
+  EXPECT_GT(util[8] - util[9], 0.02);
+}
+
+TEST(BatteryLifetimeTest, PaperSection21Endpoints) {
+  // Idle Itsy: ~2 h at 206 MHz, ~18 h at 59 MHz on the same cells.
+  Battery battery;
+  const double watts_206 = 1.029;
+  const double watts_59 = watts_206 / 3.5;
+  EXPECT_NEAR(battery.LifetimeHoursAtConstantPower(watts_206), 2.0, 0.2);
+  EXPECT_NEAR(battery.LifetimeHoursAtConstantPower(watts_59), 18.0, 1.5);
+}
+
+TEST(SwitchOverheadTest, PaperSection54Numbers) {
+  // 200 us per clock change — 11.8k cycles at 59 MHz, 41.3k at 206.4 MHz
+  // (the paper rounds to 40,000 and 11,200 at "200MHz").
+  EXPECT_EQ(kClockSwitchStall, SimTime::Micros(200));
+  const double cycles_59 = kClockSwitchStall.ToSeconds() * ClockTable::FrequencyHz(0);
+  const double cycles_206 = kClockSwitchStall.ToSeconds() * ClockTable::FrequencyHz(10);
+  EXPECT_NEAR(cycles_59, 11796.5, 1.0);
+  EXPECT_NEAR(cycles_206, 41287.7, 1.0);
+  EXPECT_EQ(kVoltageDownSettle, SimTime::Micros(250));
+  // "the time needed for clock and voltage changes are less than 2% of the
+  // scheduling interval" (200 us / 10 ms = 2%, 250 us = 2.5%).
+  EXPECT_LE(kClockSwitchStall.ToSeconds() / 0.010, 0.02);
+  EXPECT_LE(kVoltageDownSettle.ToSeconds() / 0.010, 0.025);
+}
+
+TEST(RepeatabilityTest, ConfidenceIntervalUnderPaperBound) {
+  ExperimentConfig config = Mpeg("fixed-206.4", 20.0);
+  const RepeatedResult result = RunRepeated(config, 5);
+  EXPECT_LT(result.energy.ci_percent(), 0.7);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,78 @@
+#include "src/kernel/sched_log.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(SchedLogTest, RecordsEntries) {
+  SchedLog log(16);
+  log.Record(SimTime::Millis(10), 1, 5);
+  log.Record(SimTime::Millis(20), 0, 5);
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].time_us, 10000);
+  EXPECT_EQ(entries[0].pid, 1);
+  EXPECT_EQ(entries[0].clock_step, 5);
+  EXPECT_EQ(entries[1].pid, 0);
+}
+
+TEST(SchedLogTest, MicrosecondResolution) {
+  SchedLog log(4);
+  log.Record(SimTime::Nanos(1234567), 1, 0);
+  EXPECT_EQ(log.Snapshot()[0].time_us, 1234);
+}
+
+TEST(SchedLogTest, RingBufferOverwritesOldest) {
+  // "Due to kernel memory limitations, we could only capture a subset of the
+  // process behavior."
+  SchedLog log(4);
+  for (int i = 0; i < 10; ++i) {
+    log.Record(SimTime::Millis(i), i, 0);
+  }
+  EXPECT_TRUE(log.Wrapped());
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].pid, 6);  // oldest surviving
+  EXPECT_EQ(entries[3].pid, 9);
+  EXPECT_EQ(log.total_recorded(), 10u);
+}
+
+TEST(SchedLogTest, DisabledLogRecordsNothing) {
+  SchedLog log(4);
+  log.set_enabled(false);
+  log.Record(SimTime::Millis(1), 1, 0);
+  EXPECT_TRUE(log.Snapshot().empty());
+  log.set_enabled(true);
+  log.Record(SimTime::Millis(2), 2, 0);
+  EXPECT_EQ(log.Snapshot().size(), 1u);
+}
+
+TEST(SchedLogTest, ClearResets) {
+  SchedLog log(4);
+  log.Record(SimTime::Millis(1), 1, 0);
+  log.Clear();
+  EXPECT_TRUE(log.Snapshot().empty());
+  EXPECT_EQ(log.total_recorded(), 0u);
+}
+
+TEST(SchedLogTest, ZeroCapacityIsSafe) {
+  SchedLog log(0);
+  log.Record(SimTime::Millis(1), 1, 0);
+  EXPECT_TRUE(log.Snapshot().empty());
+}
+
+TEST(SchedLogTest, SnapshotBeforeWrapPreservesOrder) {
+  SchedLog log(8);
+  for (int i = 0; i < 5; ++i) {
+    log.Record(SimTime::Millis(i), i, 0);
+  }
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(entries[static_cast<std::size_t>(i)].pid, i);
+  }
+}
+
+}  // namespace
+}  // namespace dcs

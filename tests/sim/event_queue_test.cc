@@ -1,0 +1,123 @@
+#include "src/sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace dcs {
+namespace {
+
+TEST(EventQueueTest, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(EventQueueTest, PushPopSingle) {
+  EventQueue q;
+  bool fired = false;
+  q.Push(SimTime::Millis(5), [&] { fired = true; });
+  ASSERT_FALSE(q.Empty());
+  EXPECT_EQ(q.NextTime(), SimTime::Millis(5));
+  auto entry = q.Pop();
+  EXPECT_EQ(entry.at, SimTime::Millis(5));
+  entry.fn();
+  EXPECT_TRUE(fired);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(EventQueueTest, PopsInTimeOrder) {
+  EventQueue q;
+  q.Push(SimTime::Millis(30), [] {});
+  q.Push(SimTime::Millis(10), [] {});
+  q.Push(SimTime::Millis(20), [] {});
+  EXPECT_EQ(q.Pop().at, SimTime::Millis(10));
+  EXPECT_EQ(q.Pop().at, SimTime::Millis(20));
+  EXPECT_EQ(q.Pop().at, SimTime::Millis(30));
+}
+
+TEST(EventQueueTest, SimultaneousEventsFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  const SimTime t = SimTime::Millis(1);
+  q.Push(t, [&] { order.push_back(1); });
+  q.Push(t, [&] { order.push_back(2); });
+  q.Push(t, [&] { order.push_back(3); });
+  while (!q.Empty()) {
+    q.Pop().fn();
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, CancelPendingEvent) {
+  EventQueue q;
+  const EventId id = q.Push(SimTime::Millis(1), [] {});
+  EXPECT_TRUE(q.Cancel(id));
+  EXPECT_TRUE(q.Empty());
+  // Double-cancel reports false.
+  EXPECT_FALSE(q.Cancel(id));
+}
+
+TEST(EventQueueTest, CancelledEventSkippedByPop) {
+  EventQueue q;
+  bool fired_a = false;
+  bool fired_b = false;
+  const EventId a = q.Push(SimTime::Millis(1), [&] { fired_a = true; });
+  q.Push(SimTime::Millis(2), [&] { fired_b = true; });
+  q.Cancel(a);
+  ASSERT_EQ(q.Size(), 1u);
+  EXPECT_EQ(q.NextTime(), SimTime::Millis(2));
+  q.Pop().fn();
+  EXPECT_FALSE(fired_a);
+  EXPECT_TRUE(fired_b);
+}
+
+TEST(EventQueueTest, CancelUnknownIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.Cancel(999));
+  EXPECT_FALSE(q.Cancel(kInvalidEventId));
+}
+
+TEST(EventQueueTest, IdsAreUniqueAndNeverReused) {
+  EventQueue q;
+  const EventId a = q.Push(SimTime::Millis(1), [] {});
+  q.Pop();
+  const EventId b = q.Push(SimTime::Millis(1), [] {});
+  EXPECT_NE(a, b);
+}
+
+TEST(EventQueueTest, SizeCountsOnlyLiveEvents) {
+  EventQueue q;
+  const EventId a = q.Push(SimTime::Millis(1), [] {});
+  q.Push(SimTime::Millis(2), [] {});
+  EXPECT_EQ(q.Size(), 2u);
+  q.Cancel(a);
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(EventQueueTest, ClearRemovesEverything) {
+  EventQueue q;
+  q.Push(SimTime::Millis(1), [] {});
+  q.Push(SimTime::Millis(2), [] {});
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+  // Queue is reusable after Clear.
+  q.Push(SimTime::Millis(3), [] {});
+  EXPECT_EQ(q.NextTime(), SimTime::Millis(3));
+}
+
+TEST(EventQueueTest, ManyEventsStressOrdering) {
+  EventQueue q;
+  for (int i = 999; i >= 0; --i) {
+    q.Push(SimTime::Micros(i * 7 % 500), [] {});
+  }
+  SimTime last;
+  while (!q.Empty()) {
+    const SimTime t = q.Pop().at;
+    EXPECT_GE(t, last);
+    last = t;
+  }
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,52 @@
+#include "src/sim/logger.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+class LoggerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Logger::SetLevel(LogLevel::kNone); }
+};
+
+TEST_F(LoggerTest, DefaultLevelIsNone) { EXPECT_EQ(Logger::Level(), LogLevel::kNone); }
+
+TEST_F(LoggerTest, SetLevelRoundTrips) {
+  Logger::SetLevel(LogLevel::kDebug);
+  EXPECT_EQ(Logger::Level(), LogLevel::kDebug);
+  Logger::SetLevel(LogLevel::kError);
+  EXPECT_EQ(Logger::Level(), LogLevel::kError);
+}
+
+TEST_F(LoggerTest, FilteredMessagesAreCheap) {
+  // With logging off, Log() must be callable from hot paths without crashing
+  // regardless of format arguments.
+  Logger::SetLevel(LogLevel::kNone);
+  for (int i = 0; i < 1000; ++i) {
+    DCS_LOG_DEBUG("quantum %d utilization %f", i, 0.5);
+  }
+  SUCCEED();
+}
+
+TEST_F(LoggerTest, EnabledMessagesDoNotCrash) {
+  // Output goes to stderr; we only verify the formatting path executes for
+  // every level and argument mix.
+  Logger::SetLevel(LogLevel::kDebug);
+  DCS_LOG_ERROR("error %s %d", "text", 1);
+  DCS_LOG_INFO("info %f", 2.5);
+  DCS_LOG_DEBUG("debug");
+  SUCCEED();
+}
+
+TEST_F(LoggerTest, LevelOrderingFilters) {
+  Logger::SetLevel(LogLevel::kError);
+  // Info and debug are above the error level numerically and must be
+  // dropped without evaluating the stream (no way to observe directly here
+  // beyond not crashing, but the ordering contract matters to callers).
+  EXPECT_LT(static_cast<int>(LogLevel::kError), static_cast<int>(LogLevel::kInfo));
+  EXPECT_LT(static_cast<int>(LogLevel::kInfo), static_cast<int>(LogLevel::kDebug));
+}
+
+}  // namespace
+}  // namespace dcs

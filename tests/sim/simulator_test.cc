@@ -1,0 +1,129 @@
+#include "src/sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <vector>
+
+namespace dcs {
+namespace {
+
+TEST(SimulatorTest, TimeStartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.Now(), SimTime::Zero());
+}
+
+TEST(SimulatorTest, RunAdvancesTimeToEventInstants) {
+  Simulator sim;
+  std::vector<std::int64_t> seen;
+  sim.At(SimTime::Millis(10), [&] { seen.push_back(sim.Now().millis()); });
+  sim.At(SimTime::Millis(5), [&] { seen.push_back(sim.Now().millis()); });
+  sim.Run();
+  EXPECT_EQ(seen, (std::vector<std::int64_t>{5, 10}));
+  EXPECT_EQ(sim.Now(), SimTime::Millis(10));
+}
+
+TEST(SimulatorTest, AfterSchedulesRelativeToNow) {
+  Simulator sim;
+  SimTime fired;
+  sim.At(SimTime::Millis(3), [&] {
+    sim.After(SimTime::Millis(4), [&] { fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, SimTime::Millis(7));
+}
+
+TEST(SimulatorTest, SchedulingInThePastFiresAtNow) {
+  Simulator sim;
+  SimTime fired;
+  sim.At(SimTime::Millis(10), [&] {
+    sim.At(SimTime::Millis(2), [&] { fired = sim.Now(); });
+  });
+  sim.Run();
+  EXPECT_EQ(fired, SimTime::Millis(10));
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadlineAndAdvancesClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::Millis(5), [&] { ++fired; });
+  sim.At(SimTime::Millis(15), [&] { ++fired; });
+  sim.RunUntil(SimTime::Millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), SimTime::Millis(10));
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, RunUntilIncludesEventsExactlyAtDeadline) {
+  Simulator sim;
+  bool fired = false;
+  sim.At(SimTime::Millis(10), [&] { fired = true; });
+  sim.RunUntil(SimTime::Millis(10));
+  EXPECT_TRUE(fired);
+}
+
+TEST(SimulatorTest, StepExecutesExactlyOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::Millis(1), [&] { ++fired; });
+  sim.At(SimTime::Millis(2), [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  const EventId id = sim.At(SimTime::Millis(1), [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, RequestStopEndsRunEarly) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::Millis(1), [&] {
+    ++fired;
+    sim.RequestStop();
+  });
+  sim.At(SimTime::Millis(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.PendingEvents(), 1u);
+}
+
+TEST(SimulatorTest, EventsExecutedCounter) {
+  Simulator sim;
+  for (int i = 0; i < 5; ++i) {
+    sim.At(SimTime::Millis(i), [] {});
+  }
+  sim.Run();
+  EXPECT_EQ(sim.events_executed(), 5u);
+}
+
+TEST(SimulatorTest, CascadingEventsRunToCompletion) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) {
+      sim.After(SimTime::Micros(1), chain);
+    }
+  };
+  sim.After(SimTime::Micros(1), chain);
+  sim.Run();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.Now(), SimTime::Micros(100));
+}
+
+TEST(SimulatorTest, RunUntilWithEmptyQueueJustAdvancesTime) {
+  Simulator sim;
+  sim.RunUntil(SimTime::Seconds(5));
+  EXPECT_EQ(sim.Now(), SimTime::Seconds(5));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,111 @@
+#include "src/sim/trace_sink.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dcs {
+namespace {
+
+TEST(TraceSeriesTest, AppendAndRead) {
+  TraceSeries s("test");
+  s.Append(SimTime::Millis(1), 0.5);
+  s.Append(SimTime::Millis(2), 0.7);
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.points()[0].value, 0.5);
+  EXPECT_EQ(s.points()[1].at, SimTime::Millis(2));
+}
+
+TEST(TraceSeriesTest, ValueAtSampleAndHold) {
+  TraceSeries s("test");
+  s.Append(SimTime::Millis(10), 1.0);
+  s.Append(SimTime::Millis(20), 2.0);
+  EXPECT_EQ(s.ValueAt(SimTime::Millis(5), -1.0), -1.0);  // before first
+  EXPECT_EQ(s.ValueAt(SimTime::Millis(10)), 1.0);
+  EXPECT_EQ(s.ValueAt(SimTime::Millis(15)), 1.0);
+  EXPECT_EQ(s.ValueAt(SimTime::Millis(20)), 2.0);
+  EXPECT_EQ(s.ValueAt(SimTime::Seconds(9)), 2.0);
+}
+
+TEST(TraceSeriesTest, MinMax) {
+  TraceSeries s("test");
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+  s.Append(SimTime::Millis(1), 3.0);
+  s.Append(SimTime::Millis(2), -1.0);
+  s.Append(SimTime::Millis(3), 2.0);
+  EXPECT_EQ(s.Min(), -1.0);
+  EXPECT_EQ(s.Max(), 3.0);
+}
+
+TEST(TraceSeriesTest, TimeWeightedMeanOverWindow) {
+  TraceSeries s("test");
+  s.Append(SimTime::Millis(0), 1.0);
+  s.Append(SimTime::Millis(10), 3.0);
+  // [0,10): 1.0, [10,20): 3.0 -> mean over [0,20) is 2.0.
+  EXPECT_DOUBLE_EQ(s.TimeWeightedMean(SimTime::Zero(), SimTime::Millis(20)), 2.0);
+  // Partial windows weight proportionally: [5,15) = 5ms@1 + 5ms@3 = 2.0.
+  EXPECT_DOUBLE_EQ(s.TimeWeightedMean(SimTime::Millis(5), SimTime::Millis(15)), 2.0);
+}
+
+TEST(TraceSeriesTest, TimeWeightedMeanExtendsFirstValueBackwards) {
+  TraceSeries s("test");
+  s.Append(SimTime::Millis(10), 4.0);
+  EXPECT_DOUBLE_EQ(s.TimeWeightedMean(SimTime::Zero(), SimTime::Millis(20)), 4.0);
+}
+
+TEST(TraceSeriesTest, TimeWeightedMeanEmptyWindowIsZero) {
+  TraceSeries s("test");
+  s.Append(SimTime::Millis(1), 5.0);
+  EXPECT_EQ(s.TimeWeightedMean(SimTime::Millis(3), SimTime::Millis(3)), 0.0);
+}
+
+TEST(TraceSeriesTest, RebucketAveragesPerInterval) {
+  TraceSeries s("test");
+  // Two samples in bucket 0, one in bucket 2 (bucket 1 empty).
+  s.Append(SimTime::Millis(1), 1.0);
+  s.Append(SimTime::Millis(9), 3.0);
+  s.Append(SimTime::Millis(25), 10.0);
+  const TraceSeries out = s.Rebucket(SimTime::Millis(10));
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_DOUBLE_EQ(out.points()[0].value, 2.0);
+  EXPECT_DOUBLE_EQ(out.points()[1].value, 2.0);  // empty bucket repeats
+  EXPECT_DOUBLE_EQ(out.points()[2].value, 10.0);
+}
+
+TEST(TraceSinkTest, SeriesCreatedOnFirstUse) {
+  TraceSink sink;
+  EXPECT_EQ(sink.Find("util"), nullptr);
+  sink.Series("util").Append(SimTime::Millis(1), 0.5);
+  ASSERT_NE(sink.Find("util"), nullptr);
+  EXPECT_EQ(sink.Find("util")->size(), 1u);
+}
+
+TEST(TraceSinkTest, NamesSorted) {
+  TraceSink sink;
+  sink.Series("zeta");
+  sink.Series("alpha");
+  const auto names = sink.Names();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "alpha");
+  EXPECT_EQ(names[1], "zeta");
+}
+
+TEST(TraceSinkTest, WriteCsv) {
+  TraceSink sink;
+  sink.Series("p").Append(SimTime::Micros(100), 1.5);
+  sink.Series("p").Append(SimTime::Micros(300), 2.5);
+  std::ostringstream os;
+  sink.WriteCsv("p", os);
+  EXPECT_EQ(os.str(), "time_us,value\n100,1.5\n300,2.5\n");
+}
+
+TEST(TraceSinkTest, WriteCsvUnknownSeriesHeaderOnly) {
+  TraceSink sink;
+  std::ostringstream os;
+  sink.WriteCsv("missing", os);
+  EXPECT_EQ(os.str(), "time_us,value\n");
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,99 @@
+#include "src/workload/deadline_monitor.h"
+
+#include <gtest/gtest.h>
+
+namespace dcs {
+namespace {
+
+TEST(DeadlineMonitorTest, StartsEmpty) {
+  DeadlineMonitor monitor;
+  EXPECT_EQ(monitor.TotalEvents(), 0);
+  EXPECT_EQ(monitor.TotalMissed(), 0);
+  EXPECT_FALSE(monitor.AnyMissed());
+  EXPECT_TRUE(monitor.Streams().empty());
+}
+
+TEST(DeadlineMonitorTest, OnTimeEventIsNotAMiss) {
+  DeadlineMonitor monitor;
+  monitor.Report("video", SimTime::Millis(100), SimTime::Millis(90));
+  EXPECT_EQ(monitor.TotalEvents(), 1);
+  EXPECT_EQ(monitor.TotalMissed(), 0);
+  EXPECT_EQ(monitor.Stats("video").worst_lateness, SimTime::Zero());
+}
+
+TEST(DeadlineMonitorTest, LateEventIsAMiss) {
+  DeadlineMonitor monitor;
+  monitor.Report("video", SimTime::Millis(100), SimTime::Millis(150));
+  EXPECT_EQ(monitor.TotalMissed(), 1);
+  EXPECT_EQ(monitor.Stats("video").worst_lateness, SimTime::Millis(50));
+  EXPECT_TRUE(monitor.AnyMissed());
+}
+
+TEST(DeadlineMonitorTest, ToleranceAbsorbsSmallLateness) {
+  DeadlineMonitor monitor;
+  monitor.Report("video", SimTime::Millis(100), SimTime::Millis(120), SimTime::Millis(30));
+  EXPECT_EQ(monitor.TotalMissed(), 0);
+  // Lateness still recorded even though within tolerance.
+  EXPECT_EQ(monitor.Stats("video").worst_lateness, SimTime::Millis(20));
+}
+
+TEST(DeadlineMonitorTest, ExactlyAtToleranceBoundaryIsNotAMiss) {
+  DeadlineMonitor monitor;
+  monitor.Report("s", SimTime::Millis(100), SimTime::Millis(130), SimTime::Millis(30));
+  EXPECT_EQ(monitor.TotalMissed(), 0);
+  monitor.Report("s", SimTime::Millis(100), SimTime::Millis(130) + SimTime::Nanos(1),
+                 SimTime::Millis(30));
+  EXPECT_EQ(monitor.TotalMissed(), 1);
+}
+
+TEST(DeadlineMonitorTest, StreamsTrackedSeparately) {
+  DeadlineMonitor monitor;
+  monitor.Report("video", SimTime::Millis(10), SimTime::Millis(20));
+  monitor.Report("audio", SimTime::Millis(10), SimTime::Millis(5));
+  EXPECT_EQ(monitor.Stats("video").missed, 1);
+  EXPECT_EQ(monitor.Stats("audio").missed, 0);
+  EXPECT_EQ(monitor.Streams().size(), 2u);
+  EXPECT_EQ(monitor.TotalEvents(), 2);
+}
+
+TEST(DeadlineMonitorTest, MissRatePerStream) {
+  DeadlineMonitor monitor;
+  for (int i = 0; i < 8; ++i) {
+    monitor.Report("s", SimTime::Millis(10), SimTime::Millis(i < 2 ? 20 : 5));
+  }
+  EXPECT_DOUBLE_EQ(monitor.Stats("s").MissRate(), 0.25);
+}
+
+TEST(DeadlineMonitorTest, WorstLatenessAcrossStreams) {
+  DeadlineMonitor monitor;
+  monitor.Report("a", SimTime::Millis(10), SimTime::Millis(14));
+  monitor.Report("b", SimTime::Millis(10), SimTime::Millis(35));
+  EXPECT_EQ(monitor.WorstLateness(), SimTime::Millis(25));
+}
+
+TEST(DeadlineMonitorTest, TotalLatenessAccumulates) {
+  DeadlineMonitor monitor;
+  monitor.Report("s", SimTime::Millis(10), SimTime::Millis(13));
+  monitor.Report("s", SimTime::Millis(10), SimTime::Millis(17));
+  monitor.Report("s", SimTime::Millis(10), SimTime::Millis(5));  // early: no lateness
+  EXPECT_EQ(monitor.Stats("s").total_lateness, SimTime::Millis(10));
+}
+
+TEST(DeadlineMonitorTest, UnknownStreamHasZeroStats) {
+  DeadlineMonitor monitor;
+  const auto stats = monitor.Stats("nothing");
+  EXPECT_EQ(stats.total, 0);
+  EXPECT_EQ(stats.missed, 0);
+  EXPECT_DOUBLE_EQ(stats.MissRate(), 0.0);
+}
+
+TEST(DeadlineMonitorTest, ClearResets) {
+  DeadlineMonitor monitor;
+  monitor.Report("s", SimTime::Millis(10), SimTime::Millis(20));
+  monitor.Clear();
+  EXPECT_EQ(monitor.TotalEvents(), 0);
+  EXPECT_TRUE(monitor.Streams().empty());
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,106 @@
+// Tests for the Pering-style elastic MPEG playback mode.
+
+#include <gtest/gtest.h>
+
+#include "src/workload/mpeg.h"
+#include "tests/workload/harness.h"
+
+namespace dcs {
+namespace {
+
+MpegConfig ElasticClip(double seconds) {
+  MpegConfig config;
+  config.duration = SimTime::FromSecondsF(seconds);
+  config.elastic = true;
+  return config;
+}
+
+TEST(ElasticMpegTest, NoDropsWhenFast) {
+  WorkloadHarness h(10);
+  auto video = std::make_unique<MpegVideoWorkload>(ElasticClip(10.0), &h.deadlines);
+  MpegVideoWorkload* raw = video.get();
+  h.Add(std::move(video));
+  h.Run(SimTime::Seconds(12));
+  EXPECT_EQ(raw->frames_dropped(), 0);
+  EXPECT_EQ(raw->frames_decoded(), 150);
+}
+
+TEST(ElasticMpegTest, DropsFramesWhenTooSlow) {
+  WorkloadHarness h(0);  // 59 MHz: decode takes ~2 frame periods
+  auto video = std::make_unique<MpegVideoWorkload>(ElasticClip(10.0), &h.deadlines);
+  MpegVideoWorkload* raw = video.get();
+  h.Add(std::move(video));
+  h.Run(SimTime::Seconds(15));
+  EXPECT_GT(raw->frames_dropped(), 40);
+  EXPECT_LT(raw->frames_dropped(), 150);
+  EXPECT_EQ(raw->frames_decoded(), 150);  // index advanced over the whole clip
+}
+
+TEST(ElasticMpegTest, StaysRealtimeUnlikeInelastic) {
+  // Elastic playback bounds lateness (it sheds load); inelastic playback
+  // accumulates it without bound at 59 MHz.
+  WorkloadHarness elastic_h(0);
+  auto elastic = std::make_unique<MpegVideoWorkload>(ElasticClip(10.0), &elastic_h.deadlines);
+  elastic_h.Add(std::move(elastic));
+  elastic_h.Run(SimTime::Seconds(20));
+
+  WorkloadHarness inelastic_h(0);
+  MpegConfig inelastic_config;
+  inelastic_config.duration = SimTime::Seconds(10);
+  auto inelastic =
+      std::make_unique<MpegVideoWorkload>(inelastic_config, &inelastic_h.deadlines);
+  inelastic_h.Add(std::move(inelastic));
+  inelastic_h.Run(SimTime::Seconds(30));
+
+  const SimTime elastic_worst = elastic_h.deadlines.Stats("video_frame").worst_lateness;
+  const SimTime inelastic_worst =
+      inelastic_h.deadlines.Stats("video_frame").worst_lateness;
+  EXPECT_LT(elastic_worst, SimTime::Millis(300));
+  EXPECT_GT(inelastic_worst, SimTime::Seconds(1));
+}
+
+TEST(ElasticMpegTest, DeliveredPlusDroppedCoversTheClip) {
+  WorkloadHarness h(2);  // 88.5 MHz: some drops
+  auto video = std::make_unique<MpegVideoWorkload>(ElasticClip(10.0), &h.deadlines);
+  MpegVideoWorkload* raw = video.get();
+  h.Add(std::move(video));
+  h.Run(SimTime::Seconds(15));
+  EXPECT_EQ(raw->frames_delivered() + raw->frames_dropped(), raw->frames_decoded());
+  EXPECT_EQ(h.deadlines.Stats("video_frame").total, raw->frames_delivered());
+}
+
+TEST(ElasticMpegTest, HigherClockDeliversMoreFrames) {
+  int delivered_slow = 0;
+  int delivered_fast = 0;
+  {
+    WorkloadHarness h(0);
+    auto video = std::make_unique<MpegVideoWorkload>(ElasticClip(10.0), nullptr);
+    MpegVideoWorkload* raw = video.get();
+    h.Add(std::move(video));
+    h.Run(SimTime::Seconds(15));
+    delivered_slow = raw->frames_delivered();
+  }
+  {
+    WorkloadHarness h(4);
+    auto video = std::make_unique<MpegVideoWorkload>(ElasticClip(10.0), nullptr);
+    MpegVideoWorkload* raw = video.get();
+    h.Add(std::move(video));
+    h.Run(SimTime::Seconds(15));
+    delivered_fast = raw->frames_delivered();
+  }
+  EXPECT_GT(delivered_fast, delivered_slow + 20);
+}
+
+TEST(ElasticMpegTest, InelasticDefaultNeverDrops) {
+  WorkloadHarness h(0);
+  MpegConfig config;
+  config.duration = SimTime::Seconds(5);
+  auto video = std::make_unique<MpegVideoWorkload>(config, nullptr);
+  MpegVideoWorkload* raw = video.get();
+  h.Add(std::move(video));
+  h.Run(SimTime::Seconds(20));
+  EXPECT_EQ(raw->frames_dropped(), 0);
+}
+
+}  // namespace
+}  // namespace dcs

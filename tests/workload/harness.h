@@ -1,0 +1,60 @@
+// Shared fixture for workload tests: runs workloads on a real kernel+Itsy at
+// a chosen fixed clock step and exposes the deadline monitor and traces.
+
+#ifndef TESTS_WORKLOAD_HARNESS_H_
+#define TESTS_WORKLOAD_HARNESS_H_
+
+#include <memory>
+
+#include "src/hw/itsy.h"
+#include "src/kernel/kernel.h"
+#include "src/sim/simulator.h"
+#include "src/workload/deadline_monitor.h"
+
+namespace dcs {
+
+class WorkloadHarness {
+ public:
+  explicit WorkloadHarness(int step = ClockTable::MaxStep(), std::uint64_t seed = 1) {
+    ItsyConfig config;
+    config.initial_step = step;
+    itsy = std::make_unique<Itsy>(sim, config);
+    KernelConfig kernel_config;
+    kernel_config.rng_seed = seed;
+    kernel = std::make_unique<Kernel>(sim, *itsy, kernel_config);
+  }
+
+  Pid Add(std::unique_ptr<Workload> workload) { return kernel->AddTask(std::move(workload)); }
+
+  void Run(SimTime duration) {
+    if (!started_) {
+      kernel->Start();
+      started_ = true;
+    }
+    sim.RunUntil(sim.Now() + duration);
+  }
+
+  double MeanUtilization(std::size_t skip = 0) const {
+    const TraceSeries* util = kernel->sink().Find("utilization");
+    if (util == nullptr || util->size() <= skip) {
+      return 0.0;
+    }
+    double sum = 0.0;
+    for (std::size_t i = skip; i < util->size(); ++i) {
+      sum += util->points()[i].value;
+    }
+    return sum / static_cast<double>(util->size() - skip);
+  }
+
+  Simulator sim;
+  std::unique_ptr<Itsy> itsy;
+  std::unique_ptr<Kernel> kernel;
+  DeadlineMonitor deadlines;
+
+ private:
+  bool started_ = false;
+};
+
+}  // namespace dcs
+
+#endif  // TESTS_WORKLOAD_HARNESS_H_

@@ -1,0 +1,101 @@
+#include "src/workload/input_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace dcs {
+namespace {
+
+TEST(InputTraceTest, RecordAndRead) {
+  InputTrace trace;
+  trace.Record(SimTime::Seconds(1), "tap", 1.0);
+  trace.Record(SimTime::Seconds(2), "scroll", 0.5);
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace.events()[0].kind, "tap");
+  EXPECT_EQ(trace.events()[1].at, SimTime::Seconds(2));
+  EXPECT_DOUBLE_EQ(trace.events()[1].magnitude, 0.5);
+}
+
+TEST(InputTraceTest, DurationIsLastEventTime) {
+  InputTrace trace;
+  EXPECT_EQ(trace.Duration(), SimTime::Zero());
+  trace.Record(SimTime::Seconds(3), "tap");
+  trace.Record(SimTime::Seconds(7), "tap");
+  EXPECT_EQ(trace.Duration(), SimTime::Seconds(7));
+}
+
+TEST(InputTraceTest, CsvRoundTrip) {
+  InputTrace trace;
+  trace.Record(SimTime::Millis(1500), "load", 1.7);
+  trace.Record(SimTime::Millis(2500), "scroll", 1.0);
+  std::stringstream ss;
+  trace.WriteCsv(ss);
+  const InputTrace loaded = InputTrace::ReadCsv(ss);
+  ASSERT_EQ(loaded.size(), 2u);
+  EXPECT_EQ(loaded.events()[0].at, SimTime::Millis(1500));
+  EXPECT_EQ(loaded.events()[0].kind, "load");
+  EXPECT_DOUBLE_EQ(loaded.events()[0].magnitude, 1.7);
+  EXPECT_EQ(loaded.events()[1].kind, "scroll");
+}
+
+TEST(InputTraceTest, ReadCsvSkipsMalformedRows) {
+  std::stringstream ss("time_us,kind,magnitude\n1000,tap,1.0\nbroken row\n2000,tap,2.0\n");
+  const InputTrace loaded = InputTrace::ReadCsv(ss);
+  EXPECT_EQ(loaded.size(), 2u);
+}
+
+TEST(InputTraceTest, ReplayJitterPreservesOrderAndCount) {
+  InputTrace trace;
+  for (int i = 0; i < 100; ++i) {
+    trace.Record(SimTime::Millis(10 * i), "tap", 1.0);
+  }
+  Rng rng(5);
+  const InputTrace jittered = trace.WithReplayJitter(rng, SimTime::Millis(2));
+  ASSERT_EQ(jittered.size(), trace.size());
+  SimTime previous;
+  for (const InputEvent& event : jittered.events()) {
+    EXPECT_GE(event.at, previous);
+    previous = event.at;
+  }
+}
+
+TEST(InputTraceTest, ReplayJitterBoundedByMillisecondAccuracy) {
+  // The paper's replay rig is millisecond-accurate; default jitter is 0.5 ms.
+  InputTrace trace;
+  for (int i = 1; i <= 50; ++i) {
+    trace.Record(SimTime::Seconds(i), "tap", 1.0);
+  }
+  Rng rng(9);
+  const InputTrace jittered = trace.WithReplayJitter(rng);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const SimTime delta = jittered.events()[i].at - trace.events()[i].at;
+    EXPECT_LE(delta.nanos(), 500000);
+    EXPECT_GE(delta.nanos(), -500000);
+  }
+}
+
+TEST(InputTraceTest, ReplayJitterActuallyPerturbs) {
+  InputTrace trace;
+  for (int i = 1; i <= 20; ++i) {
+    trace.Record(SimTime::Seconds(i), "tap", 1.0);
+  }
+  Rng rng(11);
+  const InputTrace jittered = trace.WithReplayJitter(rng);
+  bool any_moved = false;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    any_moved |= (jittered.events()[i].at != trace.events()[i].at);
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(InputTraceTest, JitterNeverProducesNegativeTimes) {
+  InputTrace trace;
+  trace.Record(SimTime::Micros(100), "tap", 1.0);
+  Rng rng(13);
+  const InputTrace jittered = trace.WithReplayJitter(rng, SimTime::Millis(10));
+  EXPECT_GE(jittered.events()[0].at, SimTime::Zero());
+}
+
+}  // namespace
+}  // namespace dcs
