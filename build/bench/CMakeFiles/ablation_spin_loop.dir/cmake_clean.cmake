@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spin_loop.dir/ablation_spin_loop.cc.o"
+  "CMakeFiles/ablation_spin_loop.dir/ablation_spin_loop.cc.o.d"
+  "ablation_spin_loop"
+  "ablation_spin_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spin_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_switch_cost.dir/ablation_switch_cost.cc.o"
+  "CMakeFiles/ablation_switch_cost.dir/ablation_switch_cost.cc.o.d"
+  "ablation_switch_cost"
+  "ablation_switch_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_switch_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_governor.dir/deadline_governor.cc.o"
+  "CMakeFiles/deadline_governor.dir/deadline_governor.cc.o.d"
+  "deadline_governor"
+  "deadline_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

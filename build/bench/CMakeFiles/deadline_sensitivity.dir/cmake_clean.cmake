@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_sensitivity.dir/deadline_sensitivity.cc.o"
+  "CMakeFiles/deadline_sensitivity.dir/deadline_sensitivity.cc.o.d"
+  "deadline_sensitivity"
+  "deadline_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

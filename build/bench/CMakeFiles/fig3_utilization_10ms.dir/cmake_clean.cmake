@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_utilization_10ms.dir/fig3_utilization_10ms.cc.o"
+  "CMakeFiles/fig3_utilization_10ms.dir/fig3_utilization_10ms.cc.o.d"
+  "fig3_utilization_10ms"
+  "fig3_utilization_10ms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_utilization_10ms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_utilization_10ms.
+# This may be replaced when dependencies are built.

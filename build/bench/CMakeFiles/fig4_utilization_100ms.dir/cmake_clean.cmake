@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_utilization_100ms.dir/fig4_utilization_100ms.cc.o"
+  "CMakeFiles/fig4_utilization_100ms.dir/fig4_utilization_100ms.cc.o.d"
+  "fig4_utilization_100ms"
+  "fig4_utilization_100ms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_utilization_100ms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_utilization_100ms.
+# This may be replaced when dependencies are built.

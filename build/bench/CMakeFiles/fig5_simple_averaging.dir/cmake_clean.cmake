@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_simple_averaging.dir/fig5_simple_averaging.cc.o"
+  "CMakeFiles/fig5_simple_averaging.dir/fig5_simple_averaging.cc.o.d"
+  "fig5_simple_averaging"
+  "fig5_simple_averaging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_simple_averaging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

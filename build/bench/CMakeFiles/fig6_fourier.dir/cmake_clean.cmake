@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_fourier.dir/fig6_fourier.cc.o"
+  "CMakeFiles/fig6_fourier.dir/fig6_fourier.cc.o.d"
+  "fig6_fourier"
+  "fig6_fourier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_fourier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_avg3_oscillation.dir/fig7_avg3_oscillation.cc.o"
+  "CMakeFiles/fig7_avg3_oscillation.dir/fig7_avg3_oscillation.cc.o.d"
+  "fig7_avg3_oscillation"
+  "fig7_avg3_oscillation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_avg3_oscillation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

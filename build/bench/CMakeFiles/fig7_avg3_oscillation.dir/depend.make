@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7_avg3_oscillation.
+# This may be replaced when dependencies are built.

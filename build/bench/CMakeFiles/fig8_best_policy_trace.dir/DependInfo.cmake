@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig8_best_policy_trace.cc" "bench/CMakeFiles/fig8_best_policy_trace.dir/fig8_best_policy_trace.cc.o" "gcc" "bench/CMakeFiles/fig8_best_policy_trace.dir/fig8_best_policy_trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/dcs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/daq/CMakeFiles/dcs_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/dcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_best_policy_trace.dir/fig8_best_policy_trace.cc.o"
+  "CMakeFiles/fig8_best_policy_trace.dir/fig8_best_policy_trace.cc.o.d"
+  "fig8_best_policy_trace"
+  "fig8_best_policy_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_best_policy_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

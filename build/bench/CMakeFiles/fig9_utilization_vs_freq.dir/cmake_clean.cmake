@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_utilization_vs_freq.dir/fig9_utilization_vs_freq.cc.o"
+  "CMakeFiles/fig9_utilization_vs_freq.dir/fig9_utilization_vs_freq.cc.o.d"
+  "fig9_utilization_vs_freq"
+  "fig9_utilization_vs_freq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_utilization_vs_freq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/govil_policies.dir/govil_policies.cc.o"
+  "CMakeFiles/govil_policies.dir/govil_policies.cc.o.d"
+  "govil_policies"
+  "govil_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/govil_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

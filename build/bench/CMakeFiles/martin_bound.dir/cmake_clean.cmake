@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/martin_bound.dir/martin_bound.cc.o"
+  "CMakeFiles/martin_bound.dir/martin_bound.cc.o.d"
+  "martin_bound"
+  "martin_bound.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/martin_bound.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

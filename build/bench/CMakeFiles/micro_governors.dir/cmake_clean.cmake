@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_governors.dir/micro_governors.cc.o"
+  "CMakeFiles/micro_governors.dir/micro_governors.cc.o.d"
+  "micro_governors"
+  "micro_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

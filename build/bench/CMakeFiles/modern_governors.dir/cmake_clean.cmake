@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modern_governors.dir/modern_governors.cc.o"
+  "CMakeFiles/modern_governors.dir/modern_governors.cc.o.d"
+  "modern_governors"
+  "modern_governors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modern_governors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

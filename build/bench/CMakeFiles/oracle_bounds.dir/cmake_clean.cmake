@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oracle_bounds.dir/oracle_bounds.cc.o"
+  "CMakeFiles/oracle_bounds.dir/oracle_bounds.cc.o.d"
+  "oracle_bounds"
+  "oracle_bounds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oracle_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

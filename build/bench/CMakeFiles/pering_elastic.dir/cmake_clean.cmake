@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pering_elastic.dir/pering_elastic.cc.o"
+  "CMakeFiles/pering_elastic.dir/pering_elastic.cc.o.d"
+  "pering_elastic"
+  "pering_elastic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pering_elastic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sweep_avgn.dir/sweep_avgn.cc.o"
+  "CMakeFiles/sweep_avgn.dir/sweep_avgn.cc.o.d"
+  "sweep_avgn"
+  "sweep_avgn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sweep_avgn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

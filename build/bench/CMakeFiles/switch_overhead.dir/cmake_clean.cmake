@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/switch_overhead.dir/switch_overhead.cc.o"
+  "CMakeFiles/switch_overhead.dir/switch_overhead.cc.o.d"
+  "switch_overhead"
+  "switch_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/switch_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab1_avg9_actions.dir/tab1_avg9_actions.cc.o"
+  "CMakeFiles/tab1_avg9_actions.dir/tab1_avg9_actions.cc.o.d"
+  "tab1_avg9_actions"
+  "tab1_avg9_actions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab1_avg9_actions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

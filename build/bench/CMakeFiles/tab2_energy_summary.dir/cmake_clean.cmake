@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab2_energy_summary.dir/tab2_energy_summary.cc.o"
+  "CMakeFiles/tab2_energy_summary.dir/tab2_energy_summary.cc.o.d"
+  "tab2_energy_summary"
+  "tab2_energy_summary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab2_energy_summary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab3_memory_latency.dir/tab3_memory_latency.cc.o"
+  "CMakeFiles/tab3_memory_latency.dir/tab3_memory_latency.cc.o.d"
+  "tab3_memory_latency"
+  "tab3_memory_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab3_memory_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

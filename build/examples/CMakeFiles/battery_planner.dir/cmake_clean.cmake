@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/battery_planner.dir/battery_planner.cpp.o"
+  "CMakeFiles/battery_planner.dir/battery_planner.cpp.o.d"
+  "battery_planner"
+  "battery_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/battery_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

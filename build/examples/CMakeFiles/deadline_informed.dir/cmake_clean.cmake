@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deadline_informed.dir/deadline_informed.cpp.o"
+  "CMakeFiles/deadline_informed.dir/deadline_informed.cpp.o.d"
+  "deadline_informed"
+  "deadline_informed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deadline_informed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

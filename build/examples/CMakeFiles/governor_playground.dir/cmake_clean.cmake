@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/governor_playground.dir/governor_playground.cpp.o"
+  "CMakeFiles/governor_playground.dir/governor_playground.cpp.o.d"
+  "governor_playground"
+  "governor_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/governor_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/filters.cc" "src/analysis/CMakeFiles/dcs_analysis.dir/filters.cc.o" "gcc" "src/analysis/CMakeFiles/dcs_analysis.dir/filters.cc.o.d"
+  "/root/repo/src/analysis/fourier.cc" "src/analysis/CMakeFiles/dcs_analysis.dir/fourier.cc.o" "gcc" "src/analysis/CMakeFiles/dcs_analysis.dir/fourier.cc.o.d"
+  "/root/repo/src/analysis/step_response.cc" "src/analysis/CMakeFiles/dcs_analysis.dir/step_response.cc.o" "gcc" "src/analysis/CMakeFiles/dcs_analysis.dir/step_response.cc.o.d"
+  "/root/repo/src/analysis/trace_io.cc" "src/analysis/CMakeFiles/dcs_analysis.dir/trace_io.cc.o" "gcc" "src/analysis/CMakeFiles/dcs_analysis.dir/trace_io.cc.o.d"
+  "/root/repo/src/analysis/utilization.cc" "src/analysis/CMakeFiles/dcs_analysis.dir/utilization.cc.o" "gcc" "src/analysis/CMakeFiles/dcs_analysis.dir/utilization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/dcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dcs_hw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

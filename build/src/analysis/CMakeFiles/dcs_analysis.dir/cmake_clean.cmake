@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_analysis.dir/filters.cc.o"
+  "CMakeFiles/dcs_analysis.dir/filters.cc.o.d"
+  "CMakeFiles/dcs_analysis.dir/fourier.cc.o"
+  "CMakeFiles/dcs_analysis.dir/fourier.cc.o.d"
+  "CMakeFiles/dcs_analysis.dir/step_response.cc.o"
+  "CMakeFiles/dcs_analysis.dir/step_response.cc.o.d"
+  "CMakeFiles/dcs_analysis.dir/trace_io.cc.o"
+  "CMakeFiles/dcs_analysis.dir/trace_io.cc.o.d"
+  "CMakeFiles/dcs_analysis.dir/utilization.cc.o"
+  "CMakeFiles/dcs_analysis.dir/utilization.cc.o.d"
+  "libdcs_analysis.a"
+  "libdcs_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

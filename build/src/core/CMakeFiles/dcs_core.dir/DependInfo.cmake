@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cycle_count_governor.cc" "src/core/CMakeFiles/dcs_core.dir/cycle_count_governor.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/cycle_count_governor.cc.o.d"
+  "/root/repo/src/core/deadline_governor.cc" "src/core/CMakeFiles/dcs_core.dir/deadline_governor.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/deadline_governor.cc.o.d"
+  "/root/repo/src/core/fixed_policy.cc" "src/core/CMakeFiles/dcs_core.dir/fixed_policy.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/fixed_policy.cc.o.d"
+  "/root/repo/src/core/governor_registry.cc" "src/core/CMakeFiles/dcs_core.dir/governor_registry.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/governor_registry.cc.o.d"
+  "/root/repo/src/core/govil_policies.cc" "src/core/CMakeFiles/dcs_core.dir/govil_policies.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/govil_policies.cc.o.d"
+  "/root/repo/src/core/interval_governor.cc" "src/core/CMakeFiles/dcs_core.dir/interval_governor.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/interval_governor.cc.o.d"
+  "/root/repo/src/core/martin_bound.cc" "src/core/CMakeFiles/dcs_core.dir/martin_bound.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/martin_bound.cc.o.d"
+  "/root/repo/src/core/modern_governors.cc" "src/core/CMakeFiles/dcs_core.dir/modern_governors.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/modern_governors.cc.o.d"
+  "/root/repo/src/core/oracle.cc" "src/core/CMakeFiles/dcs_core.dir/oracle.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/oracle.cc.o.d"
+  "/root/repo/src/core/predictor.cc" "src/core/CMakeFiles/dcs_core.dir/predictor.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/predictor.cc.o.d"
+  "/root/repo/src/core/rate_governor.cc" "src/core/CMakeFiles/dcs_core.dir/rate_governor.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/rate_governor.cc.o.d"
+  "/root/repo/src/core/replay_policy.cc" "src/core/CMakeFiles/dcs_core.dir/replay_policy.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/replay_policy.cc.o.d"
+  "/root/repo/src/core/speed_policy.cc" "src/core/CMakeFiles/dcs_core.dir/speed_policy.cc.o" "gcc" "src/core/CMakeFiles/dcs_core.dir/speed_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/dcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

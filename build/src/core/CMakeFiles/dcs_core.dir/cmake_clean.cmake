@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_core.dir/cycle_count_governor.cc.o"
+  "CMakeFiles/dcs_core.dir/cycle_count_governor.cc.o.d"
+  "CMakeFiles/dcs_core.dir/deadline_governor.cc.o"
+  "CMakeFiles/dcs_core.dir/deadline_governor.cc.o.d"
+  "CMakeFiles/dcs_core.dir/fixed_policy.cc.o"
+  "CMakeFiles/dcs_core.dir/fixed_policy.cc.o.d"
+  "CMakeFiles/dcs_core.dir/governor_registry.cc.o"
+  "CMakeFiles/dcs_core.dir/governor_registry.cc.o.d"
+  "CMakeFiles/dcs_core.dir/govil_policies.cc.o"
+  "CMakeFiles/dcs_core.dir/govil_policies.cc.o.d"
+  "CMakeFiles/dcs_core.dir/interval_governor.cc.o"
+  "CMakeFiles/dcs_core.dir/interval_governor.cc.o.d"
+  "CMakeFiles/dcs_core.dir/martin_bound.cc.o"
+  "CMakeFiles/dcs_core.dir/martin_bound.cc.o.d"
+  "CMakeFiles/dcs_core.dir/modern_governors.cc.o"
+  "CMakeFiles/dcs_core.dir/modern_governors.cc.o.d"
+  "CMakeFiles/dcs_core.dir/oracle.cc.o"
+  "CMakeFiles/dcs_core.dir/oracle.cc.o.d"
+  "CMakeFiles/dcs_core.dir/predictor.cc.o"
+  "CMakeFiles/dcs_core.dir/predictor.cc.o.d"
+  "CMakeFiles/dcs_core.dir/rate_governor.cc.o"
+  "CMakeFiles/dcs_core.dir/rate_governor.cc.o.d"
+  "CMakeFiles/dcs_core.dir/replay_policy.cc.o"
+  "CMakeFiles/dcs_core.dir/replay_policy.cc.o.d"
+  "CMakeFiles/dcs_core.dir/speed_policy.cc.o"
+  "CMakeFiles/dcs_core.dir/speed_policy.cc.o.d"
+  "libdcs_core.a"
+  "libdcs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_daq.dir/daq.cc.o"
+  "CMakeFiles/dcs_daq.dir/daq.cc.o.d"
+  "CMakeFiles/dcs_daq.dir/stats.cc.o"
+  "CMakeFiles/dcs_daq.dir/stats.cc.o.d"
+  "libdcs_daq.a"
+  "libdcs_daq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_daq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/artifacts.cc" "src/exp/CMakeFiles/dcs_exp.dir/artifacts.cc.o" "gcc" "src/exp/CMakeFiles/dcs_exp.dir/artifacts.cc.o.d"
+  "/root/repo/src/exp/ascii_plot.cc" "src/exp/CMakeFiles/dcs_exp.dir/ascii_plot.cc.o" "gcc" "src/exp/CMakeFiles/dcs_exp.dir/ascii_plot.cc.o.d"
+  "/root/repo/src/exp/experiment.cc" "src/exp/CMakeFiles/dcs_exp.dir/experiment.cc.o" "gcc" "src/exp/CMakeFiles/dcs_exp.dir/experiment.cc.o.d"
+  "/root/repo/src/exp/repeat.cc" "src/exp/CMakeFiles/dcs_exp.dir/repeat.cc.o" "gcc" "src/exp/CMakeFiles/dcs_exp.dir/repeat.cc.o.d"
+  "/root/repo/src/exp/report.cc" "src/exp/CMakeFiles/dcs_exp.dir/report.cc.o" "gcc" "src/exp/CMakeFiles/dcs_exp.dir/report.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/dcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/daq/CMakeFiles/dcs_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/dcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

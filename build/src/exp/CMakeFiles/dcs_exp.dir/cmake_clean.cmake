@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_exp.dir/artifacts.cc.o"
+  "CMakeFiles/dcs_exp.dir/artifacts.cc.o.d"
+  "CMakeFiles/dcs_exp.dir/ascii_plot.cc.o"
+  "CMakeFiles/dcs_exp.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/dcs_exp.dir/experiment.cc.o"
+  "CMakeFiles/dcs_exp.dir/experiment.cc.o.d"
+  "CMakeFiles/dcs_exp.dir/repeat.cc.o"
+  "CMakeFiles/dcs_exp.dir/repeat.cc.o.d"
+  "CMakeFiles/dcs_exp.dir/report.cc.o"
+  "CMakeFiles/dcs_exp.dir/report.cc.o.d"
+  "libdcs_exp.a"
+  "libdcs_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

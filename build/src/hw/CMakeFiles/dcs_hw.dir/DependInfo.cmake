@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/battery.cc" "src/hw/CMakeFiles/dcs_hw.dir/battery.cc.o" "gcc" "src/hw/CMakeFiles/dcs_hw.dir/battery.cc.o.d"
+  "/root/repo/src/hw/clock_table.cc" "src/hw/CMakeFiles/dcs_hw.dir/clock_table.cc.o" "gcc" "src/hw/CMakeFiles/dcs_hw.dir/clock_table.cc.o.d"
+  "/root/repo/src/hw/cpu.cc" "src/hw/CMakeFiles/dcs_hw.dir/cpu.cc.o" "gcc" "src/hw/CMakeFiles/dcs_hw.dir/cpu.cc.o.d"
+  "/root/repo/src/hw/gpio.cc" "src/hw/CMakeFiles/dcs_hw.dir/gpio.cc.o" "gcc" "src/hw/CMakeFiles/dcs_hw.dir/gpio.cc.o.d"
+  "/root/repo/src/hw/itsy.cc" "src/hw/CMakeFiles/dcs_hw.dir/itsy.cc.o" "gcc" "src/hw/CMakeFiles/dcs_hw.dir/itsy.cc.o.d"
+  "/root/repo/src/hw/memory_model.cc" "src/hw/CMakeFiles/dcs_hw.dir/memory_model.cc.o" "gcc" "src/hw/CMakeFiles/dcs_hw.dir/memory_model.cc.o.d"
+  "/root/repo/src/hw/power_model.cc" "src/hw/CMakeFiles/dcs_hw.dir/power_model.cc.o" "gcc" "src/hw/CMakeFiles/dcs_hw.dir/power_model.cc.o.d"
+  "/root/repo/src/hw/power_tape.cc" "src/hw/CMakeFiles/dcs_hw.dir/power_tape.cc.o" "gcc" "src/hw/CMakeFiles/dcs_hw.dir/power_tape.cc.o.d"
+  "/root/repo/src/hw/voltage_regulator.cc" "src/hw/CMakeFiles/dcs_hw.dir/voltage_regulator.cc.o" "gcc" "src/hw/CMakeFiles/dcs_hw.dir/voltage_regulator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

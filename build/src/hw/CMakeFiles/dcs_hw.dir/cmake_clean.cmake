@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_hw.dir/battery.cc.o"
+  "CMakeFiles/dcs_hw.dir/battery.cc.o.d"
+  "CMakeFiles/dcs_hw.dir/clock_table.cc.o"
+  "CMakeFiles/dcs_hw.dir/clock_table.cc.o.d"
+  "CMakeFiles/dcs_hw.dir/cpu.cc.o"
+  "CMakeFiles/dcs_hw.dir/cpu.cc.o.d"
+  "CMakeFiles/dcs_hw.dir/gpio.cc.o"
+  "CMakeFiles/dcs_hw.dir/gpio.cc.o.d"
+  "CMakeFiles/dcs_hw.dir/itsy.cc.o"
+  "CMakeFiles/dcs_hw.dir/itsy.cc.o.d"
+  "CMakeFiles/dcs_hw.dir/memory_model.cc.o"
+  "CMakeFiles/dcs_hw.dir/memory_model.cc.o.d"
+  "CMakeFiles/dcs_hw.dir/power_model.cc.o"
+  "CMakeFiles/dcs_hw.dir/power_model.cc.o.d"
+  "CMakeFiles/dcs_hw.dir/power_tape.cc.o"
+  "CMakeFiles/dcs_hw.dir/power_tape.cc.o.d"
+  "CMakeFiles/dcs_hw.dir/voltage_regulator.cc.o"
+  "CMakeFiles/dcs_hw.dir/voltage_regulator.cc.o.d"
+  "libdcs_hw.a"
+  "libdcs_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

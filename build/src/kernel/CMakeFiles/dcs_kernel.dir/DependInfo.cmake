@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kernel/kernel.cc" "src/kernel/CMakeFiles/dcs_kernel.dir/kernel.cc.o" "gcc" "src/kernel/CMakeFiles/dcs_kernel.dir/kernel.cc.o.d"
+  "/root/repo/src/kernel/run_queue.cc" "src/kernel/CMakeFiles/dcs_kernel.dir/run_queue.cc.o" "gcc" "src/kernel/CMakeFiles/dcs_kernel.dir/run_queue.cc.o.d"
+  "/root/repo/src/kernel/sched_log.cc" "src/kernel/CMakeFiles/dcs_kernel.dir/sched_log.cc.o" "gcc" "src/kernel/CMakeFiles/dcs_kernel.dir/sched_log.cc.o.d"
+  "/root/repo/src/kernel/task.cc" "src/kernel/CMakeFiles/dcs_kernel.dir/task.cc.o" "gcc" "src/kernel/CMakeFiles/dcs_kernel.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/dcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_kernel.dir/kernel.cc.o"
+  "CMakeFiles/dcs_kernel.dir/kernel.cc.o.d"
+  "CMakeFiles/dcs_kernel.dir/run_queue.cc.o"
+  "CMakeFiles/dcs_kernel.dir/run_queue.cc.o.d"
+  "CMakeFiles/dcs_kernel.dir/sched_log.cc.o"
+  "CMakeFiles/dcs_kernel.dir/sched_log.cc.o.d"
+  "CMakeFiles/dcs_kernel.dir/task.cc.o"
+  "CMakeFiles/dcs_kernel.dir/task.cc.o.d"
+  "libdcs_kernel.a"
+  "libdcs_kernel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

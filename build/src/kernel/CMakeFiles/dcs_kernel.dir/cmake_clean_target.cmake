@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdcs_kernel.a"
+)

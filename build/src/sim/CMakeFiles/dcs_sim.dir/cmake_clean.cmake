@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_sim.dir/event_queue.cc.o"
+  "CMakeFiles/dcs_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/dcs_sim.dir/logger.cc.o"
+  "CMakeFiles/dcs_sim.dir/logger.cc.o.d"
+  "CMakeFiles/dcs_sim.dir/rng.cc.o"
+  "CMakeFiles/dcs_sim.dir/rng.cc.o.d"
+  "CMakeFiles/dcs_sim.dir/simulator.cc.o"
+  "CMakeFiles/dcs_sim.dir/simulator.cc.o.d"
+  "CMakeFiles/dcs_sim.dir/time.cc.o"
+  "CMakeFiles/dcs_sim.dir/time.cc.o.d"
+  "CMakeFiles/dcs_sim.dir/trace_sink.cc.o"
+  "CMakeFiles/dcs_sim.dir/trace_sink.cc.o.d"
+  "libdcs_sim.a"
+  "libdcs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

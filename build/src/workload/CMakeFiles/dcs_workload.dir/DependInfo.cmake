@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/apps.cc" "src/workload/CMakeFiles/dcs_workload.dir/apps.cc.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/apps.cc.o.d"
+  "/root/repo/src/workload/chess.cc" "src/workload/CMakeFiles/dcs_workload.dir/chess.cc.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/chess.cc.o.d"
+  "/root/repo/src/workload/deadline_monitor.cc" "src/workload/CMakeFiles/dcs_workload.dir/deadline_monitor.cc.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/deadline_monitor.cc.o.d"
+  "/root/repo/src/workload/input_trace.cc" "src/workload/CMakeFiles/dcs_workload.dir/input_trace.cc.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/input_trace.cc.o.d"
+  "/root/repo/src/workload/java_vm.cc" "src/workload/CMakeFiles/dcs_workload.dir/java_vm.cc.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/java_vm.cc.o.d"
+  "/root/repo/src/workload/mpeg.cc" "src/workload/CMakeFiles/dcs_workload.dir/mpeg.cc.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/mpeg.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/dcs_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/talking_editor.cc" "src/workload/CMakeFiles/dcs_workload.dir/talking_editor.cc.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/talking_editor.cc.o.d"
+  "/root/repo/src/workload/web.cc" "src/workload/CMakeFiles/dcs_workload.dir/web.cc.o" "gcc" "src/workload/CMakeFiles/dcs_workload.dir/web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/kernel/CMakeFiles/dcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

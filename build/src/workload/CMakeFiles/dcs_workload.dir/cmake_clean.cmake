@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dcs_workload.dir/apps.cc.o"
+  "CMakeFiles/dcs_workload.dir/apps.cc.o.d"
+  "CMakeFiles/dcs_workload.dir/chess.cc.o"
+  "CMakeFiles/dcs_workload.dir/chess.cc.o.d"
+  "CMakeFiles/dcs_workload.dir/deadline_monitor.cc.o"
+  "CMakeFiles/dcs_workload.dir/deadline_monitor.cc.o.d"
+  "CMakeFiles/dcs_workload.dir/input_trace.cc.o"
+  "CMakeFiles/dcs_workload.dir/input_trace.cc.o.d"
+  "CMakeFiles/dcs_workload.dir/java_vm.cc.o"
+  "CMakeFiles/dcs_workload.dir/java_vm.cc.o.d"
+  "CMakeFiles/dcs_workload.dir/mpeg.cc.o"
+  "CMakeFiles/dcs_workload.dir/mpeg.cc.o.d"
+  "CMakeFiles/dcs_workload.dir/synthetic.cc.o"
+  "CMakeFiles/dcs_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/dcs_workload.dir/talking_editor.cc.o"
+  "CMakeFiles/dcs_workload.dir/talking_editor.cc.o.d"
+  "CMakeFiles/dcs_workload.dir/web.cc.o"
+  "CMakeFiles/dcs_workload.dir/web.cc.o.d"
+  "libdcs_workload.a"
+  "libdcs_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dcs_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_tests.dir/analysis/filters_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/filters_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/fourier_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/fourier_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/step_response_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/step_response_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/trace_io_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/trace_io_test.cc.o.d"
+  "CMakeFiles/analysis_tests.dir/analysis/utilization_test.cc.o"
+  "CMakeFiles/analysis_tests.dir/analysis/utilization_test.cc.o.d"
+  "analysis_tests"
+  "analysis_tests.pdb"
+  "analysis_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cycle_count_governor_test.cc" "tests/CMakeFiles/core_tests.dir/core/cycle_count_governor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cycle_count_governor_test.cc.o.d"
+  "/root/repo/tests/core/deadline_governor_test.cc" "tests/CMakeFiles/core_tests.dir/core/deadline_governor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/deadline_governor_test.cc.o.d"
+  "/root/repo/tests/core/fixed_policy_test.cc" "tests/CMakeFiles/core_tests.dir/core/fixed_policy_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/fixed_policy_test.cc.o.d"
+  "/root/repo/tests/core/governor_registry_test.cc" "tests/CMakeFiles/core_tests.dir/core/governor_registry_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/governor_registry_test.cc.o.d"
+  "/root/repo/tests/core/govil_policies_test.cc" "tests/CMakeFiles/core_tests.dir/core/govil_policies_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/govil_policies_test.cc.o.d"
+  "/root/repo/tests/core/interval_governor_test.cc" "tests/CMakeFiles/core_tests.dir/core/interval_governor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/interval_governor_test.cc.o.d"
+  "/root/repo/tests/core/martin_bound_test.cc" "tests/CMakeFiles/core_tests.dir/core/martin_bound_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/martin_bound_test.cc.o.d"
+  "/root/repo/tests/core/modern_governors_test.cc" "tests/CMakeFiles/core_tests.dir/core/modern_governors_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/modern_governors_test.cc.o.d"
+  "/root/repo/tests/core/oracle_test.cc" "tests/CMakeFiles/core_tests.dir/core/oracle_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/oracle_test.cc.o.d"
+  "/root/repo/tests/core/predictor_test.cc" "tests/CMakeFiles/core_tests.dir/core/predictor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/predictor_test.cc.o.d"
+  "/root/repo/tests/core/rate_governor_test.cc" "tests/CMakeFiles/core_tests.dir/core/rate_governor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/rate_governor_test.cc.o.d"
+  "/root/repo/tests/core/replay_policy_test.cc" "tests/CMakeFiles/core_tests.dir/core/replay_policy_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/replay_policy_test.cc.o.d"
+  "/root/repo/tests/core/speed_policy_test.cc" "tests/CMakeFiles/core_tests.dir/core/speed_policy_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/speed_policy_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/dcs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/daq/CMakeFiles/dcs_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/dcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

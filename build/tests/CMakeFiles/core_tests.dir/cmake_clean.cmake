@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/cycle_count_governor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/cycle_count_governor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/deadline_governor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/deadline_governor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/fixed_policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/fixed_policy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/governor_registry_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/governor_registry_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/govil_policies_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/govil_policies_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/interval_governor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/interval_governor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/martin_bound_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/martin_bound_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/modern_governors_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/modern_governors_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/oracle_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/oracle_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/predictor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/predictor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/rate_governor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/rate_governor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/replay_policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/replay_policy_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/speed_policy_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/speed_policy_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

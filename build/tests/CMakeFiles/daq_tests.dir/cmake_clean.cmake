@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/daq_tests.dir/daq/daq_test.cc.o"
+  "CMakeFiles/daq_tests.dir/daq/daq_test.cc.o.d"
+  "CMakeFiles/daq_tests.dir/daq/stats_test.cc.o"
+  "CMakeFiles/daq_tests.dir/daq/stats_test.cc.o.d"
+  "daq_tests"
+  "daq_tests.pdb"
+  "daq_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/daq_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

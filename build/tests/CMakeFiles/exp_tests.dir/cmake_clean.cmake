@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_tests.dir/exp/artifacts_test.cc.o"
+  "CMakeFiles/exp_tests.dir/exp/artifacts_test.cc.o.d"
+  "CMakeFiles/exp_tests.dir/exp/ascii_plot_test.cc.o"
+  "CMakeFiles/exp_tests.dir/exp/ascii_plot_test.cc.o.d"
+  "CMakeFiles/exp_tests.dir/exp/experiment_test.cc.o"
+  "CMakeFiles/exp_tests.dir/exp/experiment_test.cc.o.d"
+  "CMakeFiles/exp_tests.dir/exp/repeat_test.cc.o"
+  "CMakeFiles/exp_tests.dir/exp/repeat_test.cc.o.d"
+  "CMakeFiles/exp_tests.dir/exp/report_test.cc.o"
+  "CMakeFiles/exp_tests.dir/exp/report_test.cc.o.d"
+  "exp_tests"
+  "exp_tests.pdb"
+  "exp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

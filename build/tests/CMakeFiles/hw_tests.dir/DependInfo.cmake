@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/battery_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/battery_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/battery_test.cc.o.d"
+  "/root/repo/tests/hw/clock_table_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/clock_table_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/clock_table_test.cc.o.d"
+  "/root/repo/tests/hw/cpu_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/cpu_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/cpu_test.cc.o.d"
+  "/root/repo/tests/hw/gpio_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/gpio_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/gpio_test.cc.o.d"
+  "/root/repo/tests/hw/itsy_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/itsy_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/itsy_test.cc.o.d"
+  "/root/repo/tests/hw/memory_model_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/memory_model_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/memory_model_test.cc.o.d"
+  "/root/repo/tests/hw/power_model_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/power_model_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/power_model_test.cc.o.d"
+  "/root/repo/tests/hw/power_tape_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/power_tape_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/power_tape_test.cc.o.d"
+  "/root/repo/tests/hw/voltage_regulator_test.cc" "tests/CMakeFiles/hw_tests.dir/hw/voltage_regulator_test.cc.o" "gcc" "tests/CMakeFiles/hw_tests.dir/hw/voltage_regulator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/dcs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/daq/CMakeFiles/dcs_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/dcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_tests.dir/hw/battery_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/battery_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/clock_table_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/clock_table_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/cpu_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/cpu_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/gpio_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/gpio_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/itsy_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/itsy_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/memory_model_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/memory_model_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/power_model_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/power_model_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/power_tape_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/power_tape_test.cc.o.d"
+  "CMakeFiles/hw_tests.dir/hw/voltage_regulator_test.cc.o"
+  "CMakeFiles/hw_tests.dir/hw/voltage_regulator_test.cc.o.d"
+  "hw_tests"
+  "hw_tests.pdb"
+  "hw_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

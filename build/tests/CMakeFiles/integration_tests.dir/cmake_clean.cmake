@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration_tests.dir/integration/ablation_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/ablation_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/determinism_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/determinism_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/fuzz_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/fuzz_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/governor_behavior_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/governor_behavior_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/paper_results_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/paper_results_test.cc.o.d"
+  "CMakeFiles/integration_tests.dir/integration/stability_test.cc.o"
+  "CMakeFiles/integration_tests.dir/integration/stability_test.cc.o.d"
+  "integration_tests"
+  "integration_tests.pdb"
+  "integration_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

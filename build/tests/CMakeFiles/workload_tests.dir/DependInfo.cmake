@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/announcement_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/announcement_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/announcement_test.cc.o.d"
+  "/root/repo/tests/workload/apps_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/apps_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/apps_test.cc.o.d"
+  "/root/repo/tests/workload/av_sync_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/av_sync_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/av_sync_test.cc.o.d"
+  "/root/repo/tests/workload/chess_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/chess_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/chess_test.cc.o.d"
+  "/root/repo/tests/workload/deadline_monitor_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/deadline_monitor_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/deadline_monitor_test.cc.o.d"
+  "/root/repo/tests/workload/elastic_mpeg_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/elastic_mpeg_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/elastic_mpeg_test.cc.o.d"
+  "/root/repo/tests/workload/input_trace_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/input_trace_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/input_trace_test.cc.o.d"
+  "/root/repo/tests/workload/java_vm_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/java_vm_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/java_vm_test.cc.o.d"
+  "/root/repo/tests/workload/mpeg_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/mpeg_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/mpeg_test.cc.o.d"
+  "/root/repo/tests/workload/synthetic_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/synthetic_test.cc.o.d"
+  "/root/repo/tests/workload/talking_editor_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/talking_editor_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/talking_editor_test.cc.o.d"
+  "/root/repo/tests/workload/web_test.cc" "tests/CMakeFiles/workload_tests.dir/workload/web_test.cc.o" "gcc" "tests/CMakeFiles/workload_tests.dir/workload/web_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/dcs_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/dcs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dcs_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/daq/CMakeFiles/dcs_daq.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/dcs_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/kernel/CMakeFiles/dcs_kernel.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/dcs_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dcs_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

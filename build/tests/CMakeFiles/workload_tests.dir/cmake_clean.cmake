@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/announcement_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/announcement_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/apps_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/apps_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/av_sync_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/av_sync_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/chess_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/chess_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/deadline_monitor_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/deadline_monitor_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/elastic_mpeg_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/elastic_mpeg_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/input_trace_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/input_trace_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/java_vm_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/java_vm_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/mpeg_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/mpeg_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/synthetic_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/synthetic_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/talking_editor_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/talking_editor_test.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/web_test.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/web_test.cc.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+  "workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
