@@ -17,11 +17,12 @@
 #include "src/core/govil_policies.h"
 #include "src/exp/experiment.h"
 #include "src/exp/report.h"
+#include "src/exp/sweep.h"
 
 namespace dcs {
 namespace {
 
-void SweepApp(const char* app, double seconds) {
+void SweepApp(const char* app, double seconds, const SweepOptions& options) {
   char heading[96];
   std::snprintf(heading, sizeof(heading), "%s — misses vs prediction window (peg-peg 93/98)",
                 app);
@@ -33,14 +34,20 @@ void SweepApp(const char* app, double seconds) {
       {"AVG9", "~100 ms"}, {"WIN5", "50 ms"},   {"WIN10", "100 ms"},
       {"WIN20", "200 ms"},
   };
+  std::vector<ExperimentConfig> configs;
   for (const auto& [predictor, window] : predictors) {
     ExperimentConfig config;
     config.app = app;
     config.governor = predictor + "-peg-peg-93-98";
     config.seed = 7;
     config.duration = SimTime::FromSecondsF(seconds);
-    const ExperimentResult result = RunExperiment(config);
-    table.AddRow({predictor, window, std::to_string(result.deadline_misses),
+    configs.push_back(config);
+  }
+  const std::vector<ExperimentResult> results = RunSweep(configs, options);
+  for (std::size_t i = 0; i < predictors.size(); ++i) {
+    const ExperimentResult& result = results[i];
+    table.AddRow({predictors[i].first, predictors[i].second,
+                  std::to_string(result.deadline_misses),
                   result.worst_lateness.ToString(),
                   TextTable::Fixed(result.energy_joules, 2),
                   std::to_string(result.clock_changes)});
@@ -97,11 +104,12 @@ void StreamBreakdown() {
 }  // namespace
 }  // namespace dcs
 
-int main() {
+int main(int argc, char** argv) {
+  const dcs::SweepOptions options = dcs::SweepOptionsFromArgs(argc, argv);
   dcs::PrintHeading(std::cout,
                     "Section 5.2 — Long prediction windows miss inelastic deadlines");
-  dcs::SweepApp("mpeg", 30.0);
-  dcs::SweepApp("editor", 95.0);
+  dcs::SweepApp("mpeg", 30.0, options);
+  dcs::SweepApp("editor", 95.0, options);
   dcs::StepResponseTable();
   dcs::StreamBreakdown();
   return 0;

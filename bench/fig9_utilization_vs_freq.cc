@@ -11,18 +11,17 @@
 #include "src/exp/ascii_plot.h"
 #include "src/exp/experiment.h"
 #include "src/exp/report.h"
+#include "src/exp/sweep.h"
 #include "src/hw/memory_model.h"
 
 namespace dcs {
 namespace {
 
-void Run() {
-  std::vector<double> mhz;
-  std::vector<double> utilization;
-  TextTable table({"step", "freq (MHz)", "utilization", "delta vs prev step",
-                   "word cyc", "line cyc"});
-  double previous = 0.0;
-  for (int step = 4; step <= 10; ++step) {
+void Run(const SweepOptions& options) {
+  constexpr int kFirstStep = 4;
+  constexpr int kLastStep = 10;
+  std::vector<ExperimentConfig> configs;
+  for (int step = kFirstStep; step <= kLastStep; ++step) {
     char spec[32];
     std::snprintf(spec, sizeof(spec), "fixed-%.1f", ClockTable::FrequencyMhz(step));
     ExperimentConfig config;
@@ -30,24 +29,34 @@ void Run() {
     config.governor = spec;
     config.seed = 42;
     config.duration = SimTime::Seconds(30);
-    const ExperimentResult result = RunExperiment(config);
+    configs.push_back(config);
+  }
+  const std::vector<ExperimentResult> results = RunSweep(configs, options);
+
+  std::vector<double> mhz;
+  std::vector<double> utilization;
+  TextTable table({"step", "freq (MHz)", "utilization", "delta vs prev step",
+                   "word cyc", "line cyc"});
+  double previous = 0.0;
+  for (int step = kFirstStep; step <= kLastStep; ++step) {
+    const ExperimentResult& result = results[static_cast<std::size_t>(step - kFirstStep)];
     mhz.push_back(ClockTable::FrequencyMhz(step));
     utilization.push_back(100.0 * result.avg_utilization);
     table.AddRow({std::to_string(step), TextTable::Fixed(mhz.back(), 1),
                   TextTable::Fixed(utilization.back(), 1),
-                  step == 4 ? "-" : TextTable::Fixed(utilization.back() - previous, 1),
+                  step == kFirstStep ? "-" : TextTable::Fixed(utilization.back() - previous, 1),
                   std::to_string(MemoryModel::WordAccessCycles(step)),
                   std::to_string(MemoryModel::LineFillCycles(step))});
     previous = utilization.back();
   }
 
-  PlotOptions options;
-  options.title = "Figure 9: MPEG utilization vs clock frequency (plateau at 162-177 MHz)";
-  options.height = 16;
-  options.width = 100;
-  options.x_label = "clock frequency (MHz)";
-  options.y_label = "utilization (%)";
-  AsciiPlot(std::cout, mhz, utilization, options);
+  PlotOptions plot;
+  plot.title = "Figure 9: MPEG utilization vs clock frequency (plateau at 162-177 MHz)";
+  plot.height = 16;
+  plot.width = 100;
+  plot.x_label = "clock frequency (MHz)";
+  plot.y_label = "utilization (%)";
+  AsciiPlot(std::cout, mhz, utilization, plot);
   table.Print(std::cout);
 
   std::cout << "\nPaper shape check: utilization falls with frequency except between\n"
@@ -58,8 +67,8 @@ void Run() {
 }  // namespace
 }  // namespace dcs
 
-int main() {
+int main(int argc, char** argv) {
   dcs::PrintHeading(std::cout, "Figure 9 — Non-linear utilization vs clock frequency");
-  dcs::Run();
+  dcs::Run(dcs::SweepOptionsFromArgs(argc, argv));
   return 0;
 }

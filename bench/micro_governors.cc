@@ -13,6 +13,7 @@
 #include "src/core/interval_governor.h"
 #include "src/core/modern_governors.h"
 #include "src/exp/experiment.h"
+#include "src/exp/sweep.h"
 #include "src/hw/memory_model.h"
 #include "src/sim/event_queue.h"
 #include "src/workload/synthetic.h"
@@ -130,6 +131,27 @@ void BM_FullMpegSecondOfSimulation(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FullMpegSecondOfSimulation)->Unit(benchmark::kMillisecond);
+
+// The parallel sweep engine over an 8-job MPEG grid, at 1 / 2 / 4 worker
+// threads: the per-thread times show how close the fan-out gets to linear
+// scaling on the host (results are bit-identical across all three).
+void BM_ParallelSweep8Jobs(benchmark::State& state) {
+  std::vector<ExperimentConfig> configs;
+  for (int i = 0; i < 8; ++i) {
+    ExperimentConfig config;
+    config.app = "mpeg";
+    config.governor = "PAST-peg-peg-93-98";
+    config.seed = 100 + static_cast<std::uint64_t>(i);
+    config.duration = SimTime::Seconds(1);
+    configs.push_back(config);
+  }
+  SweepOptions options;
+  options.threads = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(RunSweep(configs, options));
+  }
+}
+BENCHMARK(BM_ParallelSweep8Jobs)->Arg(1)->Arg(2)->Arg(4)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace dcs

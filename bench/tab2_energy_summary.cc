@@ -13,6 +13,7 @@
 
 #include "src/exp/repeat.h"
 #include "src/exp/report.h"
+#include "src/exp/sweep.h"
 
 namespace dcs {
 namespace {
@@ -23,7 +24,7 @@ struct RowSpec {
   const char* paper_ci;
 };
 
-void Run() {
+void Run(const SweepOptions& options) {
   const RowSpec rows[] = {
       {"Constant Speed @ 206.4 MHz, 1.5 Volts", "fixed-206.4", "85.59 - 86.49"},
       {"Constant Speed @ 132.7 MHz, 1.5 Volts", "fixed-132.7", "79.59 - 80.94"},
@@ -46,7 +47,7 @@ void Run() {
     config.app = "mpeg";
     config.governor = row.governor;
     config.seed = 1000;
-    const RepeatedResult result = RunRepeated(config, kRepetitions);
+    const RepeatedResult result = RunRepeated(config, kRepetitions, options);
     char ci[64];
     std::snprintf(ci, sizeof(ci), "%.2f - %.2f", result.energy.ci_low(),
                   result.energy.ci_high());
@@ -82,10 +83,10 @@ void Run() {
 }  // namespace
 }  // namespace dcs
 
-int main() {
+int main(int argc, char** argv) {
   dcs::PrintHeading(std::cout,
                     "Table 2 — Energy of best clock scaling algorithms (60 s MPEG, "
                     "5 runs each)");
-  dcs::Run();
+  dcs::Run(dcs::SweepOptionsFromArgs(argc, argv));
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "src/exp/experiment.h"
 
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 #include "src/core/governor_registry.h"
@@ -19,7 +20,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
   std::string error;
   std::unique_ptr<ClockPolicy> governor = MakeGovernor(config.governor, &error);
-  assert((governor != nullptr || error.empty()) && "invalid governor spec");
+  if (governor == nullptr && !error.empty()) {
+    // An assert would vanish under NDEBUG and the run would silently proceed
+    // without a policy; throwing lets the sweep engine fail just this job.
+    throw std::invalid_argument("invalid governor spec '" + config.governor + "': " + error);
+  }
   if (governor != nullptr) {
     kernel.InstallPolicy(governor.get());
   }

@@ -70,9 +70,9 @@ struct ExperimentResult {
   bool MetAllDeadlines() const { return deadline_misses == 0; }
 };
 
-// Runs one experiment.  Asserts on an invalid governor spec (benches are
-// expected to pass known-good specs; use MakeGovernor directly to validate
-// user input).
+// Runs one experiment.  Throws std::invalid_argument on an invalid governor
+// spec; under the sweep engine that fails the offending job while the rest
+// of the grid completes.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
 
 }  // namespace dcs

@@ -2,28 +2,40 @@
 
 #include <algorithm>
 
+#include "src/exp/sweep.h"
+
 namespace dcs {
 
-RepeatedResult RunRepeated(ExperimentConfig config, int repetitions) {
+RepeatedResult RunRepeated(ExperimentConfig config, int repetitions,
+                           const SweepOptions& options) {
   RepeatedResult result;
-  std::vector<double> energies;
-  energies.reserve(static_cast<std::size_t>(repetitions));
-  const std::uint64_t base_seed = config.seed;
+  if (repetitions <= 0) {
+    result.energy = Summarize({});
+    return result;
+  }
+  // Each repetition is an independent job; the engine's slot-indexed results
+  // keep run i at index i, so aggregation below is identical to the old
+  // serial loop for any thread count.
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(static_cast<std::size_t>(repetitions));
   for (int i = 0; i < repetitions; ++i) {
-    config.seed = base_seed + static_cast<std::uint64_t>(i);
-    ExperimentResult run = RunExperiment(config);
+    configs.push_back(config);
+    configs.back().seed = config.seed + static_cast<std::uint64_t>(i);
+  }
+  result.runs = RunSweep(configs, options);
+
+  std::vector<double> energies;
+  energies.reserve(result.runs.size());
+  for (const ExperimentResult& run : result.runs) {
     energies.push_back(run.energy_joules);
     result.total_deadline_misses += run.deadline_misses;
     result.total_deadline_events += run.deadline_events;
     result.worst_lateness = std::max(result.worst_lateness, run.worst_lateness);
     result.mean_utilization += run.avg_utilization;
     result.mean_clock_changes += run.clock_changes;
-    result.runs.push_back(std::move(run));
   }
-  if (repetitions > 0) {
-    result.mean_utilization /= repetitions;
-    result.mean_clock_changes /= repetitions;
-  }
+  result.mean_utilization /= repetitions;
+  result.mean_clock_changes /= repetitions;
   result.energy = Summarize(energies);
   return result;
 }

@@ -8,6 +8,7 @@
 
 #include "src/daq/stats.h"
 #include "src/exp/experiment.h"
+#include "src/exp/sweep.h"
 
 namespace dcs {
 
@@ -25,8 +26,12 @@ struct RepeatedResult {
   bool MetAllDeadlines() const { return total_deadline_misses == 0; }
 };
 
-// Runs `config` `repetitions` times with seeds config.seed, config.seed+1, ...
-RepeatedResult RunRepeated(ExperimentConfig config, int repetitions);
+// Runs `config` `repetitions` times with seeds config.seed, config.seed+1,
+// ..., fanning the runs across the SweepRunner's worker pool.  `runs` is
+// ordered by repetition index and every field of the result is bit-identical
+// for any `options.threads` value.
+RepeatedResult RunRepeated(ExperimentConfig config, int repetitions,
+                           const SweepOptions& options = {});
 
 }  // namespace dcs
 

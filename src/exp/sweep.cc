@@ -1,0 +1,150 @@
+#include "src/exp/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace dcs {
+namespace {
+
+int HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace
+
+SweepRunner::SweepRunner(SweepOptions options) : options_(options) {}
+
+int SweepRunner::threads() const {
+  return options_.threads > 0 ? options_.threads : HardwareThreads();
+}
+
+std::vector<SweepJobResult> SweepRunner::Run(const std::vector<ExperimentConfig>& configs) {
+  const int job_count = static_cast<int>(configs.size());
+  std::vector<SweepJobResult> results(configs.size());
+  metrics_ = SweepMetrics{};
+  metrics_.jobs = job_count;
+  metrics_.threads = std::min(threads(), std::max(job_count, 1));
+  if (job_count == 0) {
+    return results;
+  }
+
+  const auto wall_begin = std::chrono::steady_clock::now();
+  // Workers claim the next unstarted job; the slot a job writes is fixed by
+  // its index, so the schedule (who ran what, in which order) never shows in
+  // the output.
+  std::atomic<int> next_job{0};
+  std::atomic<int> done{0};
+  std::mutex progress_mutex;
+
+  auto report_progress = [&](int completed) {
+    if (!options_.progress) {
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(progress_mutex);
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin).count();
+    std::fprintf(stderr, "\r[sweep] %d/%d jobs, %.1fs elapsed", completed, job_count, elapsed);
+    if (completed == job_count) {
+      std::fputc('\n', stderr);
+    }
+    std::fflush(stderr);
+  };
+
+  auto worker = [&] {
+    for (;;) {
+      const int i = next_job.fetch_add(1, std::memory_order_relaxed);
+      if (i >= job_count) {
+        return;
+      }
+      SweepJobResult& slot = results[static_cast<std::size_t>(i)];
+      try {
+        slot.result = RunExperiment(configs[static_cast<std::size_t>(i)]);
+      } catch (const std::exception& e) {
+        slot.error = e.what();
+      } catch (...) {
+        slot.error = "unknown exception";
+      }
+      if (slot.error.empty() && !slot.result.has_value()) {
+        slot.error = "job produced no result";
+      }
+      report_progress(done.fetch_add(1, std::memory_order_relaxed) + 1);
+    }
+  };
+
+  const int workers = metrics_.threads;
+  if (workers <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t) {
+      pool.emplace_back(worker);
+    }
+    for (std::thread& t : pool) {
+      t.join();
+    }
+  }
+
+  metrics_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - wall_begin).count();
+  for (const SweepJobResult& r : results) {
+    if (r.ok()) {
+      metrics_.simulated_seconds += r.result->duration.ToSeconds();
+    } else {
+      ++metrics_.failed;
+    }
+  }
+  if (metrics_.wall_seconds > 0.0) {
+    metrics_.sim_seconds_per_second = metrics_.simulated_seconds / metrics_.wall_seconds;
+  }
+  if (options_.progress) {
+    std::fprintf(stderr,
+                 "[sweep] %d jobs (%d failed) on %d threads in %.2fs — %.1f simulated s/s\n",
+                 metrics_.jobs, metrics_.failed, metrics_.threads, metrics_.wall_seconds,
+                 metrics_.sim_seconds_per_second);
+  }
+  return results;
+}
+
+std::vector<ExperimentResult> RunSweep(const std::vector<ExperimentConfig>& configs,
+                                       const SweepOptions& options) {
+  SweepRunner runner(options);
+  std::vector<SweepJobResult> jobs = runner.Run(configs);
+  std::vector<ExperimentResult> results;
+  results.reserve(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!jobs[i].ok()) {
+      throw std::runtime_error("sweep job " + std::to_string(i) + " failed: " + jobs[i].error);
+    }
+    results.push_back(std::move(*jobs[i].result));
+  }
+  return results;
+}
+
+SweepOptions SweepOptionsFromArgs(int argc, char** argv) {
+  SweepOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--threads=", 10) == 0) {
+      options.threads = std::atoi(arg + 10);
+    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
+      options.threads = std::atoi(argv[++i]);
+    } else if (std::strcmp(arg, "--progress") == 0) {
+      options.progress = true;
+    }
+  }
+  if (options.threads < 0) {
+    options.threads = 0;
+  }
+  return options;
+}
+
+}  // namespace dcs

@@ -1,0 +1,90 @@
+// Deterministic parallel experiment engine.
+//
+// Every bench and the repeated-run harness fan independent `RunExperiment`
+// calls over a grid of configurations; each call owns its Simulator, Itsy,
+// Kernel and DAQ, so the jobs share nothing and can run on any thread.  The
+// SweepRunner exploits that: a fixed-size pool of workers pulls jobs off a
+// shared index and writes each result into the slot matching the job's
+// position in the input vector.  Because a job's output depends only on its
+// config (the whole stack is seeded-deterministic), the assembled result
+// vector is bit-identical for --threads=1 and --threads=N; only wall-clock
+// time changes.
+//
+// A job that throws fails alone: its slot records the error text and the
+// remaining jobs still run.
+
+#ifndef SRC_EXP_SWEEP_H_
+#define SRC_EXP_SWEEP_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.h"
+
+namespace dcs {
+
+struct SweepOptions {
+  // Worker threads; 0 means std::thread::hardware_concurrency() (at least 1).
+  int threads = 0;
+  // When true, a progress line (jobs done, wall seconds, simulated-seconds
+  // per wall-second throughput) is rewritten on stderr as jobs finish.
+  // Progress goes to stderr precisely so that table output on stdout stays
+  // byte-identical across thread counts.
+  bool progress = false;
+};
+
+// Outcome of one job.  Exactly one of `result` / `error` is meaningful.
+struct SweepJobResult {
+  std::optional<ExperimentResult> result;
+  std::string error;
+
+  bool ok() const { return result.has_value(); }
+};
+
+// Aggregate engine statistics for the last Run() call.
+struct SweepMetrics {
+  int jobs = 0;
+  int failed = 0;
+  int threads = 0;
+  double wall_seconds = 0.0;
+  // Sum of simulated durations across jobs, and the resulting throughput in
+  // simulated seconds per wall second (the engine's figure of merit).
+  double simulated_seconds = 0.0;
+  double sim_seconds_per_second = 0.0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  // Runs every config as one job; result i corresponds to configs[i]
+  // regardless of which worker executed it or in what order jobs finished.
+  std::vector<SweepJobResult> Run(const std::vector<ExperimentConfig>& configs);
+
+  // Metrics for the most recent Run().
+  const SweepMetrics& metrics() const { return metrics_; }
+
+  // Resolved worker count (options.threads, or the hardware default).
+  int threads() const;
+
+ private:
+  SweepOptions options_;
+  SweepMetrics metrics_;
+};
+
+// Convenience wrapper: runs the grid and unwraps the results, rethrowing the
+// first job error as std::runtime_error.  For benches whose configs are known
+// good, this keeps call sites as simple as the old serial loops.
+std::vector<ExperimentResult> RunSweep(const std::vector<ExperimentConfig>& configs,
+                                       const SweepOptions& options = {});
+
+// Parses "--threads=N" / "--threads N" (and "--progress") from a bench's
+// argv, returning the corresponding options.  Unrecognised arguments are
+// ignored so benches can layer their own flags.
+SweepOptions SweepOptionsFromArgs(int argc, char** argv);
+
+}  // namespace dcs
+
+#endif  // SRC_EXP_SWEEP_H_

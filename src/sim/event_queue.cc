@@ -51,6 +51,10 @@ void EventQueue::Clear() {
   heap_ = {};
   callbacks_.clear();
   live_count_ = 0;
+  // Restart the FIFO tie-break counter so a cleared queue orders simultaneous
+  // events exactly like a fresh one (ids stay unique for the queue's lifetime,
+  // so next_id_ is deliberately not reset).
+  next_seq_ = 0;
 }
 
 }  // namespace dcs

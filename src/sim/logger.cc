@@ -4,14 +4,14 @@
 
 namespace dcs {
 
-LogLevel Logger::level_ = LogLevel::kNone;
+std::atomic<LogLevel> Logger::level_{LogLevel::kNone};
 
-void Logger::SetLevel(LogLevel level) { level_ = level; }
+void Logger::SetLevel(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
 
-LogLevel Logger::Level() { return level_; }
+LogLevel Logger::Level() { return level_.load(std::memory_order_relaxed); }
 
 void Logger::Log(LogLevel level, const char* fmt, ...) {
-  if (static_cast<int>(level) > static_cast<int>(level_)) {
+  if (static_cast<int>(level) > static_cast<int>(Level())) {
     return;
   }
   const char* tag = "?";

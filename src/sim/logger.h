@@ -7,6 +7,7 @@
 #ifndef SRC_SIM_LOGGER_H_
 #define SRC_SIM_LOGGER_H_
 
+#include <atomic>
 #include <cstdarg>
 
 namespace dcs {
@@ -29,7 +30,9 @@ class Logger {
       __attribute__((format(printf, 2, 3)));
 
  private:
-  static LogLevel level_;
+  // Atomic because parallel sweeps run simulations on worker threads; the
+  // level is the stack's only process-global mutable state.
+  static std::atomic<LogLevel> level_;
 };
 
 // Convenience macros; arguments are not evaluated when filtered by the

@@ -29,17 +29,20 @@ bool Simulator::Step() {
 }
 
 void Simulator::Run() {
-  stop_requested_ = false;
+  // A stop requested before the loop starts (or during a previous callback)
+  // is sticky: it halts this run immediately and is consumed on exit, so the
+  // next Run()/RunUntil() proceeds normally.
   while (!stop_requested_ && Step()) {
   }
+  stop_requested_ = false;
 }
 
 void Simulator::RunUntil(SimTime deadline) {
-  stop_requested_ = false;
   while (!stop_requested_ && !queue_.Empty() && queue_.NextTime() <= deadline) {
     Step();
   }
-  if (!stop_requested_ && now_ < deadline) {
+  const bool stopped = std::exchange(stop_requested_, false);
+  if (!stopped && now_ < deadline) {
     now_ = deadline;
   }
 }

@@ -34,18 +34,21 @@ class Simulator {
   // Cancels a pending event.  Returns true if it was still pending.
   bool Cancel(EventId id);
 
-  // Runs events until the queue is empty or a stop was requested.
+  // Runs events until the queue is empty or a stop was requested.  A pending
+  // stop (requested before the call) is sticky: it halts the run before any
+  // event executes, and is consumed when the run observes it.
   void Run();
 
   // Runs events with time <= deadline; afterwards Now() == deadline unless a
   // stop was requested earlier.  Events scheduled exactly at the deadline do
-  // fire.
+  // fire.  Like Run(), honours and consumes a stop requested before entry.
   void RunUntil(SimTime deadline);
 
   // Runs exactly one event if one is pending.  Returns false if idle.
   bool Step();
 
-  // Requests that Run()/RunUntil() return after the current callback.
+  // Requests that Run()/RunUntil() return after the current callback.  If no
+  // run is active, the request stays pending and stops the next one.
   void RequestStop() { stop_requested_ = true; }
   bool StopRequested() const { return stop_requested_; }
 

@@ -203,7 +203,66 @@ TEST_P(PredictorPropertyTest, CloneMatchesOriginal) {
   }
 }
 
+TEST_P(PredictorPropertyTest, ResetRoundTripMatchesFreshInstance) {
+  // Update -> Reset() must return the predictor to its factory state: the
+  // replayed sequence produces exactly the outputs of a never-used instance.
+  auto used = Make();
+  auto fresh = Make();
+  Rng rng(GetParam() + 300);
+  for (int i = 0; i < 100; ++i) {
+    used->Update(rng.NextDouble());
+  }
+  used->Reset();
+  EXPECT_DOUBLE_EQ(used->Current(), 0.0);
+  for (int i = 0; i < 100; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_DOUBLE_EQ(used->Update(u), fresh->Update(u));
+  }
+}
+
+TEST_P(PredictorPropertyTest, CloneResetRoundTrip) {
+  // Clone() -> Reset() on the clone leaves the original untouched, and the
+  // reset clone behaves like a fresh instance (sweeps rely on both when
+  // cloning a configured prototype per job).
+  auto original = Make();
+  Rng rng(GetParam() + 400);
+  for (int i = 0; i < 60; ++i) {
+    original->Update(rng.NextDouble());
+  }
+  const double before = original->Current();
+  auto clone = original->Clone();
+  clone->Reset();
+  EXPECT_DOUBLE_EQ(original->Current(), before);
+  EXPECT_DOUBLE_EQ(clone->Current(), 0.0);
+  EXPECT_EQ(clone->Name(), original->Name());
+  auto fresh = Make();
+  for (int i = 0; i < 60; ++i) {
+    const double u = rng.NextDouble();
+    EXPECT_DOUBLE_EQ(clone->Update(u), fresh->Update(u));
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllPredictors, PredictorPropertyTest, ::testing::Range(0, 16));
+
+TEST(AvgNPredictorTest, Avg0TracksPastThroughCloneAndReset) {
+  // AVG_0 degenerates to PAST, and the equivalence survives Clone()/Reset().
+  AvgNPredictor avg0(0);
+  PastPredictor past;
+  for (double u : {0.2, 0.8, 0.5}) {
+    EXPECT_DOUBLE_EQ(avg0.Update(u), past.Update(u));
+  }
+  auto avg0_clone = avg0.Clone();
+  auto past_clone = past.Clone();
+  EXPECT_DOUBLE_EQ(avg0_clone->Current(), past_clone->Current());
+  for (double u : {1.0, 0.0, 0.66}) {
+    EXPECT_DOUBLE_EQ(avg0_clone->Update(u), past_clone->Update(u));
+  }
+  avg0.Reset();
+  past.Reset();
+  for (double u : {0.9, 0.1}) {
+    EXPECT_DOUBLE_EQ(avg0.Update(u), past.Update(u));
+  }
+}
 
 }  // namespace
 }  // namespace dcs

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <vector>
 
 #include "src/sim/rng.h"
@@ -71,6 +72,37 @@ TEST(TCritical95Test, MonotoneDecreasing) {
 }
 
 TEST(TCritical95Test, InvalidDfIsZero) { EXPECT_EQ(TCritical95(0), 0.0); }
+
+TEST(TCritical95Test, MatchesStandardTableAcrossAnchors) {
+  // Two-sided 95% critical values straight from the standard t-table.
+  const struct {
+    int df;
+    double t;
+  } anchors[] = {{2, 4.303},  {3, 3.182},  {5, 2.571},   {7, 2.365}, {10, 2.228},
+                 {15, 2.131}, {20, 2.086}, {25, 2.060},  {29, 2.045}, {40, 2.021},
+                 {60, 2.000}, {120, 1.980}};
+  for (const auto& anchor : anchors) {
+    EXPECT_NEAR(TCritical95(anchor.df), anchor.t, 1e-3) << "df " << anchor.df;
+  }
+  // Interpolated region stays between its anchors.
+  EXPECT_GT(TCritical95(50), TCritical95(60));
+  EXPECT_LT(TCritical95(50), TCritical95(40));
+}
+
+TEST(StatsTest, CiHalfWidthUsesTCriticalExactly) {
+  // n = 2: mean 2, sample stddev sqrt(2), so the half-width collapses to
+  // t(1) itself: 12.706 * sqrt(2) / sqrt(2).
+  const std::vector<double> pair = {1.0, 3.0};
+  const Summary s2 = Summarize(pair);
+  EXPECT_NEAR(s2.ci95_half, 12.706, 1e-9);
+
+  // n = 5: {9,10,11,12,13} has mean 11, stddev sqrt(2.5); half-width =
+  // t(4) * sqrt(2.5) / sqrt(5) = 2.776 * 0.7071... = 1.96293...
+  const std::vector<double> five = {9.0, 10.0, 11.0, 12.0, 13.0};
+  const Summary s5 = Summarize(five);
+  EXPECT_DOUBLE_EQ(s5.mean, 11.0);
+  EXPECT_NEAR(s5.ci95_half, 2.776 * std::sqrt(2.5) / std::sqrt(5.0), 1e-9);
+}
 
 TEST(StatsTest, CoverageSanity) {
   // The 95% CI should contain the true mean in most repeated experiments.

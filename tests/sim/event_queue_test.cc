@@ -106,6 +106,51 @@ TEST(EventQueueTest, ClearRemovesEverything) {
   EXPECT_EQ(q.NextTime(), SimTime::Millis(3));
 }
 
+TEST(EventQueueTest, ClearedQueueOrdersTiesLikeAFreshOne) {
+  // Regression: Clear() used to leave next_seq_ running, so the FIFO
+  // tie-break state of a cleared queue diverged from a fresh queue's — a
+  // reproducibility hazard for back-to-back runs reusing a simulator.  Replay
+  // the same schedule on both and demand identical pop order.
+  auto replay = [](EventQueue& q) {
+    std::vector<int> order;
+    const SimTime t = SimTime::Millis(4);
+    for (int i = 0; i < 5; ++i) {
+      q.Push(t, [&order, i] { order.push_back(i); });
+    }
+    q.Push(SimTime::Millis(2), [&order] { order.push_back(99); });
+    while (!q.Empty()) {
+      q.Pop().fn();
+    }
+    return order;
+  };
+
+  EventQueue fresh;
+  const std::vector<int> fresh_order = replay(fresh);
+
+  EventQueue reused;
+  reused.Push(SimTime::Millis(1), [] {});
+  reused.Push(SimTime::Millis(1), [] {});
+  reused.Pop();
+  reused.Clear();
+  const std::vector<int> reused_order = replay(reused);
+
+  EXPECT_EQ(reused_order, fresh_order);
+  EXPECT_EQ(fresh_order, (std::vector<int>{99, 0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, IdsStayUniqueAcrossClear) {
+  // Clear() resets tie-break state but must not recycle EventIds: a stale id
+  // from before the Clear() may still be held by a caller and must not
+  // cancel a new event.
+  EventQueue q;
+  const EventId before = q.Push(SimTime::Millis(1), [] {});
+  q.Clear();
+  const EventId after = q.Push(SimTime::Millis(1), [] {});
+  EXPECT_NE(before, after);
+  EXPECT_FALSE(q.Cancel(before));
+  EXPECT_TRUE(q.Cancel(after));
+}
+
 TEST(EventQueueTest, ManyEventsStressOrdering) {
   EventQueue q;
   for (int i = 999; i >= 0; --i) {

@@ -96,6 +96,49 @@ TEST(SimulatorTest, RequestStopEndsRunEarly) {
   EXPECT_EQ(sim.PendingEvents(), 1u);
 }
 
+TEST(SimulatorTest, StopBeforeRunIsStickyUntilObserved) {
+  // Regression: Run() used to clear stop_requested_ on entry, silently
+  // losing a Stop() issued before the loop started.
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::Millis(1), [&] { ++fired; });
+  sim.RequestStop();
+  EXPECT_TRUE(sim.StopRequested());
+  sim.Run();
+  EXPECT_EQ(fired, 0);  // the pending stop halted the run before any event
+  EXPECT_FALSE(sim.StopRequested());  // ...and was consumed by it
+  sim.Run();
+  EXPECT_EQ(fired, 1);  // the next run proceeds normally
+}
+
+TEST(SimulatorTest, StopBeforeRunUntilIsStickyAndHoldsClock) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::Millis(5), [&] { ++fired; });
+  sim.RequestStop();
+  sim.RunUntil(SimTime::Millis(10));
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(sim.Now(), SimTime::Zero());  // a stopped run does not jump the clock
+  sim.RunUntil(SimTime::Millis(10));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), SimTime::Millis(10));
+}
+
+TEST(SimulatorTest, StopThatEndedARunDoesNotLeakIntoTheNext) {
+  Simulator sim;
+  int fired = 0;
+  sim.At(SimTime::Millis(1), [&] {
+    ++fired;
+    sim.RequestStop();
+  });
+  sim.At(SimTime::Millis(2), [&] { ++fired; });
+  sim.Run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(sim.StopRequested());
+  sim.Run();
+  EXPECT_EQ(fired, 2);
+}
+
 TEST(SimulatorTest, EventsExecutedCounter) {
   Simulator sim;
   for (int i = 0; i < 5; ++i) {
