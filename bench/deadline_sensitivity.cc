@@ -11,18 +11,21 @@
 #include <cstdio>
 #include <iostream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/analysis/step_response.h"
 #include "src/core/govil_policies.h"
 #include "src/exp/experiment.h"
+#include "src/exp/obs_export.h"
 #include "src/exp/report.h"
 #include "src/exp/sweep.h"
 
 namespace dcs {
 namespace {
 
-void SweepApp(const char* app, double seconds, const SweepOptions& options) {
+std::vector<ExperimentResult> SweepApp(const char* app, double seconds,
+                                       const SweepOptions& options) {
   char heading[96];
   std::snprintf(heading, sizeof(heading), "%s — misses vs prediction window (peg-peg 93/98)",
                 app);
@@ -41,9 +44,10 @@ void SweepApp(const char* app, double seconds, const SweepOptions& options) {
     config.governor = predictor + "-peg-peg-93-98";
     config.seed = 7;
     config.duration = SimTime::FromSecondsF(seconds);
+    config.capture_obs = options.WantsObsCapture();
     configs.push_back(config);
   }
-  const std::vector<ExperimentResult> results = RunSweep(configs, options);
+  std::vector<ExperimentResult> results = RunSweep(configs, options);
   for (std::size_t i = 0; i < predictors.size(); ++i) {
     const ExperimentResult& result = results[i];
     table.AddRow({predictors[i].first, predictors[i].second,
@@ -53,6 +57,7 @@ void SweepApp(const char* app, double seconds, const SweepOptions& options) {
                   std::to_string(result.clock_changes)});
   }
   table.Print(std::cout);
+  return results;
 }
 
 void StepResponseTable() {
@@ -108,9 +113,15 @@ int main(int argc, char** argv) {
   const dcs::SweepOptions options = dcs::SweepOptionsFromArgs(argc, argv);
   dcs::PrintHeading(std::cout,
                     "Section 5.2 — Long prediction windows miss inelastic deadlines");
-  dcs::SweepApp("mpeg", 30.0, options);
-  dcs::SweepApp("editor", 95.0, options);
+  std::vector<dcs::ExperimentResult> all_results = dcs::SweepApp("mpeg", 30.0, options);
+  for (dcs::ExperimentResult& result : dcs::SweepApp("editor", 95.0, options)) {
+    all_results.push_back(std::move(result));
+  }
   dcs::StepResponseTable();
   dcs::StreamBreakdown();
+  std::string obs_error;
+  if (!dcs::ExportObsArtifacts(options, all_results, &obs_error)) {
+    std::fprintf(stderr, "[obs] %s\n", obs_error.c_str());
+  }
   return 0;
 }

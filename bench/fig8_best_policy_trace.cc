@@ -9,21 +9,26 @@
 
 #include <cstdio>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "src/exp/artifacts.h"
 #include "src/exp/ascii_plot.h"
 #include "src/exp/experiment.h"
+#include "src/exp/obs_export.h"
 #include "src/exp/report.h"
+#include "src/exp/sweep.h"
 
 namespace dcs {
 namespace {
 
-void Run() {
+void Run(const SweepOptions& options) {
   ExperimentConfig config;
   config.app = "mpeg";
   config.governor = "PAST-peg-peg-93-98";
   config.seed = 42;
   config.duration = SimTime::Seconds(40);
+  config.capture_obs = options.WantsObsCapture();
   const ExperimentResult result = RunExperiment(config);
   MaybeWriteArtifacts("fig8_past_peg_peg", result);
 
@@ -32,15 +37,15 @@ void Run() {
     std::cout << "(no frequency changes recorded)\n";
     return;
   }
-  PlotOptions options;
-  options.title = "Figure 8: clock frequency, MPEG under PAST-peg-peg-93/98 (40 s)";
-  options.height = 14;
-  options.width = 120;
-  options.x_label = "time (s)";
-  options.y_label = "MHz";
-  options.y_min = 55.0;
-  options.y_max = 210.0;
-  AsciiPlot(std::cout, *freq, options);
+  PlotOptions plot;
+  plot.title = "Figure 8: clock frequency, MPEG under PAST-peg-peg-93/98 (40 s)";
+  plot.height = 14;
+  plot.width = 120;
+  plot.x_label = "time (s)";
+  plot.y_label = "MHz";
+  plot.y_min = 55.0;
+  plot.y_max = 210.0;
+  AsciiPlot(std::cout, *freq, plot);
 
   std::printf("\n  clock changes: %d (%.1f per second)\n", result.clock_changes,
               result.clock_changes / result.duration.ToSeconds());
@@ -58,13 +63,23 @@ void Run() {
   std::cout << "\nPaper shape check: the policy bangs between the extreme settings many\n"
                "times per second, misses nothing, and saves a small amount of energy\n"
                "(\"suboptimal energy savings but avoids noticeable application slowdown\").\n";
+
+  if (options.WantsObsExport()) {
+    std::vector<ExperimentResult> traced;
+    traced.push_back(result);
+    traced.push_back(base);
+    std::string obs_error;
+    if (!ExportObsArtifacts(options, traced, &obs_error)) {
+      std::fprintf(stderr, "[obs] %s\n", obs_error.c_str());
+    }
+  }
 }
 
 }  // namespace
 }  // namespace dcs
 
-int main() {
+int main(int argc, char** argv) {
   dcs::PrintHeading(std::cout, "Figure 8 — Best policy clock trace (PAST, peg-peg, 93/98)");
-  dcs::Run();
+  dcs::Run(dcs::SweepOptionsFromArgs(argc, argv));
   return 0;
 }

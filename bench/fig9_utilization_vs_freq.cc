@@ -10,6 +10,7 @@
 
 #include "src/exp/ascii_plot.h"
 #include "src/exp/experiment.h"
+#include "src/exp/obs_export.h"
 #include "src/exp/report.h"
 #include "src/exp/sweep.h"
 #include "src/hw/memory_model.h"
@@ -29,9 +30,14 @@ void Run(const SweepOptions& options) {
     config.governor = spec;
     config.seed = 42;
     config.duration = SimTime::Seconds(30);
+    config.capture_obs = options.WantsObsCapture();
     configs.push_back(config);
   }
   const std::vector<ExperimentResult> results = RunSweep(configs, options);
+  std::string obs_error;
+  if (!ExportObsArtifacts(options, results, &obs_error)) {
+    std::fprintf(stderr, "[obs] %s\n", obs_error.c_str());
+  }
 
   std::vector<double> mhz;
   std::vector<double> utilization;

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "src/exp/experiment.h"
+#include "src/exp/obs_export.h"
 #include "src/exp/report.h"
 #include "src/exp/sweep.h"
 
@@ -33,6 +34,7 @@ void Run(const SweepOptions& options) {
   baseline_config.governor = "fixed-206.4";
   baseline_config.seed = 7;
   baseline_config.duration = SimTime::FromSecondsF(kSeconds);
+  baseline_config.capture_obs = options.WantsObsCapture();
 
   // Job 0 is the constant-speed baseline; the AVG_N grid follows in the same
   // nesting order as the paper's study so the table rows keep their order.
@@ -49,6 +51,10 @@ void Run(const SweepOptions& options) {
     }
   }
   const std::vector<ExperimentResult> results = RunSweep(configs, options);
+  std::string obs_error;
+  if (!ExportObsArtifacts(options, results, &obs_error)) {
+    std::fprintf(stderr, "[obs] %s\n", obs_error.c_str());
+  }
 
   const double baseline = results.front().energy_joules;
   std::printf("Baseline (constant 206.4 MHz): %.2f J over %.0f s\n\n", baseline, kSeconds);

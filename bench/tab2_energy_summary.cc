@@ -10,7 +10,10 @@
 
 #include <cstdio>
 #include <iostream>
+#include <utility>
+#include <vector>
 
+#include "src/exp/obs_export.h"
 #include "src/exp/repeat.h"
 #include "src/exp/report.h"
 #include "src/exp/sweep.h"
@@ -42,12 +45,19 @@ void Run(const SweepOptions& options) {
   double optimal_mean = 0.0;
   double lowv_mean = 0.0;
   double past_mean = 0.0;
+  std::vector<ExperimentResult> all_runs;
   for (const RowSpec& row : rows) {
     ExperimentConfig config;
     config.app = "mpeg";
     config.governor = row.governor;
     config.seed = 1000;
-    const RepeatedResult result = RunRepeated(config, kRepetitions, options);
+    config.capture_obs = options.WantsObsCapture();
+    RepeatedResult result = RunRepeated(config, kRepetitions, options);
+    if (options.WantsObsExport()) {
+      for (ExperimentResult& run : result.runs) {
+        all_runs.push_back(std::move(run));
+      }
+    }
     char ci[64];
     std::snprintf(ci, sizeof(ci), "%.2f - %.2f", result.energy.ci_low(),
                   result.energy.ci_high());
@@ -78,6 +88,11 @@ void Run(const SweepOptions& options) {
   std::cout << "\nAll five configurations meet every MPEG deadline, and only the\n"
                "app-aware constant 132.7 MHz settings (unreachable by an oblivious\n"
                "kernel policy) deliver large savings — the paper's core finding.\n";
+
+  std::string obs_error;
+  if (!ExportObsArtifacts(options, all_runs, &obs_error)) {
+    std::fprintf(stderr, "[obs] %s\n", obs_error.c_str());
+  }
 }
 
 }  // namespace

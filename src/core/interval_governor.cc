@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <utility>
 
+#include "src/kernel/kernel.h"
+
 namespace dcs {
 
 IntervalGovernor::IntervalGovernor(std::unique_ptr<UtilizationPredictor> predictor,
@@ -23,6 +25,12 @@ IntervalGovernor::IntervalGovernor(std::unique_ptr<UtilizationPredictor> predict
   }
 }
 
+void IntervalGovernor::OnInstall(Kernel& kernel) {
+  MetricsRegistry* metrics = kernel.metrics();
+  ctr_scale_ups_ = metrics != nullptr ? &metrics->Counter("governor.scale_ups") : nullptr;
+  ctr_scale_downs_ = metrics != nullptr ? &metrics->Counter("governor.scale_downs") : nullptr;
+}
+
 std::optional<SpeedRequest> IntervalGovernor::OnQuantum(const UtilizationSample& sample) {
   const double weighted = predictor_->Update(sample.utilization);
 
@@ -30,9 +38,15 @@ std::optional<SpeedRequest> IntervalGovernor::OnQuantum(const UtilizationSample&
   if (weighted > config_.thresholds.scale_up && step < config_.max_step) {
     step = up_->Next(step, ScaleDirection::kUp, config_.min_step, config_.max_step);
     ++scale_ups_;
+    if (ctr_scale_ups_ != nullptr) {
+      ctr_scale_ups_->Inc();
+    }
   } else if (weighted < config_.thresholds.scale_down && step > config_.min_step) {
     step = down_->Next(step, ScaleDirection::kDown, config_.min_step, config_.max_step);
     ++scale_downs_;
+    if (ctr_scale_downs_ != nullptr) {
+      ctr_scale_downs_->Inc();
+    }
   }
 
   SpeedRequest request;

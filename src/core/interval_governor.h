@@ -18,6 +18,7 @@
 #include "src/core/predictor.h"
 #include "src/core/speed_policy.h"
 #include "src/kernel/policy.h"
+#include "src/obs/metrics.h"
 
 namespace dcs {
 
@@ -48,6 +49,9 @@ class IntervalGovernor final : public ClockPolicy {
                    const IntervalGovernorConfig& config = {});
 
   const char* Name() const override { return name_.c_str(); }
+  // Binds the governor.scale_ups / governor.scale_downs counters when the
+  // hosting kernel has an observability registry attached.
+  void OnInstall(Kernel& kernel) override;
   std::optional<SpeedRequest> OnQuantum(const UtilizationSample& sample) override;
   void Reset() override;
 
@@ -66,6 +70,8 @@ class IntervalGovernor final : public ClockPolicy {
   std::string name_;
   int scale_ups_ = 0;
   int scale_downs_ = 0;
+  MetricsCounter* ctr_scale_ups_ = nullptr;
+  MetricsCounter* ctr_scale_downs_ = nullptr;
 };
 
 // Convenience factory for the paper's named configurations, e.g.

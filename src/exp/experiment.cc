@@ -18,6 +18,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   kernel_config.rng_seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
   Kernel kernel(sim, itsy, kernel_config);
 
+  // Bind the observability registry before the policy is installed so
+  // governors can pick up their instruments in OnInstall.
+  MetricsRegistry metrics;
+  kernel.BindMetrics(&metrics);
+  itsy.BindMetrics(&metrics);
+
   std::string error;
   std::unique_ptr<ClockPolicy> governor = MakeGovernor(config.governor, &error);
   if (governor == nullptr && !error.empty()) {
@@ -95,7 +101,43 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     result.streams.emplace(stream, deadlines.Stats(stream));
   }
 
+  // Experiment- and simulator-level readings into the registry (simulated
+  // state only — never wall-clock — to keep reports thread-count invariant).
+  metrics.Gauge("exp.energy_joules").Set(result.energy_joules);
+  metrics.Gauge("exp.exact_energy_joules").Set(result.exact_energy_joules);
+  metrics.Gauge("exp.average_watts").Set(result.average_watts);
+  metrics.Gauge("exp.avg_utilization").Set(result.avg_utilization);
+  metrics.Counter("exp.deadline_events").Inc(static_cast<std::uint64_t>(result.deadline_events));
+  metrics.Counter("exp.deadline_misses").Inc(static_cast<std::uint64_t>(result.deadline_misses));
+  metrics.Gauge("exp.worst_lateness_us").Set(result.worst_lateness.ToMicrosF());
+  metrics.Gauge("exp.total_stall_us").Set(result.total_stall.ToMicrosF());
+  metrics.Counter("sim.events_executed").Inc(sim.events_executed());
+  metrics.Counter("sim.events_cancelled").Inc(sim.events_cancelled());
+
+  if (config.capture_obs) {
+    result.obs.captured = true;
+    result.obs.window_begin = begin;
+    result.obs.window_end = end;
+    result.obs.sched = kernel.sched_log().Snapshot();
+    result.obs.power = itsy.tape();
+    result.obs.task_names.emplace(kIdlePid, "idle");
+    for (Pid pid = 1; Task* task = kernel.FindTask(pid); ++pid) {
+      result.obs.task_names.emplace(pid, task->name());
+    }
+    result.obs.energy = EnergyLedger::Attribute(result.obs.power, result.obs.sched, begin, end);
+    for (const auto& [pid, joules] : result.obs.energy.joules_by_pid) {
+      metrics.Gauge("energy.pid." + std::to_string(pid) + "." +
+                    result.obs.task_names[pid] + "_joules")
+          .Set(joules);
+    }
+  }
+
   result.sink = std::move(kernel.sink());
+  // Unbind before the registry moves into the result: the kernel's and the
+  // Itsy's cached instrument handles would otherwise dangle.
+  kernel.BindMetrics(nullptr);
+  itsy.BindMetrics(nullptr);
+  result.metrics = std::move(metrics);
   return result;
 }
 

@@ -14,6 +14,8 @@
 #include "src/daq/daq.h"
 #include "src/hw/itsy.h"
 #include "src/kernel/kernel.h"
+#include "src/obs/energy_ledger.h"
+#include "src/obs/metrics.h"
 #include "src/workload/apps.h"
 #include "src/workload/deadline_monitor.h"
 
@@ -33,6 +35,29 @@ struct ExperimentConfig {
   ItsyConfig itsy;
   KernelConfig kernel;
   DaqConfig daq;
+  // When true, the result carries the raw observability capture (scheduler
+  // log, power tape, energy attribution) needed to export a Chrome trace.
+  // Off by default: the capture copies the full tape and log.
+  bool capture_obs = false;
+};
+
+// Raw per-run capture for trace export and energy attribution, filled only
+// when ExperimentConfig::capture_obs is set.  Everything here derives from
+// the deterministic simulation, so captures (and anything rendered from
+// them) are identical across sweep thread counts.
+struct ObsCapture {
+  bool captured = false;
+  // The GPIO-triggered measurement window.
+  SimTime window_begin;
+  SimTime window_end;
+  // Chronological scheduler activity (SchedLog::Snapshot()).
+  std::vector<SchedLogEntry> sched;
+  // Ground-truth piecewise-constant system power.
+  PowerTape power;
+  // Task names keyed by pid (kIdlePid -> "idle").
+  std::map<Pid, std::string> task_names;
+  // Joules per task / per clock step over the window.
+  EnergyAttribution energy;
 };
 
 struct ExperimentResult {
@@ -64,8 +89,15 @@ struct ExperimentResult {
   SimTime worst_lateness;
   std::map<std::string, DeadlineMonitor::StreamStats> streams;
 
-  // Recorded series ("utilization", "freq_mhz") for plotting.
+  // Recorded series ("utilization", "freq_mhz", "core_volts") for plotting.
   TraceSink sink;
+
+  // Kernel/hardware/governor instruments for this run (always collected;
+  // wall-clock free, so deterministic across thread counts).
+  MetricsRegistry metrics;
+
+  // Raw capture for Chrome trace export (see ExperimentConfig::capture_obs).
+  ObsCapture obs;
 
   bool MetAllDeadlines() const { return deadline_misses == 0; }
 };

@@ -1,0 +1,162 @@
+#include "src/exp/obs_export.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "src/hw/clock_table.h"
+
+namespace dcs {
+namespace {
+
+// Power counter tracks are downsampled past this many points — a 60 s MPEG
+// run's tape holds hundreds of thousands of segments, far denser than any
+// viewer renders usefully.
+constexpr std::size_t kMaxPowerCounterPoints = 20000;
+
+std::string TaskThreadName(const ObsCapture& obs, Pid pid) {
+  const auto it = obs.task_names.find(pid);
+  if (it != obs.task_names.end()) {
+    return std::to_string(pid) + ":" + it->second;
+  }
+  return "pid " + std::to_string(pid);
+}
+
+void AppendSchedulerSlices(ChromeTraceWriter& writer, int chrome_pid, const ObsCapture& obs) {
+  for (const auto& [pid, name] : obs.task_names) {
+    writer.SetThreadName(chrome_pid, pid, pid == kIdlePid ? "idle" : TaskThreadName(obs, pid));
+    writer.SetThreadSortIndex(chrome_pid, pid, pid);
+  }
+  const std::vector<SchedLogEntry>& sched = obs.sched;
+  for (std::size_t k = 0; k < sched.size(); ++k) {
+    const SimTime start = SimTime::Micros(sched[k].time_us);
+    const SimTime end =
+        k + 1 < sched.size() ? SimTime::Micros(sched[k + 1].time_us) : obs.window_end;
+    if (end <= start) {
+      continue;
+    }
+    writer.AddComplete(chrome_pid, sched[k].pid, TaskThreadName(obs, sched[k].pid), start,
+                       end - start, "sched");
+  }
+}
+
+void AppendSeriesCounter(ChromeTraceWriter& writer, int chrome_pid, const TraceSink& sink,
+                         const std::string& series_name, const std::string& counter_name) {
+  const TraceSeries* series = sink.Find(series_name);
+  if (series == nullptr) {
+    return;
+  }
+  for (const TracePoint& p : series->points()) {
+    writer.AddCounter(chrome_pid, counter_name, p.at, p.value);
+  }
+}
+
+void AppendGovernorMarkers(ChromeTraceWriter& writer, int chrome_pid, const TraceSink& sink) {
+  const TraceSeries* freq = sink.Find("freq_mhz");
+  if (freq != nullptr) {
+    for (std::size_t i = 1; i < freq->points().size(); ++i) {
+      char label[48];
+      std::snprintf(label, sizeof(label), "clock -> %.1f MHz", freq->points()[i].value);
+      writer.AddInstant(chrome_pid, kIdlePid, label, freq->points()[i].at, "governor");
+    }
+  }
+  const TraceSeries* volts = sink.Find("core_volts");
+  if (volts != nullptr) {
+    for (std::size_t i = 1; i < volts->points().size(); ++i) {
+      char label[48];
+      std::snprintf(label, sizeof(label), "rail -> %.2f V", volts->points()[i].value);
+      writer.AddInstant(chrome_pid, kIdlePid, label, volts->points()[i].at, "governor");
+    }
+  }
+}
+
+void AppendPowerCounter(ChromeTraceWriter& writer, int chrome_pid, const ObsCapture& obs) {
+  const std::vector<PowerTape::Segment>& segments = obs.power.segments();
+  if (segments.empty()) {
+    return;
+  }
+  if (segments.size() <= kMaxPowerCounterPoints) {
+    for (const PowerTape::Segment& s : segments) {
+      writer.AddCounter(chrome_pid, "power_w", s.start, s.watts);
+    }
+    return;
+  }
+  // Uniform sample-and-hold resampling over the window.
+  const SimTime span = obs.window_end - obs.window_begin;
+  for (std::size_t i = 0; i < kMaxPowerCounterPoints; ++i) {
+    const SimTime at =
+        obs.window_begin + SimTime::Nanos(span.nanos() * static_cast<std::int64_t>(i) /
+                                          static_cast<std::int64_t>(kMaxPowerCounterPoints));
+    writer.AddCounter(chrome_pid, "power_w", at, obs.power.WattsAt(at));
+  }
+}
+
+}  // namespace
+
+std::string ExperimentLabel(const ExperimentResult& result) {
+  return result.app + "/" + result.governor;
+}
+
+void AppendExperimentTrace(ChromeTraceWriter& writer, int chrome_pid,
+                           const ExperimentResult& result) {
+  writer.SetProcessName(chrome_pid, ExperimentLabel(result));
+  writer.SetProcessSortIndex(chrome_pid, chrome_pid);
+  if (result.obs.captured) {
+    AppendSchedulerSlices(writer, chrome_pid, result.obs);
+    AppendPowerCounter(writer, chrome_pid, result.obs);
+  }
+  AppendSeriesCounter(writer, chrome_pid, result.sink, "utilization", "utilization");
+  AppendSeriesCounter(writer, chrome_pid, result.sink, "freq_mhz", "freq_mhz");
+  AppendSeriesCounter(writer, chrome_pid, result.sink, "core_volts", "core_volts");
+  AppendGovernorMarkers(writer, chrome_pid, result.sink);
+}
+
+void WriteChromeTrace(const std::vector<ExperimentResult>& results, std::ostream& os) {
+  ChromeTraceWriter writer;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    AppendExperimentTrace(writer, static_cast<int>(i) + 1, results[i]);
+  }
+  writer.Write(os);
+}
+
+MetricsRegistry AggregateMetrics(const std::vector<ExperimentResult>& results) {
+  MetricsRegistry aggregate;
+  aggregate.Counter("sweep.jobs").Inc(results.size());
+  for (const ExperimentResult& result : results) {
+    aggregate.MergeFrom(result.metrics);
+  }
+  return aggregate;
+}
+
+bool ExportObsArtifacts(const SweepOptions& options,
+                        const std::vector<ExperimentResult>& results, std::string* error) {
+  auto fail = [error](const std::string& what) {
+    if (error != nullptr) {
+      *error = what;
+    }
+    return false;
+  };
+  if (!options.trace_out.empty()) {
+    std::ofstream os(options.trace_out, std::ios::binary);
+    if (!os) {
+      return fail("cannot open trace output '" + options.trace_out + "'");
+    }
+    WriteChromeTrace(results, os);
+    if (!os) {
+      return fail("error writing trace output '" + options.trace_out + "'");
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    std::ofstream os(options.metrics_out, std::ios::binary);
+    if (!os) {
+      return fail("cannot open metrics output '" + options.metrics_out + "'");
+    }
+    AggregateMetrics(results).WriteJson(os);
+    os << "\n";
+    if (!os) {
+      return fail("error writing metrics output '" + options.metrics_out + "'");
+    }
+  }
+  return true;
+}
+
+}  // namespace dcs

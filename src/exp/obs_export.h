@@ -1,0 +1,48 @@
+// Bridges experiment results to the observability exporters: merges the
+// per-run captures (scheduler log, power tape, recorded series, energy
+// attribution) into one Chrome trace_event JSON, and aggregates the per-run
+// metrics registries into one report.
+//
+// Both outputs are rendered purely from simulated state, so for a given
+// config grid they are byte-identical regardless of --threads.
+
+#ifndef SRC_EXP_OBS_EXPORT_H_
+#define SRC_EXP_OBS_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.h"
+#include "src/exp/sweep.h"
+#include "src/obs/chrome_trace.h"
+
+namespace dcs {
+
+// "app/governor" label used for trace process names.
+std::string ExperimentLabel(const ExperimentResult& result);
+
+// Appends one experiment as trace process `chrome_pid`: scheduler slices per
+// task thread, utilization/frequency/voltage/power counter tracks, and
+// governor decision markers.  Requires result.obs.captured for the scheduler
+// and power tracks; series counters render regardless.
+void AppendExperimentTrace(ChromeTraceWriter& writer, int chrome_pid,
+                           const ExperimentResult& result);
+
+// One merged trace: process i+1 is results[i].
+void WriteChromeTrace(const std::vector<ExperimentResult>& results, std::ostream& os);
+
+// Aggregate of every run's registry (counters/histograms sum, gauges
+// average) plus a sweep.jobs counter.
+MetricsRegistry AggregateMetrics(const std::vector<ExperimentResult>& results);
+
+// Writes options.trace_out / options.metrics_out if set.  Returns false and
+// fills *error (when non-null) on the first I/O failure; a no-op success
+// when neither flag is set.
+bool ExportObsArtifacts(const SweepOptions& options,
+                        const std::vector<ExperimentResult>& results,
+                        std::string* error = nullptr);
+
+}  // namespace dcs
+
+#endif  // SRC_EXP_OBS_EXPORT_H_

@@ -139,6 +139,14 @@ SweepOptions SweepOptionsFromArgs(int argc, char** argv) {
       options.threads = std::atoi(argv[++i]);
     } else if (std::strcmp(arg, "--progress") == 0) {
       options.progress = true;
+    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
+      options.trace_out = arg + 12;
+    } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
+      options.trace_out = argv[++i];
+    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
+      options.metrics_out = arg + 14;
+    } else if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
+      options.metrics_out = argv[++i];
     }
   }
   if (options.threads < 0) {

@@ -33,6 +33,16 @@ struct SweepOptions {
   // Progress goes to stderr precisely so that table output on stdout stays
   // byte-identical across thread counts.
   bool progress = false;
+  // --trace-out=FILE: write a merged Chrome trace_event JSON of every run
+  // (one trace process per experiment; open in Perfetto / chrome://tracing).
+  std::string trace_out;
+  // --metrics-out=FILE: write the aggregated metrics registry as JSON.
+  std::string metrics_out;
+
+  // Whether the experiments must capture raw observability data
+  // (ExperimentConfig::capture_obs) for the requested outputs.
+  bool WantsObsCapture() const { return !trace_out.empty(); }
+  bool WantsObsExport() const { return !trace_out.empty() || !metrics_out.empty(); }
 };
 
 // Outcome of one job.  Exactly one of `result` / `error` is meaningful.
@@ -80,9 +90,10 @@ class SweepRunner {
 std::vector<ExperimentResult> RunSweep(const std::vector<ExperimentConfig>& configs,
                                        const SweepOptions& options = {});
 
-// Parses "--threads=N" / "--threads N" (and "--progress") from a bench's
-// argv, returning the corresponding options.  Unrecognised arguments are
-// ignored so benches can layer their own flags.
+// Parses "--threads=N" / "--threads N", "--progress", "--trace-out=FILE" and
+// "--metrics-out=FILE" from a bench's argv, returning the corresponding
+// options.  Unrecognised arguments are ignored so benches can layer their
+// own flags.
 SweepOptions SweepOptionsFromArgs(int argc, char** argv);
 
 }  // namespace dcs

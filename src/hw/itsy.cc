@@ -15,6 +15,18 @@ Itsy::Itsy(Simulator& sim, const ItsyConfig& config)
   RefreshPower();
 }
 
+void Itsy::BindMetrics(MetricsRegistry* metrics) {
+  if (metrics == nullptr) {
+    ctr_clock_changes_ = ctr_voltage_transitions_ = ctr_power_segments_ = nullptr;
+    hist_switch_stall_us_ = nullptr;
+    return;
+  }
+  ctr_clock_changes_ = &metrics->Counter("hw.clock_changes");
+  ctr_voltage_transitions_ = &metrics->Counter("hw.voltage_transitions");
+  ctr_power_segments_ = &metrics->Counter("hw.power_segments");
+  hist_switch_stall_us_ = &metrics->Histogram("hw.clock_switch_stall_us");
+}
+
 SimTime Itsy::SetClockStep(int new_step) {
   new_step = ClockTable::Clamp(new_step);
   if (new_step == cpu_.step()) {
@@ -25,6 +37,10 @@ SimTime Itsy::SetClockStep(int new_step) {
     regulator_.Request(CoreVoltage::kHigh, sim_.Now());
   }
   const SimTime stall_end = cpu_.BeginClockChange(new_step, sim_.Now());
+  if (ctr_clock_changes_ != nullptr) {
+    ctr_clock_changes_->Inc();
+    hist_switch_stall_us_->Observe((stall_end - sim_.Now()).ToMicrosF());
+  }
   RefreshPower();
   return stall_end;
 }
@@ -35,6 +51,9 @@ bool Itsy::SetVoltage(CoreVoltage v) {
   }
   if (v != regulator_.target()) {
     regulator_.Request(v, sim_.Now());
+    if (ctr_voltage_transitions_ != nullptr) {
+      ctr_voltage_transitions_->Inc();
+    }
     RefreshPower();
   }
   return true;
@@ -86,7 +105,11 @@ void Itsy::RefreshPower() {
   // Drain the battery over the segment that just ended, at that segment's
   // power (the tape still holds the old value).
   SyncBattery();
+  const std::size_t segments_before = tape_.segments().size();
   tape_.Set(sim_.Now(), CurrentSystemWatts());
+  if (ctr_power_segments_ != nullptr && tape_.segments().size() > segments_before) {
+    ctr_power_segments_->Inc();
+  }
 }
 
 }  // namespace dcs

@@ -16,6 +16,7 @@
 #include "src/hw/power_model.h"
 #include "src/hw/power_tape.h"
 #include "src/hw/voltage_regulator.h"
+#include "src/obs/metrics.h"
 #include "src/sim/simulator.h"
 
 namespace dcs {
@@ -84,6 +85,10 @@ class Itsy {
   SimTime total_stall() const { return cpu_.total_stall(); }
   int voltage_transitions() const { return regulator_.transitions(); }
 
+  // Binds the observability registry (non-owning; null unbinds).  Hardware
+  // state changes then feed hw.* counters and the relock-stall histogram.
+  void BindMetrics(MetricsRegistry* metrics);
+
  private:
   // Re-derives the instantaneous power and appends it to the tape; also
   // integrates the battery over the segment that just ended.
@@ -98,6 +103,12 @@ class Itsy {
   Gpio gpio_;
   std::optional<Battery> battery_;
   SimTime last_battery_update_;
+
+  // Observability instruments (all null until BindMetrics).
+  MetricsCounter* ctr_clock_changes_ = nullptr;
+  MetricsCounter* ctr_voltage_transitions_ = nullptr;
+  MetricsCounter* ctr_power_segments_ = nullptr;
+  LogHistogram* hist_switch_stall_us_ = nullptr;
 };
 
 }  // namespace dcs

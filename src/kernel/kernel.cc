@@ -21,6 +21,28 @@ Kernel::Kernel(Simulator& sim, Itsy& itsy, const KernelConfig& config)
     : sim_(sim), itsy_(itsy), config_(config), sched_log_(config.sched_log_capacity),
       rng_(config.rng_seed) {}
 
+void Kernel::BindMetrics(MetricsRegistry* metrics) {
+  metrics_ = metrics;
+  if (metrics_ == nullptr) {
+    ctr_quanta_ = ctr_dispatches_ = ctr_idle_dispatches_ = ctr_yields_ = ctr_sleeps_ =
+        ctr_wakeups_ = ctr_exits_ = ctr_policy_decisions_ = ctr_policy_step_up_ =
+            ctr_policy_step_down_ = nullptr;
+    hist_quantum_busy_us_ = nullptr;
+    return;
+  }
+  ctr_quanta_ = &metrics_->Counter("kernel.quanta");
+  ctr_dispatches_ = &metrics_->Counter("kernel.dispatches");
+  ctr_idle_dispatches_ = &metrics_->Counter("kernel.idle_dispatches");
+  ctr_yields_ = &metrics_->Counter("kernel.yields");
+  ctr_sleeps_ = &metrics_->Counter("kernel.sleeps");
+  ctr_wakeups_ = &metrics_->Counter("kernel.wakeups");
+  ctr_exits_ = &metrics_->Counter("kernel.task_exits");
+  ctr_policy_decisions_ = &metrics_->Counter("governor.decisions");
+  ctr_policy_step_up_ = &metrics_->Counter("governor.step_up");
+  ctr_policy_step_down_ = &metrics_->Counter("governor.step_down");
+  hist_quantum_busy_us_ = &metrics_->Histogram("kernel.quantum_busy_us");
+}
+
 Pid Kernel::AddTask(std::unique_ptr<Workload> workload) {
   const Pid pid = next_pid_++;
   auto task = std::make_unique<Task>(pid, std::move(workload), rng_.Fork());
@@ -40,6 +62,7 @@ void Kernel::Start() {
   quantum_start_ = start_time_;
   segment_start_ = start_time_;
   sink_.Series("freq_mhz").Append(start_time_, itsy_.frequency_mhz());
+  sink_.Series("core_volts").Append(start_time_, VoltageVolts(itsy_.voltage()));
   sim_.After(config_.quantum, [this] { Tick(); });
   Dispatch();
 }
@@ -123,6 +146,10 @@ void Kernel::Tick() {
   utilization = std::clamp(utilization, 0.0, 1.0);
   last_utilization_ = utilization;
   sink_.Series("utilization").Append(quantum_start_, utilization);
+  if (ctr_quanta_ != nullptr) {
+    ctr_quanta_->Inc();
+    hist_quantum_busy_us_->Observe(static_cast<double>(busy_in_quantum_.micros()));
+  }
 
   UtilizationSample sample;
   sample.quantum_start = quantum_start_;
@@ -141,9 +168,18 @@ void Kernel::Tick() {
   // tick_overhead of busy time before anything can execute.
   SimTime dispatch_at = now + config_.tick_overhead;
   if (policy_ != nullptr) {
+    const int step_before = itsy_.step();
     const std::optional<SpeedRequest> request = policy_->OnQuantum(sample);
     if (request.has_value() && !request->Empty()) {
       dispatch_at = ApplyRequest(*request, dispatch_at);
+    }
+    if (ctr_policy_decisions_ != nullptr) {
+      ctr_policy_decisions_->Inc();
+      if (itsy_.step() > step_before) {
+        ctr_policy_step_up_->Inc();
+      } else if (itsy_.step() < step_before) {
+        ctr_policy_step_down_->Inc();
+      }
     }
   }
 
@@ -175,6 +211,7 @@ void Kernel::Tick() {
 }
 
 SimTime Kernel::ApplyRequest(const SpeedRequest& request, SimTime earliest_dispatch) {
+  const int transitions_before = itsy_.voltage_transitions();
   // Raising the rail first is always safe (instantaneous); dropping it is
   // refused by the hardware layer when the (new) step is too fast.
   if (request.voltage.has_value() && *request.voltage == CoreVoltage::kHigh) {
@@ -191,6 +228,9 @@ SimTime Kernel::ApplyRequest(const SpeedRequest& request, SimTime earliest_dispa
   if (request.voltage.has_value() && *request.voltage == CoreVoltage::kLow) {
     itsy_.SetVoltage(CoreVoltage::kLow);
   }
+  if (itsy_.voltage_transitions() != transitions_before) {
+    sink_.Series("core_volts").Append(sim_.Now(), VoltageVolts(itsy_.voltage()));
+  }
   return earliest_dispatch;
 }
 
@@ -200,11 +240,17 @@ void Kernel::Dispatch() {
   if (run_queue_.Empty()) {
     itsy_.SetExecState(ExecState::kNap);
     sched_log_.Record(now, kIdlePid, itsy_.step());
+    if (ctr_idle_dispatches_ != nullptr) {
+      ctr_idle_dispatches_->Inc();
+    }
     return;
   }
   const Pid pid = run_queue_.Pop();
   Task* task = FindTask(pid);
   assert(task != nullptr && task->state() == TaskState::kRunnable);
+  if (ctr_dispatches_ != nullptr) {
+    ctr_dispatches_->Inc();
+  }
   current_ = task;
   current_->CountDispatch();
   itsy_.SetExecState(ExecState::kBusy);
@@ -280,6 +326,9 @@ void Kernel::ProcessNextActions() {
         }
         Task* task = current_;
         task->set_state(TaskState::kSleeping);
+        if (ctr_sleeps_ != nullptr) {
+          ctr_sleeps_->Inc();
+        }
         const Pid pid = task->pid();
         task->set_wake_event(sim_.At(wake, [this, pid] { WakeTask(pid); }));
         current_ = nullptr;
@@ -294,6 +343,9 @@ void Kernel::ProcessNextActions() {
         Task* task = current_;
         current_ = nullptr;
         run_queue_.Push(task->pid());
+        if (ctr_yields_ != nullptr) {
+          ctr_yields_->Inc();
+        }
         // The yield syscall and context switch cost real (busy) time; the
         // next task dispatches after it.  Charging it here also guarantees
         // simulated time advances even if every task yields in a loop.
@@ -316,6 +368,9 @@ void Kernel::ProcessNextActions() {
       case Action::Kind::kExit: {
         current_->set_state(TaskState::kExited);
         current_ = nullptr;
+        if (ctr_exits_ != nullptr) {
+          ctr_exits_->Inc();
+        }
         Dispatch();
         return;
       }
@@ -330,6 +385,9 @@ void Kernel::WakeTask(Pid pid) {
   task->set_state(TaskState::kRunnable);
   task->set_wake_event(kInvalidEventId);
   run_queue_.Push(pid);
+  if (ctr_wakeups_ != nullptr) {
+    ctr_wakeups_->Inc();
+  }
   if (current_ == nullptr && !dispatch_pending_) {
     // CPU was idle: dispatch immediately (idle wake-up path).
     AccountSegment();

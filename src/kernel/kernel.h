@@ -33,6 +33,7 @@
 #include "src/kernel/sched_log.h"
 #include "src/kernel/task.h"
 #include "src/kernel/workload_api.h"
+#include "src/obs/metrics.h"
 #include "src/sim/trace_sink.h"
 
 namespace dcs {
@@ -105,9 +106,16 @@ class Kernel {
   const SchedLog& sched_log() const { return sched_log_; }
   SchedLog& sched_log() { return sched_log_; }
 
-  // Recorded series: "utilization" (one point per quantum, at quantum start)
-  // and "freq_mhz" (one point per clock change).
+  // Recorded series: "utilization" (one point per quantum, at quantum start),
+  // "freq_mhz" (one point per clock change) and "core_volts" (one point per
+  // rail transition).
   TraceSink& sink() { return sink_; }
+
+  // Binds the observability registry (non-owning; may be null to unbind).
+  // Instrument handles are resolved once here, so the scheduling hot paths
+  // pay only a null check when no registry is attached.  Call before Start().
+  void BindMetrics(MetricsRegistry* metrics);
+  MetricsRegistry* metrics() const { return metrics_; }
 
   // --- Aggregate statistics ---------------------------------------------------
   std::uint64_t quanta_elapsed() const { return quantum_index_; }
@@ -149,6 +157,20 @@ class Kernel {
   SchedLog sched_log_;
   TraceSink sink_;
   Rng rng_;
+
+  // Observability instruments (all null until BindMetrics).
+  MetricsRegistry* metrics_ = nullptr;
+  MetricsCounter* ctr_quanta_ = nullptr;
+  MetricsCounter* ctr_dispatches_ = nullptr;
+  MetricsCounter* ctr_idle_dispatches_ = nullptr;
+  MetricsCounter* ctr_yields_ = nullptr;
+  MetricsCounter* ctr_sleeps_ = nullptr;
+  MetricsCounter* ctr_wakeups_ = nullptr;
+  MetricsCounter* ctr_exits_ = nullptr;
+  MetricsCounter* ctr_policy_decisions_ = nullptr;
+  MetricsCounter* ctr_policy_step_up_ = nullptr;
+  MetricsCounter* ctr_policy_step_down_ = nullptr;
+  LogHistogram* hist_quantum_busy_us_ = nullptr;
 
   bool started_ = false;
   SimTime start_time_;

@@ -1,0 +1,75 @@
+#include "src/obs/chrome_trace.h"
+
+#include "src/obs/metrics.h"
+
+namespace dcs {
+namespace {
+
+// Microsecond timestamp with nanosecond precision kept as a fraction.
+std::string Timestamp(SimTime t) { return JsonNumber(t.ToMicrosF()); }
+
+}  // namespace
+
+void ChromeTraceWriter::AddMetadata(int pid, int tid, bool has_tid, const std::string& name,
+                                    const std::string& args_json) {
+  std::string e = "{\"ph\":\"M\",\"pid\":" + std::to_string(pid);
+  if (has_tid) {
+    e += ",\"tid\":" + std::to_string(tid);
+  }
+  e += ",\"name\":\"" + JsonEscape(name) + "\",\"args\":" + args_json + "}";
+  events_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::SetProcessName(int pid, const std::string& name) {
+  AddMetadata(pid, 0, false, "process_name", "{\"name\":\"" + JsonEscape(name) + "\"}");
+}
+
+void ChromeTraceWriter::SetProcessSortIndex(int pid, int sort_index) {
+  AddMetadata(pid, 0, false, "process_sort_index",
+              "{\"sort_index\":" + std::to_string(sort_index) + "}");
+}
+
+void ChromeTraceWriter::SetThreadName(int pid, int tid, const std::string& name) {
+  AddMetadata(pid, tid, true, "thread_name", "{\"name\":\"" + JsonEscape(name) + "\"}");
+}
+
+void ChromeTraceWriter::SetThreadSortIndex(int pid, int tid, int sort_index) {
+  AddMetadata(pid, tid, true, "thread_sort_index",
+              "{\"sort_index\":" + std::to_string(sort_index) + "}");
+}
+
+void ChromeTraceWriter::AddComplete(int pid, int tid, const std::string& name, SimTime start,
+                                    SimTime duration, const std::string& category) {
+  events_.push_back("{\"ph\":\"X\",\"pid\":" + std::to_string(pid) +
+                    ",\"tid\":" + std::to_string(tid) + ",\"name\":\"" + JsonEscape(name) +
+                    "\",\"cat\":\"" + JsonEscape(category) + "\",\"ts\":" + Timestamp(start) +
+                    ",\"dur\":" + Timestamp(duration) + "}");
+}
+
+void ChromeTraceWriter::AddInstant(int pid, int tid, const std::string& name, SimTime at,
+                                   const std::string& category) {
+  events_.push_back("{\"ph\":\"i\",\"pid\":" + std::to_string(pid) +
+                    ",\"tid\":" + std::to_string(tid) + ",\"name\":\"" + JsonEscape(name) +
+                    "\",\"cat\":\"" + JsonEscape(category) + "\",\"ts\":" + Timestamp(at) +
+                    ",\"s\":\"t\"}");
+}
+
+void ChromeTraceWriter::AddCounter(int pid, const std::string& name, SimTime at,
+                                   double value) {
+  events_.push_back("{\"ph\":\"C\",\"pid\":" + std::to_string(pid) + ",\"name\":\"" +
+                    JsonEscape(name) + "\",\"ts\":" + Timestamp(at) +
+                    ",\"args\":{\"value\":" + JsonNumber(value) + "}}");
+}
+
+void ChromeTraceWriter::Write(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i != 0) {
+      os << ",";
+    }
+    os << "\n" << events_[i];
+  }
+  os << "\n]}\n";
+}
+
+}  // namespace dcs

@@ -1,0 +1,58 @@
+// Chrome trace_event JSON writer.
+//
+// Emits the subset of the Trace Event Format that chrome://tracing and
+// Perfetto render: metadata (process/thread names and sort order), complete
+// slices ("X"), instant events ("i") and counter tracks ("C").  Timestamps
+// are microseconds (the format's unit); SimTime's nanosecond resolution is
+// kept as fractional microseconds.
+//
+// Events are rendered to JSON text at Add time and written in insertion
+// order, so a trace built from deterministic inputs is byte-identical run
+// to run — the golden-trace tests and the --threads invariance check rely
+// on this.
+
+#ifndef SRC_OBS_CHROME_TRACE_H_
+#define SRC_OBS_CHROME_TRACE_H_
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace dcs {
+
+class ChromeTraceWriter {
+ public:
+  // --- Metadata -----------------------------------------------------------
+  void SetProcessName(int pid, const std::string& name);
+  void SetProcessSortIndex(int pid, int sort_index);
+  void SetThreadName(int pid, int tid, const std::string& name);
+  void SetThreadSortIndex(int pid, int tid, int sort_index);
+
+  // --- Events -------------------------------------------------------------
+  // A slice covering [start, start + duration) on (pid, tid).
+  void AddComplete(int pid, int tid, const std::string& name, SimTime start,
+                   SimTime duration, const std::string& category = "sched");
+  // A zero-duration marker (thread-scoped).
+  void AddInstant(int pid, int tid, const std::string& name, SimTime at,
+                  const std::string& category = "event");
+  // One sample of a per-process counter track.
+  void AddCounter(int pid, const std::string& name, SimTime at, double value);
+
+  std::size_t event_count() const { return events_.size(); }
+
+  // Writes {"displayTimeUnit":"ms","traceEvents":[...]}.
+  void Write(std::ostream& os) const;
+
+ private:
+  void AddMetadata(int pid, int tid, bool has_tid, const std::string& name,
+                   const std::string& args_json);
+
+  std::vector<std::string> events_;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_OBS_CHROME_TRACE_H_

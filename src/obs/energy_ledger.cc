@@ -1,0 +1,63 @@
+#include "src/obs/energy_ledger.h"
+
+#include <algorithm>
+
+namespace dcs {
+namespace {
+
+SimTime EntryTime(const SchedLogEntry& e) { return SimTime::Micros(e.time_us); }
+
+}  // namespace
+
+EnergyAttribution EnergyLedger::Attribute(const PowerTape& tape,
+                                          const std::vector<SchedLogEntry>& sched,
+                                          SimTime begin, SimTime end) {
+  EnergyAttribution out;
+  out.window_begin = begin;
+  out.window_end = end;
+  if (end <= begin) {
+    return out;
+  }
+  out.total_joules = tape.EnergyJoules(begin, end);
+
+  const std::size_t n = sched.size();
+  // First entry strictly inside the window; its predecessor (if any) owns
+  // the CPU from `begin`.
+  std::size_t first_inside = 0;
+  while (first_inside < n && EntryTime(sched[first_inside]) <= begin) {
+    ++first_inside;
+  }
+
+  auto charge = [&out, &tape](const SchedLogEntry& entry, SimTime a, SimTime b) {
+    if (b <= a) {
+      return;
+    }
+    const double joules = tape.EnergyJoules(a, b);
+    out.joules_by_pid[entry.pid] += joules;
+    out.held_by_pid[entry.pid] += b - a;
+    out.attributed_joules += joules;
+    if (entry.clock_step >= 0 && entry.clock_step < kNumClockSteps) {
+      out.joules_by_step[static_cast<std::size_t>(entry.clock_step)] += joules;
+    }
+  };
+
+  if (first_inside == 0) {
+    // No entry at or before `begin`: the window head is unowned (empty or
+    // wrapped log).
+    const SimTime head_end = n == 0 ? end : std::min(EntryTime(sched[0]), end);
+    if (head_end > begin) {
+      out.unattributed_joules = tape.EnergyJoules(begin, head_end);
+    }
+  } else {
+    charge(sched[first_inside - 1], begin,
+           first_inside < n ? std::min(EntryTime(sched[first_inside]), end) : end);
+  }
+  for (std::size_t k = first_inside; k < n; ++k) {
+    const SimTime a = std::max(EntryTime(sched[k]), begin);
+    const SimTime b = k + 1 < n ? std::min(EntryTime(sched[k + 1]), end) : end;
+    charge(sched[k], a, b);
+  }
+  return out;
+}
+
+}  // namespace dcs

@@ -1,0 +1,68 @@
+// Energy attribution: joins the hardware's ground-truth power record
+// (PowerTape) with the kernel's scheduler activity log (SchedLog) to answer
+// "where did the joules go" — per task and per clock step.
+//
+// The scheduler log partitions the measurement window into ownership
+// intervals: each log entry says "from here, `pid` runs at `clock_step`"
+// until the next entry.  The ledger integrates the power tape over every
+// interval and charges the result to that interval's owner.  Attribution is
+// exact by construction: the per-interval integrals are the same
+// segment-clipped sums PowerTape::EnergyJoules computes over the whole
+// window, just grouped by owner, so per-pid joules sum back to the window
+// total to floating-point rounding (asserted to 1e-9 in the tests).
+//
+// A wrapped SchedLog loses the oldest entries; energy before the first
+// surviving entry is reported separately as `unattributed_joules` rather
+// than being guessed at.
+
+#ifndef SRC_OBS_ENERGY_LEDGER_H_
+#define SRC_OBS_ENERGY_LEDGER_H_
+
+#include <array>
+#include <map>
+#include <vector>
+
+#include "src/hw/clock_table.h"
+#include "src/hw/power_tape.h"
+#include "src/kernel/sched_log.h"
+#include "src/sim/time.h"
+
+namespace dcs {
+
+struct EnergyAttribution {
+  // Joules charged to each pid that held the CPU in the window (kIdlePid for
+  // the idle loop).  System power during a task's intervals includes the
+  // peripherals it keeps on — this is the paper's whole-system view, not a
+  // core-only estimate.
+  std::map<Pid, double> joules_by_pid;
+  // Wall time each pid held the CPU in the window.
+  std::map<Pid, SimTime> held_by_pid;
+  // Joules spent while each clock step was selected (per the log entries).
+  std::array<double, kNumClockSteps> joules_by_step{};
+
+  // PowerTape::EnergyJoules over the window — the ground truth.
+  double total_joules = 0.0;
+  // Sum of joules_by_pid, accumulated interval by interval.
+  double attributed_joules = 0.0;
+  // Energy in the window before the first usable log entry (nonzero only
+  // when the log wrapped or started late).
+  double unattributed_joules = 0.0;
+
+  SimTime window_begin;
+  SimTime window_end;
+};
+
+class EnergyLedger {
+ public:
+  // Attributes tape energy over [begin, end) using `sched` (chronological,
+  // as returned by SchedLog::Snapshot()).  An entry at or before `begin`
+  // establishes ownership from `begin`; the last entry's owner extends to
+  // `end`.
+  static EnergyAttribution Attribute(const PowerTape& tape,
+                                     const std::vector<SchedLogEntry>& sched, SimTime begin,
+                                     SimTime end);
+};
+
+}  // namespace dcs
+
+#endif  // SRC_OBS_ENERGY_LEDGER_H_

@@ -15,7 +15,13 @@ EventId Simulator::After(SimTime delay, std::function<void()> fn) {
   return At(now_ + delay, std::move(fn));
 }
 
-bool Simulator::Cancel(EventId id) { return queue_.Cancel(id); }
+bool Simulator::Cancel(EventId id) {
+  const bool cancelled = queue_.Cancel(id);
+  if (cancelled) {
+    ++events_cancelled_;
+  }
+  return cancelled;
+}
 
 bool Simulator::Step() {
   if (queue_.Empty()) {

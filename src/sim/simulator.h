@@ -52,8 +52,10 @@ class Simulator {
   void RequestStop() { stop_requested_ = true; }
   bool StopRequested() const { return stop_requested_; }
 
-  // Number of events executed since construction (diagnostics).
+  // Number of events executed / successfully cancelled since construction
+  // (diagnostics; exported as sim.* metrics by the experiment harness).
   std::uint64_t events_executed() const { return events_executed_; }
+  std::uint64_t events_cancelled() const { return events_cancelled_; }
 
   // Live pending events.
   std::size_t PendingEvents() const { return queue_.Size(); }
@@ -63,6 +65,7 @@ class Simulator {
   SimTime now_;
   bool stop_requested_ = false;
   std::uint64_t events_executed_ = 0;
+  std::uint64_t events_cancelled_ = 0;
 };
 
 }  // namespace dcs

@@ -39,12 +39,15 @@ class TraceSeries {
 
   // Value as of time `at` under sample-and-hold semantics (the value of the
   // most recent sample at or before `at`).  Returns `fallback` before the
-  // first sample.
+  // first sample — unlike TimeWeightedMean, which extends the first point's
+  // value backwards instead of consulting a fallback.
   double ValueAt(SimTime at, double fallback = 0.0) const;
 
   // Min / max / time-weighted mean over [begin, end) under sample-and-hold
   // semantics.  The series value before its first point is taken as the first
-  // point's value.  Returns 0 for an empty series or an empty window.
+  // point's value (deliberately different from ValueAt's fallback: a mean of
+  // "whatever the series starts at" is more useful than mixing in a sentinel).
+  // Returns 0 for an empty series or an empty window.
   double Min() const;
   double Max() const;
   double TimeWeightedMean(SimTime begin, SimTime end) const;

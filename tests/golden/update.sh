@@ -1,0 +1,31 @@
+#!/bin/sh
+# Regenerates the golden stdout captures checked by
+# tests/integration/golden_test.cc.
+#
+# Usage:  tests/golden/update.sh [BUILD_DIR]     (default: build)
+#
+# Run it from the repository root after an intentional output change, then
+# review the diff like any other code change:
+#
+#   cmake --build build -j
+#   tests/golden/update.sh build
+#   git diff tests/golden/
+#
+# The benches write progress to stderr only, and every number in their stdout
+# derives from simulated state, so the captures are byte-identical for any
+# --threads value (golden_test.cc re-runs them with --threads=2 to prove it).
+set -eu
+
+build_dir="${1:-build}"
+golden_dir="$(cd "$(dirname "$0")" && pwd)"
+
+for bench in tab1_avg9_actions tab2_energy_summary fig9_utilization_vs_freq; do
+  binary="$build_dir/bench/$bench"
+  if [ ! -x "$binary" ]; then
+    echo "error: $binary not built (run: cmake --build $build_dir -j)" >&2
+    exit 1
+  fi
+  echo "regenerating $bench.txt" >&2
+  "$binary" --threads=1 > "$golden_dir/$bench.txt"
+done
+echo "done — review with: git diff tests/golden/" >&2

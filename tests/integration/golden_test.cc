@@ -1,0 +1,130 @@
+// Golden stdout regression tests: runs the paper-table benches end to end
+// and byte-compares their stdout against the captures in tests/golden/.
+//
+// The benches keep stdout deterministic by construction — every printed
+// number derives from simulated state, progress and obs diagnostics go to
+// stderr — so the comparison is exact, not fuzzy.  The sweep-driven benches
+// are re-run here with --threads=2 while the captures were taken with
+// --threads=1, which regression-tests the engine's thread-count invariance
+// at the same time.
+//
+// After an intentional output change, regenerate with:
+//
+//   cmake --build build -j
+//   tests/golden/update.sh build
+//   git diff tests/golden/       # review like any other code change
+//
+// Directories default to the build/source trees (baked in at configure
+// time) and can be overridden with DCS_BENCH_DIR / DCS_GOLDEN_DIR.
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace dcs {
+namespace {
+
+#ifndef DCS_BENCH_DIR
+#define DCS_BENCH_DIR "bench"
+#endif
+#ifndef DCS_GOLDEN_DIR
+#define DCS_GOLDEN_DIR "tests/golden"
+#endif
+
+std::string DirFromEnv(const char* env_name, const char* fallback) {
+  const char* env = std::getenv(env_name);
+  return env != nullptr && env[0] != '\0' ? env : fallback;
+}
+
+std::string BenchDir() { return DirFromEnv("DCS_BENCH_DIR", DCS_BENCH_DIR); }
+std::string GoldenDir() { return DirFromEnv("DCS_GOLDEN_DIR", DCS_GOLDEN_DIR); }
+
+bool ReadFile(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return false;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+// Runs `command` through the shell and captures its stdout byte-for-byte.
+// Fails the current test if the command cannot be started or exits non-zero.
+std::string RunAndCapture(const std::string& command) {
+  std::string captured;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) {
+    ADD_FAILURE() << "popen failed for: " << command;
+    return captured;
+  }
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    captured.append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  EXPECT_EQ(status, 0) << "non-zero exit from: " << command;
+  return captured;
+}
+
+// Points at the first differing line so a golden mismatch reads like a diff
+// hunk instead of two multi-kilobyte blobs.
+void ExpectSameText(const std::string& expected, const std::string& actual,
+                    const std::string& what) {
+  if (expected == actual) {
+    return;
+  }
+  std::istringstream want(expected);
+  std::istringstream got(actual);
+  std::string want_line;
+  std::string got_line;
+  int line = 0;
+  for (;;) {
+    ++line;
+    const bool have_want = static_cast<bool>(std::getline(want, want_line));
+    const bool have_got = static_cast<bool>(std::getline(got, got_line));
+    if (!have_want && !have_got) {
+      break;
+    }
+    if (!have_want || !have_got || want_line != got_line) {
+      ADD_FAILURE() << what << " differs at line " << line << "\n  golden: "
+                    << (have_want ? want_line : "<end of file>")
+                    << "\n  actual: " << (have_got ? got_line : "<end of output>")
+                    << "\nIf the change is intentional, regenerate with "
+                       "tests/golden/update.sh and review the diff.";
+      return;
+    }
+  }
+  ADD_FAILURE() << what << " differs (line split/trailing bytes)";
+}
+
+void ExpectGolden(const std::string& bench, const std::string& args) {
+  const std::string golden_path = GoldenDir() + "/" + bench + ".txt";
+  std::string expected;
+  ASSERT_TRUE(ReadFile(golden_path, &expected))
+      << "missing golden capture " << golden_path
+      << " — generate it with tests/golden/update.sh";
+  const std::string command =
+      BenchDir() + "/" + bench + (args.empty() ? "" : " " + args) + " 2>/dev/null";
+  const std::string actual = RunAndCapture(command);
+  ExpectSameText(expected, actual, bench + " stdout");
+}
+
+TEST(GoldenTest, Tab1Avg9Actions) { ExpectGolden("tab1_avg9_actions", ""); }
+
+TEST(GoldenTest, Fig9UtilizationVsFreq) {
+  ExpectGolden("fig9_utilization_vs_freq", "--threads=2");
+}
+
+TEST(GoldenTest, Tab2EnergySummary) {
+  ExpectGolden("tab2_energy_summary", "--threads=2");
+}
+
+}  // namespace
+}  // namespace dcs

@@ -74,5 +74,63 @@ TEST(SchedLogTest, SnapshotBeforeWrapPreservesOrder) {
   }
 }
 
+TEST(SchedLogTest, ExactCapacityIsFullButNotWrapped) {
+  SchedLog log(4);
+  for (int i = 0; i < 4; ++i) {
+    log.Record(SimTime::Millis(i), i, 0);
+  }
+  // total_recorded == capacity means nothing has been lost yet.
+  EXPECT_EQ(log.total_recorded(), 4u);
+  EXPECT_FALSE(log.Wrapped());
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(entries[static_cast<std::size_t>(i)].pid, i);
+  }
+  // One more record crosses the line: now wrapped, oldest entry gone.
+  log.Record(SimTime::Millis(4), 4, 0);
+  EXPECT_TRUE(log.Wrapped());
+  EXPECT_EQ(log.total_recorded(), 5u);
+  EXPECT_EQ(log.Snapshot().front().pid, 1);
+}
+
+TEST(SchedLogTest, SnapshotIsChronologicalAtEveryWrapPhase) {
+  // The ring's write cursor can be anywhere when Snapshot is taken; the
+  // result must be oldest-first regardless of the cursor position.
+  for (int records = 1; records <= 13; ++records) {
+    SchedLog log(5);
+    for (int i = 0; i < records; ++i) {
+      log.Record(SimTime::Millis(i), i, 0);
+    }
+    const auto entries = log.Snapshot();
+    const int expected = records < 5 ? records : 5;
+    ASSERT_EQ(entries.size(), static_cast<std::size_t>(expected)) << records;
+    for (std::size_t k = 0; k + 1 < entries.size(); ++k) {
+      EXPECT_LT(entries[k].time_us, entries[k + 1].time_us) << records;
+    }
+    EXPECT_EQ(entries.back().pid, records - 1) << records;
+    EXPECT_EQ(entries.front().pid, records - expected) << records;
+  }
+}
+
+TEST(SchedLogTest, ClearThenRecordStartsAFreshLog) {
+  SchedLog log(4);
+  for (int i = 0; i < 9; ++i) {  // wrap it first
+    log.Record(SimTime::Millis(i), i, 0);
+  }
+  ASSERT_TRUE(log.Wrapped());
+  log.Clear();
+  EXPECT_FALSE(log.Wrapped());
+  EXPECT_EQ(log.total_recorded(), 0u);
+  EXPECT_EQ(log.capacity(), 4u);
+  log.Record(SimTime::Millis(100), 42, 3);
+  log.Record(SimTime::Millis(101), 43, 3);
+  const auto entries = log.Snapshot();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].pid, 42);  // no stale pre-Clear entries resurface
+  EXPECT_EQ(entries[1].pid, 43);
+  EXPECT_FALSE(log.Wrapped());
+}
+
 }  // namespace
 }  // namespace dcs

@@ -1,0 +1,90 @@
+#include "src/obs/chrome_trace.h"
+
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "src/sim/time.h"
+
+namespace dcs {
+namespace {
+
+std::string Render(const ChromeTraceWriter& writer) {
+  std::ostringstream os;
+  writer.Write(os);
+  return os.str();
+}
+
+TEST(ChromeTraceTest, EmptyTraceIsValidEnvelope) {
+  ChromeTraceWriter writer;
+  EXPECT_EQ(writer.event_count(), 0u);
+  EXPECT_EQ(Render(writer), "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n]}\n");
+}
+
+TEST(ChromeTraceTest, MetadataEvents) {
+  ChromeTraceWriter writer;
+  writer.SetProcessName(1, "mpeg/PAST");
+  writer.SetProcessSortIndex(1, 1);
+  writer.SetThreadName(1, 2, "2:mpeg_video");
+  writer.SetThreadSortIndex(1, 2, 2);
+  EXPECT_EQ(writer.event_count(), 4u);
+  const std::string out = Render(writer);
+  EXPECT_NE(out.find("{\"ph\":\"M\",\"pid\":1,\"name\":\"process_name\","
+                     "\"args\":{\"name\":\"mpeg/PAST\"}}"),
+            std::string::npos);
+  EXPECT_NE(out.find("{\"ph\":\"M\",\"pid\":1,\"tid\":2,\"name\":\"thread_name\","
+                     "\"args\":{\"name\":\"2:mpeg_video\"}}"),
+            std::string::npos);
+  EXPECT_NE(out.find("\"args\":{\"sort_index\":2}"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, CompleteSliceCarriesMicrosecondTimes) {
+  ChromeTraceWriter writer;
+  // 1.5 us start, 2.25 us duration — the nanosecond remainder must survive
+  // as fractional microseconds.
+  writer.AddComplete(1, 7, "task", SimTime::Nanos(1500), SimTime::Nanos(2250), "sched");
+  const std::string out = Render(writer);
+  EXPECT_NE(out.find("{\"ph\":\"X\",\"pid\":1,\"tid\":7,\"name\":\"task\","
+                     "\"cat\":\"sched\",\"ts\":1.5,\"dur\":2.25}"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, InstantAndCounterEvents) {
+  ChromeTraceWriter writer;
+  writer.AddInstant(1, 0, "clock -> 206.4 MHz", SimTime::Micros(10), "governor");
+  writer.AddCounter(1, "power_w", SimTime::Micros(20), 0.925);
+  const std::string out = Render(writer);
+  EXPECT_NE(out.find("{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"name\":\"clock -> 206.4 MHz\","
+                     "\"cat\":\"governor\",\"ts\":10,\"s\":\"t\"}"),
+            std::string::npos);
+  EXPECT_NE(out.find("{\"ph\":\"C\",\"pid\":1,\"name\":\"power_w\",\"ts\":20,"
+                     "\"args\":{\"value\":0.925}}"),
+            std::string::npos);
+}
+
+TEST(ChromeTraceTest, EventsKeepInsertionOrderAndRenderDeterministically) {
+  auto build = [] {
+    ChromeTraceWriter writer;
+    writer.SetProcessName(1, "p");
+    writer.AddCounter(1, "c", SimTime::Micros(5), 1.0);
+    writer.AddComplete(1, 1, "slice", SimTime::Micros(1), SimTime::Micros(2));
+    writer.AddInstant(1, 1, "mark", SimTime::Micros(9));
+    return writer;
+  };
+  const std::string a = Render(build());
+  const std::string b = Render(build());
+  EXPECT_EQ(a, b);
+  // Insertion order: counter first, slice second, even though the slice's
+  // timestamp is earlier — the format does not require sorted events.
+  EXPECT_LT(a.find("\"ph\":\"C\""), a.find("\"ph\":\"X\""));
+}
+
+TEST(ChromeTraceTest, EscapesNamesIntoValidJson) {
+  ChromeTraceWriter writer;
+  writer.AddInstant(1, 0, "quote\" backslash\\ newline\n", SimTime::Micros(0));
+  const std::string out = Render(writer);
+  EXPECT_NE(out.find("quote\\\" backslash\\\\ newline\\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcs

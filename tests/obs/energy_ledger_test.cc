@@ -1,0 +1,153 @@
+#include "src/obs/energy_ledger.h"
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/exp/experiment.h"
+#include "src/hw/power_tape.h"
+#include "src/kernel/sched_log.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace dcs {
+namespace {
+
+SchedLogEntry Entry(std::int64_t time_us, Pid pid, int step) {
+  SchedLogEntry e;
+  e.time_us = time_us;
+  e.pid = pid;
+  e.clock_step = step;
+  return e;
+}
+
+double SumAttributed(const EnergyAttribution& a) {
+  double sum = 0.0;
+  for (const auto& [pid, joules] : a.joules_by_pid) {
+    sum += joules;
+  }
+  return sum;
+}
+
+TEST(EnergyLedgerTest, EmptyWindowYieldsNothing) {
+  PowerTape tape;
+  tape.Set(SimTime::Micros(0), 1.0);
+  const EnergyAttribution a =
+      EnergyLedger::Attribute(tape, {}, SimTime::Seconds(2), SimTime::Seconds(1));
+  EXPECT_EQ(a.total_joules, 0.0);
+  EXPECT_TRUE(a.joules_by_pid.empty());
+}
+
+TEST(EnergyLedgerTest, SplitsEnergyAtScheduleBoundaries) {
+  PowerTape tape;
+  tape.Set(SimTime::Seconds(0), 1.0);  // 1 W for the whole window
+  const std::vector<SchedLogEntry> sched = {
+      Entry(0, 1, 10),          // pid 1 from 0 s
+      Entry(4'000'000, 2, 10),  // pid 2 from 4 s
+  };
+  const EnergyAttribution a =
+      EnergyLedger::Attribute(tape, sched, SimTime::Seconds(0), SimTime::Seconds(10));
+  EXPECT_NEAR(a.total_joules, 10.0, 1e-12);
+  EXPECT_NEAR(a.joules_by_pid.at(1), 4.0, 1e-12);
+  EXPECT_NEAR(a.joules_by_pid.at(2), 6.0, 1e-12);
+  EXPECT_EQ(a.held_by_pid.at(1), SimTime::Seconds(4));
+  EXPECT_EQ(a.held_by_pid.at(2), SimTime::Seconds(6));
+  EXPECT_NEAR(a.joules_by_step[10], 10.0, 1e-12);
+  EXPECT_EQ(a.unattributed_joules, 0.0);
+}
+
+TEST(EnergyLedgerTest, PredecessorEntryOwnsWindowHead) {
+  PowerTape tape;
+  tape.Set(SimTime::Seconds(0), 2.0);
+  // Entry at 1 s, window starts at 3 s: pid 5 owns [3 s, 8 s).
+  const std::vector<SchedLogEntry> sched = {Entry(1'000'000, 5, 3)};
+  const EnergyAttribution a =
+      EnergyLedger::Attribute(tape, sched, SimTime::Seconds(3), SimTime::Seconds(8));
+  EXPECT_NEAR(a.joules_by_pid.at(5), 10.0, 1e-12);
+  EXPECT_EQ(a.unattributed_joules, 0.0);
+  EXPECT_NEAR(a.joules_by_step[3], 10.0, 1e-12);
+}
+
+TEST(EnergyLedgerTest, WrappedLogHeadIsUnattributedNotGuessed) {
+  PowerTape tape;
+  tape.Set(SimTime::Seconds(0), 1.0);
+  // First surviving entry is 2 s into a [0 s, 10 s) window (the log wrapped):
+  // the 2 J before it must be reported as unattributed.
+  const std::vector<SchedLogEntry> sched = {Entry(2'000'000, 7, 0)};
+  const EnergyAttribution a =
+      EnergyLedger::Attribute(tape, sched, SimTime::Seconds(0), SimTime::Seconds(10));
+  EXPECT_NEAR(a.unattributed_joules, 2.0, 1e-12);
+  EXPECT_NEAR(a.joules_by_pid.at(7), 8.0, 1e-12);
+  EXPECT_NEAR(a.attributed_joules + a.unattributed_joules, a.total_joules, 1e-12);
+}
+
+TEST(EnergyLedgerTest, EmptyLogIsFullyUnattributed) {
+  PowerTape tape;
+  tape.Set(SimTime::Seconds(0), 0.5);
+  const EnergyAttribution a =
+      EnergyLedger::Attribute(tape, {}, SimTime::Seconds(0), SimTime::Seconds(4));
+  EXPECT_NEAR(a.unattributed_joules, 2.0, 1e-12);
+  EXPECT_EQ(a.attributed_joules, 0.0);
+  EXPECT_TRUE(a.joules_by_pid.empty());
+}
+
+// Conservation property: under random power segments and random schedule
+// boundaries, per-pid joules plus the unattributed head always reproduce the
+// tape's whole-window integral to 1e-9.
+TEST(EnergyLedgerTest, ConservationUnderRandomSequences) {
+  Rng rng(20260806);
+  for (int trial = 0; trial < 50; ++trial) {
+    PowerTape tape;
+    SimTime t = SimTime::Micros(0);
+    for (int i = 0; i < 200; ++i) {
+      tape.Set(t, rng.Uniform(0.05, 2.5));
+      t += SimTime::Micros(rng.UniformInt(1, 20'000));
+    }
+    std::vector<SchedLogEntry> sched;
+    std::int64_t at_us = rng.UniformInt(0, 1000);
+    for (int i = 0; i < 100; ++i) {
+      sched.push_back(Entry(at_us, static_cast<Pid>(rng.UniformInt(0, 5)),
+                            static_cast<int>(rng.UniformInt(0, kNumClockSteps - 1))));
+      at_us += rng.UniformInt(1, 30'000);
+    }
+    const SimTime begin = SimTime::Micros(rng.UniformInt(0, 500'000));
+    const SimTime end = begin + SimTime::Micros(rng.UniformInt(1, 3'000'000));
+    const EnergyAttribution a = EnergyLedger::Attribute(tape, sched, begin, end);
+    EXPECT_NEAR(SumAttributed(a), a.attributed_joules, 1e-12);
+    EXPECT_NEAR(a.attributed_joules + a.unattributed_joules, a.total_joules, 1e-9)
+        << "trial " << trial;
+    double step_sum = 0.0;
+    for (double j : a.joules_by_step) {
+      step_sum += j;
+    }
+    EXPECT_NEAR(step_sum, a.attributed_joules, 1e-9) << "trial " << trial;
+  }
+}
+
+// The acceptance criterion end to end: a real captured experiment's per-task
+// joules sum back to PowerTape::EnergyJoules over the measurement window
+// within 1e-9.
+TEST(EnergyLedgerTest, RealExperimentAttributionConserves) {
+  ExperimentConfig config;
+  config.app = "mpeg";
+  config.governor = "PAST-peg-peg-93-98";
+  config.seed = 11;
+  config.duration = SimTime::Seconds(5);
+  config.capture_obs = true;
+  const ExperimentResult result = RunExperiment(config);
+  ASSERT_TRUE(result.obs.captured);
+  const ObsCapture& obs = result.obs;
+  const EnergyAttribution& a = obs.energy;
+  const double window_joules = obs.power.EnergyJoules(obs.window_begin, obs.window_end);
+  EXPECT_NEAR(a.total_joules, window_joules, 1e-12);
+  EXPECT_NEAR(SumAttributed(a) + a.unattributed_joules, window_joules, 1e-9);
+  // The experiment's own exact energy is the same window integral.
+  EXPECT_NEAR(a.total_joules, result.exact_energy_joules, 1e-9);
+  // The busy MPEG tasks and the idle loop all held the CPU at some point.
+  EXPECT_GE(a.joules_by_pid.size(), 2u);
+  EXPECT_TRUE(a.joules_by_pid.count(kIdlePid));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,204 @@
+#include "src/obs/metrics.h"
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace dcs {
+namespace {
+
+TEST(MetricsCounterTest, StartsAtZeroAndAccumulates) {
+  MetricsCounter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Inc();
+  c.Inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(MetricsGaugeTest, SetOverwrites) {
+  MetricsGauge g;
+  EXPECT_EQ(g.value(), 0.0);
+  EXPECT_EQ(g.samples(), 0u);
+  g.Set(3.5);
+  g.Set(-1.25);
+  EXPECT_EQ(g.value(), -1.25);
+  EXPECT_EQ(g.samples(), 1u);
+}
+
+TEST(MetricsGaugeTest, MergeAverages) {
+  MetricsGauge a;
+  MetricsGauge b;
+  a.Set(10.0);
+  b.Set(20.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.samples(), 2u);
+  EXPECT_DOUBLE_EQ(a.value(), 15.0);
+  // Merging an unset gauge leaves the mean unchanged.
+  MetricsGauge empty;
+  a.MergeFrom(empty);
+  EXPECT_DOUBLE_EQ(a.value(), 15.0);
+}
+
+TEST(LogHistogramTest, BucketBoundaries) {
+  // Bucket 0 is (-inf, 1); bucket i >= 1 is [2^(i-1), 2^i).
+  EXPECT_EQ(LogHistogram::BucketOf(-5.0), 0);
+  EXPECT_EQ(LogHistogram::BucketOf(0.0), 0);
+  EXPECT_EQ(LogHistogram::BucketOf(0.999), 0);
+  EXPECT_EQ(LogHistogram::BucketOf(1.0), 1);
+  EXPECT_EQ(LogHistogram::BucketOf(1.999), 1);
+  EXPECT_EQ(LogHistogram::BucketOf(2.0), 2);
+  EXPECT_EQ(LogHistogram::BucketOf(3.0), 2);
+  EXPECT_EQ(LogHistogram::BucketOf(4.0), 3);
+  EXPECT_EQ(LogHistogram::BucketOf(1024.0), 11);
+  EXPECT_EQ(LogHistogram::BucketOf(std::numeric_limits<double>::max()),
+            LogHistogram::kBuckets - 1);
+  EXPECT_EQ(LogHistogram::BucketOf(std::numeric_limits<double>::quiet_NaN()), 0);
+  // Upper bound is the exclusive end of the bucket.
+  EXPECT_EQ(LogHistogram::BucketUpperBound(1), 2.0);
+  EXPECT_EQ(LogHistogram::BucketUpperBound(11), 2048.0);
+  for (double v : {0.5, 1.0, 3.7, 100.0, 1e6}) {
+    const int b = LogHistogram::BucketOf(v);
+    EXPECT_LT(v, LogHistogram::BucketUpperBound(b)) << v;
+    if (b > 0) {
+      EXPECT_GE(v, LogHistogram::BucketUpperBound(b - 1)) << v;
+    }
+  }
+}
+
+TEST(LogHistogramTest, SummaryStatistics) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.ApproxQuantile(0.5), 0.0);
+  h.Observe(10.0);
+  h.Observe(2.0);
+  h.Observe(30.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 42.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 14.0);
+  EXPECT_EQ(h.min(), 2.0);
+  EXPECT_EQ(h.max(), 30.0);
+}
+
+TEST(LogHistogramTest, ApproxQuantileReturnsBucketUpperBound) {
+  LogHistogram h;
+  for (int i = 0; i < 90; ++i) {
+    h.Observe(3.0);  // bucket [2, 4)
+  }
+  for (int i = 0; i < 10; ++i) {
+    h.Observe(1000.0);  // bucket [512, 1024)
+  }
+  EXPECT_EQ(h.ApproxQuantile(0.5), 4.0);
+  EXPECT_EQ(h.ApproxQuantile(0.89), 4.0);
+  EXPECT_EQ(h.ApproxQuantile(0.99), 1024.0);
+}
+
+TEST(LogHistogramTest, MergeAddsCountsAndExtremes) {
+  LogHistogram a;
+  LogHistogram b;
+  a.Observe(2.0);
+  b.Observe(100.0);
+  b.Observe(0.5);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 102.5);
+  EXPECT_EQ(a.min(), 0.5);
+  EXPECT_EQ(a.max(), 100.0);
+  // Merging an empty histogram must not disturb min/max.
+  LogHistogram empty;
+  a.MergeFrom(empty);
+  EXPECT_EQ(a.min(), 0.5);
+  EXPECT_EQ(a.max(), 100.0);
+}
+
+TEST(MetricsRegistryTest, LookupCreatesAndFindDoesNot) {
+  MetricsRegistry r;
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.FindCounter("a"), nullptr);
+  r.Counter("a").Inc(3);
+  r.Gauge("g").Set(1.5);
+  r.Histogram("h").Observe(7.0);
+  EXPECT_FALSE(r.empty());
+  ASSERT_NE(r.FindCounter("a"), nullptr);
+  EXPECT_EQ(r.FindCounter("a")->value(), 3u);
+  ASSERT_NE(r.FindGauge("g"), nullptr);
+  ASSERT_NE(r.FindHistogram("h"), nullptr);
+  EXPECT_EQ(r.FindCounter("missing"), nullptr);
+  EXPECT_EQ(r.FindGauge("missing"), nullptr);
+  EXPECT_EQ(r.FindHistogram("missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, MergeSemantics) {
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.Counter("c").Inc(1);
+  b.Counter("c").Inc(2);
+  b.Counter("only_b").Inc(5);
+  a.Gauge("g").Set(2.0);
+  b.Gauge("g").Set(4.0);
+  a.Histogram("h").Observe(1.0);
+  b.Histogram("h").Observe(3.0);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.FindCounter("c")->value(), 3u);       // counters add
+  EXPECT_EQ(a.FindCounter("only_b")->value(), 5u);  // missing names appear
+  EXPECT_DOUBLE_EQ(a.FindGauge("g")->value(), 3.0);  // gauges average
+  EXPECT_EQ(a.FindHistogram("h")->count(), 2u);      // histograms add
+}
+
+TEST(MetricsRegistryTest, WriteJsonIsValidAndDeterministic) {
+  MetricsRegistry r;
+  r.Counter("kernel.quanta").Inc(100);
+  r.Gauge("exp.energy_joules").Set(85.25);
+  r.Histogram("kernel.quantum_busy_us").Observe(5000.0);
+  std::ostringstream a;
+  std::ostringstream b;
+  r.WriteJson(a);
+  r.WriteJson(b);
+  EXPECT_EQ(a.str(), b.str());
+  const std::string json = a.str();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"kernel.quanta\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"exp.energy_joules\":85.25"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\":1"), std::string::npos);
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(MetricsRegistryTest, WriteTextOneLinePerInstrument) {
+  MetricsRegistry r;
+  r.Counter("a.count").Inc(2);
+  r.Gauge("b.level").Set(0.5);
+  std::ostringstream os;
+  r.WriteText(os);
+  const std::string text = os.str();
+  EXPECT_NE(text.find("a.count"), std::string::npos);
+  EXPECT_NE(text.find("b.level"), std::string::npos);
+}
+
+TEST(JsonNumberTest, RoundTripsAndSanitises) {
+  EXPECT_EQ(JsonNumber(0.0), "0");
+  EXPECT_EQ(JsonNumber(0.25), "0.25");
+  EXPECT_EQ(JsonNumber(-3.0), "-3");
+  EXPECT_EQ(JsonNumber(206.4), "206.4");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "0");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::quiet_NaN()), "0");
+  // Shortest round-trip: parsing the text must recover the double exactly.
+  for (double v : {1.0 / 3.0, 85.59, 1e-9, 123456.789}) {
+    EXPECT_EQ(std::stod(JsonNumber(v)), v);
+  }
+}
+
+TEST(JsonEscapeTest, EscapesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(JsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+}  // namespace
+}  // namespace dcs
