@@ -45,6 +45,7 @@ std::vector<ExperimentResult> SweepApp(const char* app, double seconds,
     config.seed = 7;
     config.duration = SimTime::FromSecondsF(seconds);
     config.capture_obs = options.WantsObsCapture();
+    config.faults = options.faults;
     configs.push_back(config);
   }
   std::vector<ExperimentResult> results = RunSweep(configs, options);

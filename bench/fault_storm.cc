@@ -1,0 +1,129 @@
+// Fault-storm sweep: every fault class at once, at increasing intensity,
+// against a representative governor slate on the MPEG workload.  The control
+// row (intensity 0) runs the exact unfaulted code path; every faulted run is
+// watched by the InvariantChecker and the process exits non-zero if any
+// invariant is violated, which is what CI keys on.
+//
+//   --report-out=FILE   write the per-run invariant/injection report to FILE
+//                       (uploaded as a CI artifact)
+//
+// Plus the standard sweep flags (--threads, --progress, ...).  A --faults
+// spec, if given, is ignored: this bench owns its fault grid.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.h"
+#include "src/exp/report.h"
+#include "src/exp/sweep.h"
+
+namespace dcs {
+namespace {
+
+constexpr double kIntensities[] = {0.0, 0.3, 0.6, 1.0};
+constexpr const char* kGovernors[] = {
+    "none",          "fixed-132.7",         "PAST-peg-peg-93-98",
+    "AVG9-one-one-50-70", "PAST-peg-peg-93-98-vs", "deadline",
+};
+constexpr double kSeconds = 5.0;
+
+int Run(const SweepOptions& options, const std::string& report_out) {
+  std::vector<ExperimentConfig> configs;
+  for (const double intensity : kIntensities) {
+    for (const char* governor : kGovernors) {
+      ExperimentConfig config;
+      config.app = "mpeg";
+      config.governor = governor;
+      config.seed = 7;
+      config.duration = SimTime::FromSecondsF(kSeconds);
+      char spec[48];
+      std::snprintf(spec, sizeof(spec), "storm=%g,seed=11", intensity);
+      config.faults = intensity > 0.0 ? spec : "none";
+      configs.push_back(config);
+    }
+  }
+  const std::vector<ExperimentResult> results = RunSweep(configs, options);
+
+  TextTable table({"storm", "governor", "energy (J)", "misses", "injected", "retries",
+                   "brownouts", "drops", "checks", "violations"});
+  std::uint64_t total_injected = 0;
+  std::uint64_t total_checks = 0;
+  std::uint64_t total_violations = 0;
+  std::vector<std::string> messages;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& r = results[i];
+    const FaultReport& f = r.faults;
+    const double intensity =
+        kIntensities[i / (sizeof(kGovernors) / sizeof(kGovernors[0]))];
+    table.AddRow({TextTable::Fixed(intensity, 1), r.governor,
+                  TextTable::Fixed(r.energy_joules, 2), std::to_string(r.deadline_misses),
+                  std::to_string(f.injected_total), std::to_string(f.transition_retries),
+                  std::to_string(f.brownouts), std::to_string(f.dropped_samples),
+                  std::to_string(f.invariant_checks),
+                  std::to_string(f.invariant_violations)});
+    total_injected += f.injected_total;
+    total_checks += f.invariant_checks;
+    total_violations += f.invariant_violations;
+    for (const std::string& v : f.violations) {
+      messages.push_back(r.governor + " @ storm=" + TextTable::Fixed(intensity, 1) + ": " + v);
+    }
+  }
+  table.Print(std::cout);
+  std::printf("\n%llu faults injected, %llu invariant checks, %llu violations\n",
+              static_cast<unsigned long long>(total_injected),
+              static_cast<unsigned long long>(total_checks),
+              static_cast<unsigned long long>(total_violations));
+  for (const std::string& m : messages) {
+    std::printf("VIOLATION %s\n", m.c_str());
+  }
+
+  if (!report_out.empty()) {
+    std::ofstream out(report_out);
+    if (!out) {
+      std::fprintf(stderr, "cannot write report to '%s'\n", report_out.c_str());
+      return 1;
+    }
+    out << "fault-storm invariant report\n";
+    out << "runs: " << results.size() << "\n";
+    out << "faults injected: " << total_injected << "\n";
+    out << "invariant checks: " << total_checks << "\n";
+    out << "violations: " << total_violations << "\n";
+    for (const ExperimentResult& r : results) {
+      const FaultReport& f = r.faults;
+      out << "\n" << r.app << " / " << r.governor << " / "
+          << (f.enabled ? f.plan : std::string("none")) << "\n";
+      out << "  injected: " << f.injected_total;
+      for (const auto& [name, count] : f.injected) {
+        out << " " << name << "=" << count;
+      }
+      out << "\n  retries: " << f.transition_retries << "  brownouts: " << f.brownouts
+          << "  dropped samples: " << f.dropped_samples << "\n";
+      out << "  checks: " << f.invariant_checks << "  violations: " << f.invariant_violations
+          << "\n";
+      for (const std::string& v : f.violations) {
+        out << "  VIOLATION " << v << "\n";
+      }
+    }
+  }
+  return total_violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  std::string report_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
+      report_out = argv[i] + 13;
+    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
+      report_out = argv[i + 1];
+    }
+  }
+  dcs::PrintHeading(std::cout, "Fault storm — invariants under injected hardware faults");
+  return dcs::Run(dcs::SweepOptionsFromArgs(argc, argv), report_out);
+}

@@ -29,6 +29,7 @@ void Run(const SweepOptions& options) {
   config.seed = 42;
   config.duration = SimTime::Seconds(40);
   config.capture_obs = options.WantsObsCapture();
+  config.faults = options.faults;
   const ExperimentResult result = RunExperiment(config);
   MaybeWriteArtifacts("fig8_past_peg_peg", result);
 

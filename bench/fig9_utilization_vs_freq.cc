@@ -31,6 +31,7 @@ void Run(const SweepOptions& options) {
     config.seed = 42;
     config.duration = SimTime::Seconds(30);
     config.capture_obs = options.WantsObsCapture();
+    config.faults = options.faults;
     configs.push_back(config);
   }
   const std::vector<ExperimentResult> results = RunSweep(configs, options);

@@ -35,6 +35,7 @@ void Run(const SweepOptions& options) {
   baseline_config.seed = 7;
   baseline_config.duration = SimTime::FromSecondsF(kSeconds);
   baseline_config.capture_obs = options.WantsObsCapture();
+  baseline_config.faults = options.faults;
 
   // Job 0 is the constant-speed baseline; the AVG_N grid follows in the same
   // nesting order as the paper's study so the table rows keep their order.

@@ -52,6 +52,7 @@ void Run(const SweepOptions& options) {
     config.governor = row.governor;
     config.seed = 1000;
     config.capture_obs = options.WantsObsCapture();
+    config.faults = options.faults;
     RepeatedResult result = RunRepeated(config, kRepetitions, options);
     if (options.WantsObsExport()) {
       for (ExperimentResult& run : result.runs) {

@@ -47,6 +47,10 @@ class DeadlineGovernor final : public ClockPolicy {
 
   const char* Name() const override { return name_.c_str(); }
   void OnInstall(Kernel& kernel) override { kernel_ = &kernel; }
+  // Re-solves the density test from sample.step (the hardware's real step)
+  // every quantum, so a transition stuck by fault injection is re-requested
+  // rather than assumed; jittered/late quanta only shrink the slacks fed to
+  // the test, which the min_slack floor keeps finite.
   std::optional<SpeedRequest> OnQuantum(const UtilizationSample& sample) override;
   void Reset() override {}
 

@@ -52,6 +52,10 @@ class IntervalGovernor final : public ClockPolicy {
   // Binds the governor.scale_ups / governor.scale_downs counters when the
   // hosting kernel has an observability registry attached.
   void OnInstall(Kernel& kernel) override;
+  // Decisions are anchored on sample.step — the step the hardware actually
+  // runs, not the one last requested — so a transition that failed under
+  // fault injection simply re-enters the decision from reality next quantum;
+  // an unsafe rail drop is refused by the hardware layer.
   std::optional<SpeedRequest> OnQuantum(const UtilizationSample& sample) override;
   void Reset() override;
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "src/fault/fault_injector.h"
+
 namespace dcs {
 namespace {
 
@@ -53,11 +55,54 @@ std::vector<double> Daq::SamplePowerWatts(const PowerTape& tape, SimTime begin,
   const std::int64_t count = static_cast<std::int64_t>(
       std::floor((end - begin).ToSeconds() / period_s));
   samples.reserve(static_cast<std::size_t>(count));
+  std::vector<std::size_t> dropped;
   for (std::int64_t i = 0; i < count; ++i) {
     const SimTime t = begin + SimTime::FromSecondsF(i * period_s);
-    samples.push_back(ReadPower(tape, t));
+    // The reading is always taken (the ADC ran; its noise stream must not
+    // shift) — a drop loses the value on the way to the host.
+    const double reading = ReadPower(tape, t);
+    if (faults_ != nullptr && faults_->DropSample()) {
+      dropped.push_back(samples.size());
+      samples.push_back(0.0);
+    } else {
+      samples.push_back(reading);
+    }
+  }
+  if (!dropped.empty()) {
+    dropped_samples_ += dropped.size();
+    InterpolateDropped(&samples, dropped);
   }
   return samples;
+}
+
+void Daq::InterpolateDropped(std::vector<double>* samples,
+                             const std::vector<std::size_t>& dropped) {
+  const std::size_t n = samples->size();
+  for (std::size_t d = 0; d < dropped.size();) {
+    // Maximal run of consecutive dropped indices [a, b].
+    const std::size_t a = dropped[d];
+    std::size_t e = d;
+    while (e + 1 < dropped.size() && dropped[e + 1] == dropped[e] + 1) {
+      ++e;
+    }
+    const std::size_t b = dropped[e];
+    const bool has_left = a > 0;
+    const bool has_right = b + 1 < n;
+    for (std::size_t i = a; i <= b; ++i) {
+      if (has_left && has_right) {
+        const double frac = static_cast<double>(i - a + 1) / static_cast<double>(b - a + 2);
+        (*samples)[i] =
+            (*samples)[a - 1] + ((*samples)[b + 1] - (*samples)[a - 1]) * frac;
+      } else if (has_left) {
+        (*samples)[i] = (*samples)[a - 1];
+      } else if (has_right) {
+        (*samples)[i] = (*samples)[b + 1];
+      }
+      // A window with every sample dropped stays zero: there is nothing to
+      // reconstruct from.
+    }
+    d = e + 1;
+  }
 }
 
 double Daq::EnergyJoules(std::span<const double> samples) const {

@@ -15,6 +15,7 @@
 #ifndef SRC_DAQ_DAQ_H_
 #define SRC_DAQ_DAQ_H_
 
+#include <cstdint>
 #include <optional>
 #include <span>
 #include <utility>
@@ -26,6 +27,8 @@
 #include "src/sim/time.h"
 
 namespace dcs {
+
+class FaultInjector;
 
 struct DaqConfig {
   double sample_hz = 5000.0;
@@ -48,8 +51,17 @@ class Daq {
   SimTime SamplePeriod() const { return SimTime::FromSecondsF(1.0 / config_.sample_hz); }
 
   // Samples instantaneous power over [begin, end) at sample_hz, applying the
-  // shunt/ADC model.  Sample i is taken at begin + i/sample_hz.
+  // shunt/ADC model.  Sample i is taken at begin + i/sample_hz.  Samples the
+  // bound fault injector drops are reconstructed by linear interpolation
+  // between their surviving neighbours (edge runs copy the nearest survivor).
   std::vector<double> SamplePowerWatts(const PowerTape& tape, SimTime begin, SimTime end);
+
+  // Binds the fault injector (non-owning; null unbinds).  Unbound, sampling
+  // is byte-identical to the pre-fault DAQ.
+  void BindFaults(FaultInjector* faults) { faults_ = faults; }
+
+  // Samples lost to injected drops so far.
+  std::uint64_t dropped_samples() const { return dropped_samples_; }
 
   // Rectangle-rule energy: sum(p_i * 0.0002 s), exactly as in section 4.1.
   double EnergyJoules(std::span<const double> samples) const;
@@ -62,10 +74,16 @@ class Daq {
   // One power reading at time `t` through the ADC pipeline.
   double ReadPower(const PowerTape& tape, SimTime t);
 
+  // Reconstructs the samples at `dropped` (sorted indices) in place.
+  static void InterpolateDropped(std::vector<double>* samples,
+                                 const std::vector<std::size_t>& dropped);
+
   DaqConfig config_;
   Rng rng_;
   double shunt_lsb_;
   double supply_lsb_;
+  FaultInjector* faults_ = nullptr;
+  std::uint64_t dropped_samples_ = 0;
 };
 
 // Latches a measurement window from GPIO edges, as the paper's trigger wire

@@ -1,15 +1,28 @@
 #include "src/exp/experiment.h"
 
 #include <cassert>
+#include <functional>
 #include <stdexcept>
 #include <utility>
 
 #include "src/core/governor_registry.h"
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/invariants.h"
 #include "src/sim/simulator.h"
 
 namespace dcs {
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
+  DeadlineMonitor deadlines;
+  AppBundle bundle = config.app == "mpeg" && config.mpeg.has_value()
+                         ? MakeMpegApp(*config.mpeg, &deadlines, config.seed)
+                         : MakeApp(config.app, &deadlines, config.seed);
+  return RunExperiment(config, std::move(bundle), deadlines);
+}
+
+ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
+                               DeadlineMonitor& deadlines) {
   Simulator sim;
   Itsy itsy(sim, config.itsy);
   KernelConfig kernel_config = config.kernel;
@@ -35,10 +48,30 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
     kernel.InstallPolicy(governor.get());
   }
 
-  DeadlineMonitor deadlines;
-  AppBundle bundle = config.app == "mpeg" && config.mpeg.has_value()
-                         ? MakeMpegApp(*config.mpeg, &deadlines, config.seed)
-                         : MakeApp(config.app, &deadlines, config.seed);
+  FaultPlan fault_plan;
+  std::string fault_error;
+  if (!FaultPlan::Parse(config.faults, &fault_plan, &fault_error)) {
+    throw std::invalid_argument("invalid fault spec '" + config.faults + "': " + fault_error);
+  }
+  // The injector (and the invariant checker riding along) only exists for an
+  // active plan: an inactive one must leave the event sequence — and thus the
+  // sim.events_* metrics — untouched.
+  std::optional<FaultInjector> injector;
+  std::optional<InvariantChecker> checker;
+  if (fault_plan.Active()) {
+    injector.emplace(fault_plan, config.seed);
+    itsy.BindFaults(&*injector);
+    kernel.BindFaults(&*injector);
+    checker.emplace(sim, itsy, kernel);
+    // Re-arm a checker sweep every quantum for the whole run.
+    auto check_tick = std::make_shared<std::function<void()>>();
+    *check_tick = [&sim, &checker, check_tick, quantum = kernel_config.quantum] {
+      checker->Check();
+      sim.After(quantum, *check_tick);
+    };
+    sim.After(kernel_config.quantum, *check_tick);
+  }
+
   for (auto& task : bundle.tasks) {
     kernel.AddTask(std::move(task));
   }
@@ -65,6 +98,9 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
   DaqConfig daq_config = config.daq;
   daq_config.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
   Daq daq(daq_config);
+  if (injector) {
+    daq.BindFaults(&*injector);
+  }
   const std::vector<double> samples = daq.SamplePowerWatts(itsy.tape(), begin, end);
   result.energy_joules = daq.EnergyJoules(samples);
   result.exact_energy_joules = itsy.tape().EnergyJoules(begin, end);
@@ -130,6 +166,37 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
                     result.obs.task_names[pid] + "_joules")
           .Set(joules);
     }
+  }
+
+  if (checker) {
+    // One final structural sweep at end time, plus energy conservation over
+    // the measurement window.
+    checker->Check();
+    checker->CheckEnergyConservation(kernel.sched_log().Snapshot(), begin, end);
+
+    FaultReport& report = result.faults;
+    report.enabled = true;
+    report.plan = fault_plan.Describe();
+    for (int k = 0; k < kNumFaultClasses; ++k) {
+      const auto c = static_cast<FaultClass>(k);
+      if (injector->injected(c) > 0) {
+        report.injected.emplace(FaultClassName(c), injector->injected(c));
+      }
+    }
+    report.injected_total = injector->injected_total();
+    report.transition_retries = kernel.transition_retries();
+    report.brownouts = itsy.brownouts();
+    report.dropped_samples = daq.dropped_samples();
+    report.invariant_checks = checker->checks();
+    report.invariant_violations = checker->violation_count();
+    report.violations = checker->violations();
+
+    metrics.Counter("fault.injected_total").Inc(report.injected_total);
+    metrics.Counter("fault.transition_retries").Inc(report.transition_retries);
+    metrics.Counter("fault.brownouts").Inc(static_cast<std::uint64_t>(report.brownouts));
+    metrics.Counter("fault.daq_dropped_samples").Inc(report.dropped_samples);
+    metrics.Counter("fault.invariant_checks").Inc(report.invariant_checks);
+    metrics.Counter("fault.invariant_violations").Inc(report.invariant_violations);
   }
 
   result.sink = std::move(kernel.sink());

@@ -35,6 +35,11 @@ struct ExperimentConfig {
   ItsyConfig itsy;
   KernelConfig kernel;
   DaqConfig daq;
+  // Fault-injection spec (see fault_plan.h for the grammar).  "" or "none"
+  // runs the exact pre-fault code path, byte for byte; anything else binds a
+  // seeded FaultInjector to the hardware, kernel and DAQ and runs the
+  // InvariantChecker every quantum.
+  std::string faults;
   // When true, the result carries the raw observability capture (scheduler
   // log, power tape, energy attribution) needed to export a Chrome trace.
   // Off by default: the capture copies the full tape and log.
@@ -58,6 +63,27 @@ struct ObsCapture {
   std::map<Pid, std::string> task_names;
   // Joules per task / per clock step over the window.
   EnergyAttribution energy;
+};
+
+// Fault-injection outcome for one run; `enabled` is false (and everything
+// else zero) unless the config carried an active fault plan.
+struct FaultReport {
+  bool enabled = false;
+  // Canonical plan spec (FaultPlan::Describe()).
+  std::string plan;
+  // Injections that actually triggered, keyed by class name (zero entries
+  // omitted), and their sum.
+  std::map<std::string, std::uint64_t> injected;
+  std::uint64_t injected_total = 0;
+  // Consumer-side recovery counters.
+  std::uint64_t transition_retries = 0;
+  int brownouts = 0;
+  std::uint64_t dropped_samples = 0;
+  // InvariantChecker outcome: checks performed, violations found (with the
+  // first stored messages).
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;
+  std::vector<std::string> violations;
 };
 
 struct ExperimentResult {
@@ -99,13 +125,23 @@ struct ExperimentResult {
   // Raw capture for Chrome trace export (see ExperimentConfig::capture_obs).
   ObsCapture obs;
 
+  // Fault-injection outcome (FaultReport::enabled false on unfaulted runs).
+  FaultReport faults;
+
   bool MetAllDeadlines() const { return deadline_misses == 0; }
 };
 
 // Runs one experiment.  Throws std::invalid_argument on an invalid governor
-// spec; under the sweep engine that fails the offending job while the rest
-// of the grid completes.
+// spec, an invalid fault spec, or an unknown app name; under the sweep
+// engine that fails the offending job while the rest of the grid completes.
 ExperimentResult RunExperiment(const ExperimentConfig& config);
+
+// Same, but with a caller-built application bundle (`config.app` / `.mpeg`
+// are ignored).  The bundle may be empty: the kernel then idles for the
+// configured duration.  `deadlines` is the monitor the bundle's workloads
+// report to and must outlive the call.
+ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
+                               DeadlineMonitor& deadlines);
 
 }  // namespace dcs
 

@@ -147,6 +147,10 @@ SweepOptions SweepOptionsFromArgs(int argc, char** argv) {
       options.metrics_out = arg + 14;
     } else if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
       options.metrics_out = argv[++i];
+    } else if (std::strncmp(arg, "--faults=", 9) == 0) {
+      options.faults = arg + 9;
+    } else if (std::strcmp(arg, "--faults") == 0 && i + 1 < argc) {
+      options.faults = argv[++i];
     }
   }
   if (options.threads < 0) {

@@ -38,6 +38,9 @@ struct SweepOptions {
   std::string trace_out;
   // --metrics-out=FILE: write the aggregated metrics registry as JSON.
   std::string metrics_out;
+  // --faults=SPEC: fault-injection spec forwarded to every experiment in the
+  // grid (see fault_plan.h for the grammar; "" / "none" injects nothing).
+  std::string faults;
 
   // Whether the experiments must capture raw observability data
   // (ExperimentConfig::capture_obs) for the requested outputs.
@@ -90,10 +93,10 @@ class SweepRunner {
 std::vector<ExperimentResult> RunSweep(const std::vector<ExperimentConfig>& configs,
                                        const SweepOptions& options = {});
 
-// Parses "--threads=N" / "--threads N", "--progress", "--trace-out=FILE" and
-// "--metrics-out=FILE" from a bench's argv, returning the corresponding
-// options.  Unrecognised arguments are ignored so benches can layer their
-// own flags.
+// Parses "--threads=N" / "--threads N", "--progress", "--trace-out=FILE",
+// "--metrics-out=FILE" and "--faults=SPEC" from a bench's argv, returning the
+// corresponding options.  Unrecognised arguments are ignored so benches can
+// layer their own flags.
 SweepOptions SweepOptionsFromArgs(int argc, char** argv);
 
 }  // namespace dcs

@@ -1,0 +1,59 @@
+#include "src/fault/fault_injector.h"
+
+namespace dcs {
+
+FaultInjector::FaultInjector(const FaultPlan& plan, std::uint64_t run_seed) : plan_(plan) {
+  for (int k = 0; k < kNumFaultClasses; ++k) {
+    // Golden-ratio mixing decorrelates the class streams from each other and
+    // from the kernel/DAQ streams that already use the run seed.
+    streams_[static_cast<std::size_t>(k)] =
+        Rng(plan_.seed ^ (run_seed * 0x9e3779b97f4a7c15ULL) ^
+            ((static_cast<std::uint64_t>(k) + 1) * 0xbf58476d1ce4e5b9ULL));
+  }
+}
+
+bool FaultInjector::Draw(FaultClass c) {
+  const auto k = static_cast<std::size_t>(static_cast<int>(c));
+  const bool hit = streams_[k].Bernoulli(plan_.probability[k]);
+  if (hit) {
+    ++injected_[k];
+  }
+  return hit;
+}
+
+SimTime FaultInjector::ClockStall(SimTime nominal) {
+  return Draw(FaultClass::kClockStretch) ? nominal * kClockStretchFactor : nominal;
+}
+
+SimTime FaultInjector::SettleTime(SimTime nominal) {
+  return Draw(FaultClass::kSettleOverrun) ? nominal * kSettleOverrunFactor : nominal;
+}
+
+SimTime FaultInjector::TickDelay(SimTime nominal) {
+  SimTime delay = nominal;
+  if (Draw(FaultClass::kTickMiss)) {
+    delay += nominal;
+  }
+  if (Draw(FaultClass::kTickJitter)) {
+    // The interrupt only ever fires late (latency), never early; the jitter
+    // magnitude comes from the same isolated stream as the trigger.
+    delay += SimTime::FromMicrosF(
+        streams_[static_cast<std::size_t>(static_cast<int>(FaultClass::kTickJitter))]
+            .Uniform(0.0, kTickJitterMaxUs));
+  }
+  return delay;
+}
+
+double FaultInjector::QuantumMemSpikeFactor() {
+  return Draw(FaultClass::kMemSpike) ? kMemSpikeFactor : 1.0;
+}
+
+std::uint64_t FaultInjector::injected_total() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t n : injected_) {
+    total += n;
+  }
+  return total;
+}
+
+}  // namespace dcs

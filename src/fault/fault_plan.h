@@ -1,0 +1,83 @@
+// Deterministic fault-injection plans.
+//
+// The paper's negative result rests on hardware friction — the 200 us PLL
+// relock, the 250 us rail down-settle, non-linear memory slowdown — yet the
+// simulator's default path only ever exercises transitions that succeed on
+// schedule.  A FaultPlan describes a seeded perturbation of that happy path:
+// clock transitions that fail or take longer, regulator settles that overrun
+// or brown out, timer ticks that jitter or go missing, DAQ samples that drop,
+// and transient memory-latency spikes.  Experiments opt in with the
+// `--faults=<spec>` flag; an absent or "none" spec leaves every consumer on
+// the exact code path it runs today, byte for byte.
+//
+// Spec grammar (comma-separated, case-insensitive keys):
+//
+//   spec  := "none" | item ("," item)*
+//   item  := "seed=" <uint64>
+//          | "storm=" <frac>        -- preset: all classes at defaults x frac
+//          | <class> "=" <frac>     -- per-class trigger probability
+//   class := "clock-fail" | "clock-stretch" | "settle-overrun" | "brownout"
+//          | "tick-jitter" | "tick-miss" | "daq-drop" | "mem-spike"
+//   frac  := "0.05" | "5%"          -- probability in [0, 1]
+//
+// Items apply left to right, so "storm=0.5,brownout=0" starts from the storm
+// preset and then disables brownouts.
+
+#ifndef SRC_FAULT_FAULT_PLAN_H_
+#define SRC_FAULT_FAULT_PLAN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace dcs {
+
+// The injectable fault classes.  Each owns an isolated RNG stream inside the
+// injector, so enabling one class never shifts the draws seen by another.
+enum class FaultClass : int {
+  kClockFail = 0,      // a clock transition pays its stall but the step sticks
+  kClockStretch,       // the PLL relock takes kClockStretchFactor x longer
+  kSettleOverrun,      // a rail down-settle takes kSettleOverrunFactor x longer
+  kBrownout,           // mid-settle undershoot forces a clock step-down
+  kTickJitter,         // the clock interrupt fires late (interrupt latency)
+  kTickMiss,           // a timer tick is lost; the next fires a period later
+  kDaqDrop,            // a DAQ sample is lost and must be interpolated
+  kMemSpike,           // memory latency spikes for one quantum
+};
+
+inline constexpr int kNumFaultClasses = 8;
+
+// Canonical spec key for a class ("clock-fail", ...).
+const char* FaultClassName(FaultClass c);
+
+struct FaultPlan {
+  // Seeds the injector's per-class RNG streams (mixed with the experiment
+  // seed, so repeated-run tables get independent fault sequences while the
+  // same (spec, experiment seed) pair reproduces exactly).
+  std::uint64_t seed = 1;
+  // Per-class trigger probability, indexed by FaultClass.  All zero by
+  // default: a default plan routed through the injector is a no-op.
+  std::array<double, kNumFaultClasses> probability{};
+
+  double p(FaultClass c) const { return probability[static_cast<int>(c)]; }
+  void set_p(FaultClass c, double value) { probability[static_cast<int>(c)] = value; }
+
+  // True when any class can trigger.
+  bool Active() const;
+
+  // Parses the grammar above into *plan.  "none" and "" parse to the default
+  // (all-zero) plan.  On failure returns false and fills *error (if given)
+  // with a human-readable reason; *plan is left default-initialised.
+  static bool Parse(const std::string& spec, FaultPlan* plan, std::string* error = nullptr);
+
+  // The "storm=<intensity>" preset: every class at its default probability
+  // scaled by `intensity` (clamped to [0, 1]).
+  static FaultPlan Storm(double intensity);
+
+  // Canonical spec string round-tripping through Parse().
+  std::string Describe() const;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_FAULT_FAULT_PLAN_H_

@@ -6,15 +6,26 @@ Cpu::Cpu(int initial_step, SimTime switch_stall)
     : step_(ClockTable::Clamp(initial_step)), switch_stall_(switch_stall) {}
 
 SimTime Cpu::BeginClockChange(int new_step, SimTime now) {
+  return BeginClockChange(new_step, now, switch_stall_);
+}
+
+SimTime Cpu::BeginClockChange(int new_step, SimTime now, SimTime stall) {
   new_step = ClockTable::Clamp(new_step);
   if (new_step == step_) {
     return now;
   }
   step_ = new_step;
   state_ = ExecState::kStalled;
-  stall_until_ = now + switch_stall_;
+  stall_until_ = now + stall;
   ++clock_changes_;
-  total_stall_ += switch_stall_;
+  total_stall_ += stall;
+  return stall_until_;
+}
+
+SimTime Cpu::ForceStall(SimTime stall, SimTime now) {
+  state_ = ExecState::kStalled;
+  stall_until_ = now + stall;
+  total_stall_ += stall;
   return stall_until_;
 }
 

@@ -27,6 +27,15 @@ class Cpu {
   // is responsible for putting the core back into kBusy/kNap afterwards.
   // Changing to the current step is a no-op returning `now`.
   SimTime BeginClockChange(int new_step, SimTime now);
+  // Same, but with an explicit relock stall (fault injection stretches it).
+  SimTime BeginClockChange(int new_step, SimTime now, SimTime stall);
+
+  // Locks the core out for `stall` without changing the clock step: a failed
+  // transition still pays the PLL relock.  Counted in total_stall() but not
+  // in clock_changes() (no transition happened).
+  SimTime ForceStall(SimTime stall, SimTime now);
+
+  SimTime switch_stall() const { return switch_stall_; }
 
   // True while a clock change is still relocking at `now`.
   bool Stalled(SimTime now) const { return now < stall_until_; }

@@ -1,5 +1,9 @@
 #include "src/hw/itsy.h"
 
+#include <algorithm>
+
+#include "src/fault/fault_injector.h"
+
 namespace dcs {
 
 Itsy::Itsy(Simulator& sim, const ItsyConfig& config)
@@ -29,15 +33,30 @@ void Itsy::BindMetrics(MetricsRegistry* metrics) {
 
 SimTime Itsy::SetClockStep(int new_step) {
   new_step = ClockTable::Clamp(new_step);
+  last_clock_change_failed_ = false;
   if (new_step == cpu_.step()) {
     return sim_.Now();
   }
   if (!VoltageRegulator::StepAllowedAt(regulator_.target(), new_step)) {
-    // Raise the rail first; upward transitions are instantaneous.
+    // Raise the rail first; upward transitions are instantaneous.  This
+    // supersedes any in-flight down-settle, so an armed brownout must die
+    // with it.
+    CancelBrownout();
     regulator_.Request(CoreVoltage::kHigh, sim_.Now());
   }
-  const SimTime stall_end = cpu_.BeginClockChange(new_step, sim_.Now());
-  if (ctr_clock_changes_ != nullptr) {
+  SimTime stall_end;
+  if (faults_ != nullptr && faults_->ClockChangeFails()) {
+    // Failed transition: the PLL pays the (possibly stretched) relock
+    // lockout but the divider sticks at the old step.
+    last_clock_change_failed_ = true;
+    stall_end = cpu_.ForceStall(faults_->ClockStall(cpu_.switch_stall()), sim_.Now());
+  } else if (faults_ != nullptr) {
+    stall_end =
+        cpu_.BeginClockChange(new_step, sim_.Now(), faults_->ClockStall(cpu_.switch_stall()));
+  } else {
+    stall_end = cpu_.BeginClockChange(new_step, sim_.Now());
+  }
+  if (ctr_clock_changes_ != nullptr && !last_clock_change_failed_) {
     ctr_clock_changes_->Inc();
     hist_switch_stall_us_->Observe((stall_end - sim_.Now()).ToMicrosF());
   }
@@ -50,13 +69,42 @@ bool Itsy::SetVoltage(CoreVoltage v) {
     return false;
   }
   if (v != regulator_.target()) {
-    regulator_.Request(v, sim_.Now());
+    CancelBrownout();
+    if (faults_ != nullptr && v == CoreVoltage::kLow) {
+      const SimTime settle = faults_->SettleTime(kVoltageDownSettle);
+      regulator_.Request(v, sim_.Now(), settle);
+      if (faults_->BrownoutDuringSettle()) {
+        // The rail undershoots hard enough mid-settle to brown the core out;
+        // model it as a forced step-down halfway through the interval.
+        brownout_event_ = sim_.After(settle / 2, [this] { OnBrownout(); });
+      }
+    } else {
+      regulator_.Request(v, sim_.Now());
+    }
     if (ctr_voltage_transitions_ != nullptr) {
       ctr_voltage_transitions_->Inc();
     }
     RefreshPower();
   }
   return true;
+}
+
+void Itsy::CancelBrownout() {
+  if (brownout_event_ != kInvalidEventId) {
+    sim_.Cancel(brownout_event_);
+    brownout_event_ = kInvalidEventId;
+  }
+}
+
+void Itsy::OnBrownout() {
+  brownout_event_ = kInvalidEventId;
+  ++brownouts_;
+  // The hardware dropped the divider on its own — no fail draw applies.  The
+  // step lands kBrownoutStepDrop below the 1.23 V-safe position and the core
+  // pays a normal relock.
+  const int safe = std::min(cpu_.step(), kMaxStepAtLowVoltage);
+  cpu_.BeginClockChange(safe - FaultInjector::kBrownoutStepDrop, sim_.Now());
+  RefreshPower();
 }
 
 void Itsy::SetExecState(ExecState state) {

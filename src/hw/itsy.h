@@ -21,6 +21,8 @@
 
 namespace dcs {
 
+class FaultInjector;
+
 struct ItsyConfig {
   PowerModelParams power;
   int initial_step = ClockTable::MaxStep();
@@ -44,8 +46,12 @@ class Itsy {
 
   // Initiates a clock change; the CPU stalls until the returned time.  If
   // `new_step` is unsafe at the current rail, the rail is raised first
-  // (instantaneous).  Asking for the current step is a no-op.
+  // (instantaneous).  Asking for the current step is a no-op.  Under fault
+  // injection the transition may fail: the stall is still paid but the step
+  // sticks, and last_clock_change_failed() reports it so the kernel can
+  // retry with backoff.
   SimTime SetClockStep(int new_step);
+  bool last_clock_change_failed() const { return last_clock_change_failed_; }
 
   // Requests a rail change.  Refused (returns false) when the current step is
   // too fast for the requested rail.
@@ -89,10 +95,25 @@ class Itsy {
   // state changes then feed hw.* counters and the relock-stall histogram.
   void BindMetrics(MetricsRegistry* metrics);
 
+  // Binds the fault injector (non-owning; null unbinds).  Unbound, every
+  // path above is byte-identical to the pre-fault simulator.
+  void BindFaults(FaultInjector* faults) { faults_ = faults; }
+
+  // Fault diagnostics: brownout-forced step-downs so far, and whether a
+  // brownout event is still armed for the in-flight down-settle.
+  int brownouts() const { return brownouts_; }
+  bool brownout_pending() const { return brownout_event_ != kInvalidEventId; }
+
  private:
   // Re-derives the instantaneous power and appends it to the tape; also
   // integrates the battery over the segment that just ended.
   void RefreshPower();
+
+  // A superseding rail request aborts the armed mid-settle brownout; without
+  // this the stale event would fire after the rail is back at 1.5 V and
+  // wrongly drop the clock step.
+  void CancelBrownout();
+  void OnBrownout();
 
   Simulator& sim_;
   PowerModel power_model_;
@@ -103,6 +124,11 @@ class Itsy {
   Gpio gpio_;
   std::optional<Battery> battery_;
   SimTime last_battery_update_;
+
+  FaultInjector* faults_ = nullptr;
+  bool last_clock_change_failed_ = false;
+  int brownouts_ = 0;
+  EventId brownout_event_ = kInvalidEventId;
 
   // Observability instruments (all null until BindMetrics).
   MetricsCounter* ctr_clock_changes_ = nullptr;

@@ -10,7 +10,7 @@ bool VoltageRegulator::StepAllowedAt(CoreVoltage v, int step) {
   return v == CoreVoltage::kHigh || step <= kMaxStepAtLowVoltage;
 }
 
-SimTime VoltageRegulator::Request(CoreVoltage v, SimTime now) {
+SimTime VoltageRegulator::Request(CoreVoltage v, SimTime now, SimTime down_settle) {
   if (v == target_) {
     return settle_until_;
   }
@@ -22,7 +22,7 @@ SimTime VoltageRegulator::Request(CoreVoltage v, SimTime now) {
     // Raising the rail was measured as effectively instantaneous.
     settle_until_ = now;
   } else {
-    settle_until_ = now + kVoltageDownSettle;
+    settle_until_ = now + down_settle;
   }
   return settle_until_;
 }
@@ -36,7 +36,9 @@ double VoltageRegulator::VoltsAt(SimTime now) const {
   // voltage slowly reduces, drops below 1.23V and then rapidly settles").
   const double from = VoltageVolts(previous_);
   const double to = VoltageVolts(target_);
-  const double span = kVoltageDownSettle.ToSeconds();
+  // The decay curve is shaped by this transition's actual settle interval
+  // (normally kVoltageDownSettle; longer under an injected overrun).
+  const double span = (settle_until_ - transition_start_).ToSeconds();
   const double t = (now - transition_start_).ToSeconds();
   const double progress = t / span;  // in [0,1)
   // Decay with time constant span/6, plus an undershoot lobe peaking at ~80%

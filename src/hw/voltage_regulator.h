@@ -53,8 +53,9 @@ class VoltageRegulator {
 
   // Requests a rail change; returns the time at which the rail is stable at
   // the new setting.  Re-requesting the current target is a no-op that
-  // returns the existing settle time.
-  SimTime Request(CoreVoltage v, SimTime now);
+  // returns the existing settle time.  `down_settle` is the settle interval
+  // for a downward transition (fault injection passes an overrunning one).
+  SimTime Request(CoreVoltage v, SimTime now, SimTime down_settle = kVoltageDownSettle);
 
   // Number of transitions requested (excluding no-ops), for overhead
   // accounting.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 
+#include "src/fault/fault_injector.h"
 #include "src/sim/logger.h"
 
 namespace dcs {
@@ -126,8 +127,11 @@ void Kernel::AccountSegment() {
     total_busy_ += elapsed;
     current_->AddCpuTime(elapsed);
     if (current_->action().kind == Action::Kind::kCompute) {
-      current_->ConsumeCycles(
-          MemoryModel::WorkCompletedIn(elapsed, itsy_.step(), current_->profile()));
+      double work = MemoryModel::WorkCompletedIn(elapsed, itsy_.step(), current_->profile());
+      if (mem_spike_factor_ != 1.0) {
+        work /= mem_spike_factor_;
+      }
+      current_->ConsumeCycles(work);
     }
   } else {
     total_idle_ += elapsed;
@@ -162,7 +166,14 @@ void Kernel::Tick() {
   busy_in_quantum_ = SimTime::Zero();
   quantum_start_ = now;
   ++quantum_index_;
-  sim_.After(config_.quantum, [this] { Tick(); });
+  if (faults_ != nullptr) {
+    // The next interrupt may be jittered or missed entirely; the memory
+    // subsystem may spike for the quantum now starting.
+    sim_.After(faults_->TickDelay(config_.quantum), [this] { Tick(); });
+    mem_spike_factor_ = faults_->QuantumMemSpikeFactor();
+  } else {
+    sim_.After(config_.quantum, [this] { Tick(); });
+  }
 
   // Policy runs in the clock interrupt; the forced reschedule costs
   // tick_overhead of busy time before anything can execute.
@@ -181,6 +192,9 @@ void Kernel::Tick() {
         ctr_policy_step_down_->Inc();
       }
     }
+  }
+  if (retry_step_.has_value() && quantum_index_ >= retry_due_quantum_) {
+    dispatch_at = RetryTransition(dispatch_at);
   }
 
   // Prepay the overhead (and any relock stall) as busy time: the CPU is not
@@ -210,6 +224,35 @@ void Kernel::Tick() {
   });
 }
 
+SimTime Kernel::RetryTransition(SimTime dispatch_at) {
+  const int target = *retry_step_;
+  if (target == itsy_.step()) {
+    // Something else (e.g. a brownout step-down) already landed us there.
+    retry_step_.reset();
+    return dispatch_at;
+  }
+  ++transition_retries_;
+  const int transitions_before = itsy_.voltage_transitions();
+  const SimTime stall_end = itsy_.SetClockStep(target);
+  dispatch_at = std::max(dispatch_at, stall_end);
+  if (itsy_.last_clock_change_failed()) {
+    if (++retry_attempts_ >= kMaxTransitionRetries) {
+      // Give up; the installed policy will issue a fresh request when the
+      // utilization warrants one.
+      retry_step_.reset();
+    } else {
+      retry_due_quantum_ = quantum_index_ + (std::uint64_t{1} << retry_attempts_);
+    }
+  } else {
+    sink_.Series("freq_mhz").Append(sim_.Now(), itsy_.frequency_mhz());
+    retry_step_.reset();
+  }
+  if (itsy_.voltage_transitions() != transitions_before) {
+    sink_.Series("core_volts").Append(sim_.Now(), VoltageVolts(itsy_.voltage()));
+  }
+  return dispatch_at;
+}
+
 SimTime Kernel::ApplyRequest(const SpeedRequest& request, SimTime earliest_dispatch) {
   const int transitions_before = itsy_.voltage_transitions();
   // Raising the rail first is always safe (instantaneous); dropping it is
@@ -218,9 +261,19 @@ SimTime Kernel::ApplyRequest(const SpeedRequest& request, SimTime earliest_dispa
     itsy_.SetVoltage(CoreVoltage::kHigh);
   }
   if (request.step.has_value()) {
+    // A fresh policy decision supersedes any pending retry.
+    retry_step_.reset();
     const int old_step = itsy_.step();
     const SimTime stall_end = itsy_.SetClockStep(*request.step);
-    if (itsy_.step() != old_step) {
+    if (itsy_.last_clock_change_failed()) {
+      // The hardware paid the relock but the step stuck.  Arm a bounded
+      // exponential-backoff retry at the next quantum boundary; the policy
+      // keeps seeing the true (old) step in its samples meanwhile.
+      earliest_dispatch = std::max(earliest_dispatch, stall_end);
+      retry_step_ = ClockTable::Clamp(*request.step);
+      retry_attempts_ = 0;
+      retry_due_quantum_ = quantum_index_ + 1;
+    } else if (itsy_.step() != old_step) {
       sink_.Series("freq_mhz").Append(sim_.Now(), itsy_.frequency_mhz());
       earliest_dispatch = std::max(earliest_dispatch, stall_end);
     }
@@ -272,10 +325,15 @@ void Kernel::ArmCompletion() {
   assert(current_ != nullptr);
   SimTime at;
   switch (current_->action().kind) {
-    case Action::Kind::kCompute:
-      at = sim_.Now() + MemoryModel::WallTimeForWork(current_->remaining_cycles(),
-                                                     itsy_.step(), current_->profile());
+    case Action::Kind::kCompute: {
+      SimTime wall = MemoryModel::WallTimeForWork(current_->remaining_cycles(), itsy_.step(),
+                                                  current_->profile());
+      if (mem_spike_factor_ != 1.0) {
+        wall = SimTime::FromSecondsF(wall.ToSeconds() * mem_spike_factor_);
+      }
+      at = sim_.Now() + wall;
       break;
+    }
     case Action::Kind::kSpinUntil:
       at = std::max(sim_.Now(), current_->action().until);
       break;

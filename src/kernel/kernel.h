@@ -25,6 +25,7 @@
 #include <array>
 #include <map>
 #include <memory>
+#include <optional>
 #include <vector>
 
 #include "src/hw/itsy.h"
@@ -37,6 +38,8 @@
 #include "src/sim/trace_sink.h"
 
 namespace dcs {
+
+class FaultInjector;
 
 struct KernelConfig {
   // Scheduling quantum; Linux 2.0.30's default 10 ms (100 Hz).
@@ -55,6 +58,10 @@ struct KernelConfig {
 
 class Kernel {
  public:
+  // A failed clock transition is retried at most this many times (after the
+  // initial attempt), with exponential backoff in quanta.
+  static constexpr int kMaxTransitionRetries = 3;
+
   Kernel(Simulator& sim, Itsy& itsy, const KernelConfig& config = {});
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
@@ -117,6 +124,22 @@ class Kernel {
   void BindMetrics(MetricsRegistry* metrics);
   MetricsRegistry* metrics() const { return metrics_; }
 
+  // Binds the fault injector (non-owning; null unbinds).  Unbound, every
+  // scheduling path is byte-identical to the pre-fault kernel.  Call before
+  // Start().
+  void BindFaults(FaultInjector* faults) { faults_ = faults; }
+
+  // Read-only views for the invariant checker.
+  const RunQueue& run_queue() const { return run_queue_; }
+  const Task* current_task() const { return current_; }
+  const std::map<Pid, std::unique_ptr<Task>>& tasks() const { return tasks_; }
+  SimTime start_time() const { return start_time_; }
+
+  // Fault diagnostics: whether a failed transition is still awaiting retry,
+  // and how many retry attempts have been made in total.
+  bool retry_pending() const { return retry_step_.has_value(); }
+  std::uint64_t transition_retries() const { return transition_retries_; }
+
   // --- Aggregate statistics ---------------------------------------------------
   std::uint64_t quanta_elapsed() const { return quantum_index_; }
   double last_utilization() const { return last_utilization_; }
@@ -130,6 +153,8 @@ class Kernel {
  private:
   // Clock interrupt: account the ended quantum, run the policy, round-robin.
   void Tick();
+  // Retries a stuck clock transition once its backoff expires.
+  SimTime RetryTransition(SimTime dispatch_at);
   // Charges busy/idle time and compute progress since segment_start_.
   void AccountSegment();
   // Applies a policy request; returns when the CPU may execute again.
@@ -154,6 +179,14 @@ class Kernel {
   Task* current_ = nullptr;
 
   ClockPolicy* policy_ = nullptr;
+  FaultInjector* faults_ = nullptr;
+  // Memory-latency multiplier for the current quantum (1.0 = no spike).
+  double mem_spike_factor_ = 1.0;
+  // Bounded-backoff retry state for a transition the hardware failed.
+  std::optional<int> retry_step_;
+  int retry_attempts_ = 0;
+  std::uint64_t retry_due_quantum_ = 0;
+  std::uint64_t transition_retries_ = 0;
   SchedLog sched_log_;
   TraceSink sink_;
   Rng rng_;

@@ -27,6 +27,9 @@ class RunQueue {
 
   bool Contains(Pid pid) const;
 
+  // Front-to-back dispatch order (read-only; used by the invariant checker).
+  const std::deque<Pid>& pids() const { return queue_; }
+
  private:
   std::deque<Pid> queue_;
 };

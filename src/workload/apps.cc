@@ -1,5 +1,7 @@
 #include "src/workload/apps.h"
 
+#include <stdexcept>
+
 #include "src/workload/chess.h"
 #include "src/workload/java_vm.h"
 #include "src/workload/mpeg.h"
@@ -75,9 +77,9 @@ AppBundle MakeApp(const std::string& name, DeadlineMonitor* deadlines, std::uint
   if (name == "editor") {
     return MakeTalkingEditorApp(deadlines, seed);
   }
-  AppBundle empty;
-  empty.name = name;
-  return empty;
+  // An empty bundle here would run a perfectly plausible-looking idle
+  // experiment; fail loudly instead so a typo can't produce quiet nonsense.
+  throw std::invalid_argument("unknown app '" + name + "' (expected mpeg|web|chess|editor)");
 }
 
 std::vector<std::string> AllAppNames() { return {"mpeg", "web", "chess", "editor"}; }

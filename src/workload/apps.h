@@ -45,8 +45,8 @@ AppBundle MakeChessApp(DeadlineMonitor* deadlines, std::uint64_t seed);
 // 70 s mpedit + DECtalk session (Java-hosted).
 AppBundle MakeTalkingEditorApp(DeadlineMonitor* deadlines, std::uint64_t seed);
 
-// Factory by name: "mpeg" | "web" | "chess" | "editor".  Returns an empty
-// bundle (no tasks) for unknown names.
+// Factory by name: "mpeg" | "web" | "chess" | "editor".  Throws
+// std::invalid_argument for unknown names.
 AppBundle MakeApp(const std::string& name, DeadlineMonitor* deadlines, std::uint64_t seed);
 
 // All four app names in paper order.

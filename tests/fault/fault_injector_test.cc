@@ -1,0 +1,128 @@
+// FaultInjector determinism and stream-isolation tests.
+
+#include "src/fault/fault_injector.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "src/sim/time.h"
+
+namespace dcs {
+namespace {
+
+const SimTime kStall = SimTime::FromMicrosF(200.0);
+const SimTime kSettle = SimTime::FromMicrosF(250.0);
+const SimTime kQuantum = SimTime::Millis(10);
+
+FaultPlan MakePlan(const std::string& spec) {
+  FaultPlan plan;
+  std::string error;
+  EXPECT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << error;
+  return plan;
+}
+
+// Records every decision the injector can make, in a fixed interleaving.
+std::vector<std::int64_t> DecisionTrace(FaultInjector& injector, int draws) {
+  std::vector<std::int64_t> trace;
+  for (int i = 0; i < draws; ++i) {
+    trace.push_back(injector.ClockChangeFails() ? 1 : 0);
+    trace.push_back(injector.ClockStall(kStall).nanos());
+    trace.push_back(injector.SettleTime(kSettle).nanos());
+    trace.push_back(injector.BrownoutDuringSettle() ? 1 : 0);
+    trace.push_back(injector.TickDelay(kQuantum).nanos());
+    trace.push_back(static_cast<std::int64_t>(injector.QuantumMemSpikeFactor() * 1e6));
+    trace.push_back(injector.DropSample() ? 1 : 0);
+  }
+  return trace;
+}
+
+TEST(FaultInjectorTest, ZeroPlanNeverPerturbsAnything) {
+  FaultInjector injector(FaultPlan{}, 123);
+  for (int i = 0; i < 256; ++i) {
+    EXPECT_FALSE(injector.ClockChangeFails());
+    EXPECT_EQ(injector.ClockStall(kStall), kStall);
+    EXPECT_EQ(injector.SettleTime(kSettle), kSettle);
+    EXPECT_FALSE(injector.BrownoutDuringSettle());
+    EXPECT_EQ(injector.TickDelay(kQuantum), kQuantum);
+    EXPECT_EQ(injector.QuantumMemSpikeFactor(), 1.0);
+    EXPECT_FALSE(injector.DropSample());
+  }
+  EXPECT_EQ(injector.injected_total(), 0u);
+}
+
+TEST(FaultInjectorTest, SamePlanAndSeedReplaysIdentically) {
+  const FaultPlan plan = FaultPlan::Storm(1.0);
+  FaultInjector a(plan, 7);
+  FaultInjector b(plan, 7);
+  EXPECT_EQ(DecisionTrace(a, 512), DecisionTrace(b, 512));
+  EXPECT_EQ(a.injected_total(), b.injected_total());
+  EXPECT_GT(a.injected_total(), 0u);
+}
+
+TEST(FaultInjectorTest, DifferentRunSeedsDiverge) {
+  const FaultPlan plan = FaultPlan::Storm(1.0);
+  FaultInjector a(plan, 7);
+  FaultInjector b(plan, 8);
+  EXPECT_NE(DecisionTrace(a, 512), DecisionTrace(b, 512));
+}
+
+TEST(FaultInjectorTest, DifferentPlanSeedsDiverge) {
+  FaultInjector a(MakePlan("storm=1,seed=1"), 7);
+  FaultInjector b(MakePlan("storm=1,seed=2"), 7);
+  EXPECT_NE(DecisionTrace(a, 512), DecisionTrace(b, 512));
+}
+
+// The core guarantee behind "turning a knob doesn't reshuffle the run":
+// changing one class's probability leaves every other class's decision
+// sequence untouched.
+TEST(FaultInjectorTest, StreamsAreIsolatedAcrossClasses) {
+  FaultInjector jitter_only(MakePlan("tick-jitter=0.5,seed=3"), 11);
+  FaultInjector jitter_plus(MakePlan("tick-jitter=0.5,daq-drop=0.5,clock-fail=0.5,seed=3"), 11);
+  std::vector<std::int64_t> a;
+  std::vector<std::int64_t> b;
+  for (int i = 0; i < 512; ++i) {
+    // Interleave with draws from the other classes: they must not bleed into
+    // the tick-jitter stream.
+    jitter_plus.DropSample();
+    jitter_plus.ClockChangeFails();
+    a.push_back(jitter_only.TickDelay(kQuantum).nanos());
+    b.push_back(jitter_plus.TickDelay(kQuantum).nanos());
+  }
+  EXPECT_EQ(a, b);
+}
+
+TEST(FaultInjectorTest, MagnitudesMatchTheDocumentedConstants) {
+  FaultInjector injector(MakePlan("clock-stretch=1,settle-overrun=1,tick-miss=1,mem-spike=1"), 5);
+  EXPECT_EQ(injector.ClockStall(kStall), kStall * FaultInjector::kClockStretchFactor);
+  EXPECT_EQ(injector.SettleTime(kSettle), kSettle * FaultInjector::kSettleOverrunFactor);
+  // tick-miss=1 with no jitter: exactly one extra period, every time.
+  EXPECT_EQ(injector.TickDelay(kQuantum), kQuantum + kQuantum);
+  EXPECT_EQ(injector.QuantumMemSpikeFactor(), FaultInjector::kMemSpikeFactor);
+}
+
+TEST(FaultInjectorTest, TickJitterIsLateOnlyAndBounded) {
+  FaultInjector injector(MakePlan("tick-jitter=1,seed=9"), 2);
+  const SimTime cap = kQuantum + SimTime::FromMicrosF(FaultInjector::kTickJitterMaxUs);
+  for (int i = 0; i < 1024; ++i) {
+    const SimTime delay = injector.TickDelay(kQuantum);
+    EXPECT_GE(delay, kQuantum);
+    EXPECT_LE(delay, cap);
+  }
+  EXPECT_EQ(injector.injected(FaultClass::kTickJitter), 1024u);
+}
+
+TEST(FaultInjectorTest, CountsTriggersPerClass) {
+  FaultInjector injector(MakePlan("daq-drop=1,clock-fail=0"), 4);
+  for (int i = 0; i < 100; ++i) {
+    injector.DropSample();
+    injector.ClockChangeFails();
+  }
+  EXPECT_EQ(injector.injected(FaultClass::kDaqDrop), 100u);
+  EXPECT_EQ(injector.injected(FaultClass::kClockFail), 0u);
+  EXPECT_EQ(injector.injected_total(), 100u);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,55 @@
+// Byte-exact fingerprint of an ExperimentResult, shared by the fault test
+// suite.  Two results with equal fingerprints agree on every number we
+// report (hexfloat: no rounding slack) plus the full recorded series — the
+// practical definition of "byte-identical run".
+
+#ifndef TESTS_FAULT_FINGERPRINT_H_
+#define TESTS_FAULT_FINGERPRINT_H_
+
+#include <ios>
+#include <sstream>
+#include <string>
+
+#include "src/exp/experiment.h"
+
+namespace dcs {
+
+inline std::string Fingerprint(const ExperimentResult& r) {
+  std::ostringstream os;
+  os << std::hexfloat;
+  os << r.app << '|' << r.governor << '|' << r.duration.nanos() << '|' << r.energy_joules
+     << '|' << r.exact_energy_joules << '|' << r.average_watts << '|' << r.avg_utilization
+     << '|' << r.quanta << '|' << r.clock_changes << '|' << r.voltage_transitions << '|'
+     << r.total_stall.nanos() << '|' << r.deadline_events << '|' << r.deadline_misses << '|'
+     << r.worst_lateness.nanos() << '\n';
+  for (const double share : r.step_residency) {
+    os << share << ',';
+  }
+  os << '\n';
+  for (const auto& [task, seconds] : r.task_cpu_seconds) {
+    os << task << '=' << seconds << ';';
+  }
+  os << '\n';
+  for (const char* series : {"utilization", "freq_mhz", "core_volts"}) {
+    os << series << ':';
+    const TraceSeries* s = r.sink.Find(series);
+    if (s != nullptr) {
+      for (const TracePoint& p : s->points()) {
+        os << p.at.nanos() << '@' << p.value << ',';
+      }
+    }
+    os << '\n';
+  }
+  os << "faults:" << r.faults.enabled << '|' << r.faults.plan << '|'
+     << r.faults.injected_total << '|' << r.faults.transition_retries << '|'
+     << r.faults.brownouts << '|' << r.faults.dropped_samples << '|'
+     << r.faults.invariant_checks << '|' << r.faults.invariant_violations << '\n';
+  for (const auto& [name, count] : r.faults.injected) {
+    os << name << '=' << count << ';';
+  }
+  return os.str();
+}
+
+}  // namespace dcs
+
+#endif  // TESTS_FAULT_FINGERPRINT_H_

@@ -126,5 +126,16 @@ TEST(GoldenTest, Tab2EnergySummary) {
   ExpectGolden("tab2_energy_summary", "--threads=2");
 }
 
+// The fault-injection differential against the recorded captures: an
+// explicit `--faults=none` must reproduce the pre-fault goldens byte for
+// byte, proving the inactive plan leaves the simulation untouched.
+TEST(GoldenTest, Fig9WithExplicitNoFaults) {
+  ExpectGolden("fig9_utilization_vs_freq", "--threads=2 --faults=none");
+}
+
+TEST(GoldenTest, Tab2WithExplicitNoFaults) {
+  ExpectGolden("tab2_energy_summary", "--threads=2 --faults=none");
+}
+
 }  // namespace
 }  // namespace dcs

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "tests/workload/harness.h"
 
 namespace dcs {
@@ -17,10 +19,10 @@ TEST(AppsTest, AllAppNamesResolve) {
   }
 }
 
-TEST(AppsTest, UnknownAppIsEmpty) {
+TEST(AppsTest, UnknownAppThrows) {
   DeadlineMonitor deadlines;
-  const AppBundle bundle = MakeApp("doom", &deadlines, 1);
-  EXPECT_TRUE(bundle.tasks.empty());
+  EXPECT_THROW(MakeApp("doom", &deadlines, 1), std::invalid_argument);
+  EXPECT_THROW(MakeApp("", &deadlines, 1), std::invalid_argument);
 }
 
 TEST(AppsTest, MpegHasVideoAndAudioTasks) {
