@@ -12,11 +12,11 @@
 
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "src/exp/atomic_io.h"
 #include "src/exp/experiment.h"
 #include "src/exp/report.h"
 #include "src/exp/sweep.h"
@@ -82,31 +82,40 @@ int Run(const SweepOptions& options, const std::string& report_out) {
   }
 
   if (!report_out.empty()) {
-    std::ofstream out(report_out);
-    if (!out) {
-      std::fprintf(stderr, "cannot write report to '%s'\n", report_out.c_str());
+    // Published atomically with a trailing CRC line: CI archives this file,
+    // and a truncated upload must be detectable (VerifyTrailingCrc).
+    AtomicWriteOptions write_options;
+    write_options.trailing_crc = true;
+    std::string error;
+    const bool written = AtomicWriteFile(
+        report_out,
+        [&](std::ostream& out) {
+          out << "fault-storm invariant report\n";
+          out << "runs: " << results.size() << "\n";
+          out << "faults injected: " << total_injected << "\n";
+          out << "invariant checks: " << total_checks << "\n";
+          out << "violations: " << total_violations << "\n";
+          for (const ExperimentResult& r : results) {
+            const FaultReport& f = r.faults;
+            out << "\n" << r.app << " / " << r.governor << " / "
+                << (f.enabled ? f.plan : std::string("none")) << "\n";
+            out << "  injected: " << f.injected_total;
+            for (const auto& [name, count] : f.injected) {
+              out << " " << name << "=" << count;
+            }
+            out << "\n  retries: " << f.transition_retries << "  brownouts: " << f.brownouts
+                << "  dropped samples: " << f.dropped_samples << "\n";
+            out << "  checks: " << f.invariant_checks
+                << "  violations: " << f.invariant_violations << "\n";
+            for (const std::string& v : f.violations) {
+              out << "  VIOLATION " << v << "\n";
+            }
+          }
+        },
+        &error, write_options);
+    if (!written) {
+      std::fprintf(stderr, "cannot %s\n", error.c_str());
       return 1;
-    }
-    out << "fault-storm invariant report\n";
-    out << "runs: " << results.size() << "\n";
-    out << "faults injected: " << total_injected << "\n";
-    out << "invariant checks: " << total_checks << "\n";
-    out << "violations: " << total_violations << "\n";
-    for (const ExperimentResult& r : results) {
-      const FaultReport& f = r.faults;
-      out << "\n" << r.app << " / " << r.governor << " / "
-          << (f.enabled ? f.plan : std::string("none")) << "\n";
-      out << "  injected: " << f.injected_total;
-      for (const auto& [name, count] : f.injected) {
-        out << " " << name << "=" << count;
-      }
-      out << "\n  retries: " << f.transition_retries << "  brownouts: " << f.brownouts
-          << "  dropped samples: " << f.dropped_samples << "\n";
-      out << "  checks: " << f.invariant_checks << "  violations: " << f.invariant_violations
-          << "\n";
-      for (const std::string& v : f.violations) {
-        out << "  VIOLATION " << v << "\n";
-      }
     }
   }
   return total_violations == 0 ? 0 : 1;

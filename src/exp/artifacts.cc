@@ -2,7 +2,8 @@
 
 #include <cstdlib>
 #include <filesystem>
-#include <fstream>
+
+#include "src/exp/atomic_io.h"
 
 namespace dcs {
 namespace {
@@ -22,44 +23,50 @@ std::string Sanitise(const std::string& name) {
 }  // namespace
 
 bool WriteArtifacts(const std::string& dir, const std::string& tag,
-                    const ExperimentResult& result) {
+                    const ExperimentResult& result, std::string* error) {
+  // Create the directory up front: a bad destination must fail before any
+  // file is attempted, not between files.
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
+    if (error != nullptr) {
+      *error = "create directory '" + dir + "': " + ec.message();
+    }
     return false;
   }
   const std::string base = dir + "/" + Sanitise(tag);
 
   for (const std::string& name : result.sink.Names()) {
-    std::ofstream os(base + "." + Sanitise(name) + ".csv");
-    if (!os) {
+    const std::string path = base + "." + Sanitise(name) + ".csv";
+    if (!AtomicWriteFile(
+            path, [&](std::ostream& os) { result.sink.WriteCsv(name, os); }, error)) {
       return false;
     }
-    result.sink.WriteCsv(name, os);
   }
 
-  std::ofstream summary(base + ".summary.csv");
-  if (!summary) {
-    return false;
-  }
-  summary << "app,governor,duration_s,energy_j,exact_energy_j,average_watts,"
-             "avg_utilization,clock_changes,voltage_transitions,total_stall_us,"
-             "deadline_events,deadline_misses,worst_lateness_us\n";
-  summary << result.app << "," << result.governor << "," << result.duration.ToSeconds()
-          << "," << result.energy_joules << "," << result.exact_energy_joules << ","
-          << result.average_watts << "," << result.avg_utilization << ","
-          << result.clock_changes << "," << result.voltage_transitions << ","
-          << result.total_stall.micros() << "," << result.deadline_events << ","
-          << result.deadline_misses << "," << result.worst_lateness.micros() << "\n";
-  return static_cast<bool>(summary);
+  return AtomicWriteFile(
+      base + ".summary.csv",
+      [&](std::ostream& summary) {
+        summary << "app,governor,duration_s,energy_j,exact_energy_j,average_watts,"
+                   "avg_utilization,clock_changes,voltage_transitions,total_stall_us,"
+                   "deadline_events,deadline_misses,worst_lateness_us\n";
+        summary << result.app << "," << result.governor << "," << result.duration.ToSeconds()
+                << "," << result.energy_joules << "," << result.exact_energy_joules << ","
+                << result.average_watts << "," << result.avg_utilization << ","
+                << result.clock_changes << "," << result.voltage_transitions << ","
+                << result.total_stall.micros() << "," << result.deadline_events << ","
+                << result.deadline_misses << "," << result.worst_lateness.micros() << "\n";
+      },
+      error);
 }
 
-bool MaybeWriteArtifacts(const std::string& tag, const ExperimentResult& result) {
+bool MaybeWriteArtifacts(const std::string& tag, const ExperimentResult& result,
+                         std::string* error) {
   const char* dir = std::getenv("DCS_ARTIFACTS");
   if (dir == nullptr || dir[0] == '\0') {
     return true;
   }
-  return WriteArtifacts(dir, tag, result);
+  return WriteArtifacts(dir, tag, result, error);
 }
 
 }  // namespace dcs

@@ -4,6 +4,10 @@
 //
 // Export is opt-in: set the DCS_ARTIFACTS environment variable to a
 // directory (benches call MaybeWriteArtifacts, which is a no-op otherwise).
+//
+// Every file is published atomically (temp file + fsync + rename, see
+// atomic_io.h): a crash mid-export leaves complete files from the previous
+// run, never a torn CSV.
 
 #ifndef SRC_EXP_ARTIFACTS_H_
 #define SRC_EXP_ARTIFACTS_H_
@@ -15,15 +19,18 @@
 namespace dcs {
 
 // Writes <dir>/<tag>.<series>.csv for every recorded series and
-// <dir>/<tag>.summary.csv with the scalar metrics.  Creates `dir` if
-// missing.  Returns false (and writes nothing further) on the first I/O
-// error.
+// <dir>/<tag>.summary.csv with the scalar metrics.  Creates `dir` (and
+// parents) first, before writing anything.  Returns false on the first I/O
+// error, in which case `*error` (when non-null) names the path and operation
+// that failed; already-written files remain valid, the failed one is not
+// left behind partially written.
 bool WriteArtifacts(const std::string& dir, const std::string& tag,
-                    const ExperimentResult& result);
+                    const ExperimentResult& result, std::string* error = nullptr);
 
 // WriteArtifacts(getenv("DCS_ARTIFACTS"), ...) if the variable is set;
 // returns true when export was skipped or succeeded.
-bool MaybeWriteArtifacts(const std::string& tag, const ExperimentResult& result);
+bool MaybeWriteArtifacts(const std::string& tag, const ExperimentResult& result,
+                         std::string* error = nullptr);
 
 }  // namespace dcs
 

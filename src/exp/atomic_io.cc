@@ -1,0 +1,128 @@
+#include "src/exp/atomic_io.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace dcs {
+namespace {
+
+std::array<std::uint32_t, 256> BuildCrcTable() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+void SetError(std::string* error, const std::string& path, const char* op) {
+  if (error != nullptr) {
+    *error = std::string(op) + " '" + path + "'" +
+             (errno != 0 ? std::string(": ") + std::strerror(errno) : std::string());
+  }
+}
+
+}  // namespace
+
+std::uint32_t Crc32(const void* data, std::size_t len, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = BuildCrcTable();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    c = table[(c ^ bytes[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+bool AtomicWriteFile(const std::string& path,
+                     const std::function<void(std::ostream&)>& write, std::string* error,
+                     const AtomicWriteOptions& options) {
+  std::ostringstream rendered;
+  write(rendered);
+  if (!rendered) {
+    errno = 0;
+    SetError(error, path, "render content for");
+    return false;
+  }
+  return AtomicWriteFile(path, rendered.str(), error, options);
+}
+
+bool AtomicWriteFile(const std::string& path, const std::string& content,
+                     std::string* error, const AtomicWriteOptions& options) {
+  std::string payload = content;
+  if (options.trailing_crc) {
+    char trailer[32];
+    std::snprintf(trailer, sizeof(trailer), "# crc32=%08X\n", Crc32(payload));
+    payload += trailer;
+  }
+
+  const std::string tmp = path + ".tmp." + std::to_string(static_cast<long>(::getpid()));
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    SetError(error, tmp, "create temp file");
+    return false;
+  }
+  std::size_t written = 0;
+  while (written < payload.size()) {
+    const ssize_t n = ::write(fd, payload.data() + written, payload.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      SetError(error, tmp, "write");
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      return false;
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  // fsync before rename: otherwise a crash shortly after could publish a
+  // file whose data blocks never reached the disk — exactly the torn state
+  // the temp+rename dance exists to prevent.
+  if (::fsync(fd) != 0) {
+    SetError(error, tmp, "fsync");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::close(fd) != 0) {
+    SetError(error, tmp, "close");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    SetError(error, path, "rename into");
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool VerifyTrailingCrc(const std::string& content) {
+  // Trailer: "# crc32=XXXXXXXX\n", 17 bytes.
+  constexpr std::size_t kTrailerLen = 17;
+  if (content.size() < kTrailerLen || content.back() != '\n' ||
+      content.compare(content.size() - kTrailerLen, 8, "# crc32=") != 0) {
+    return false;
+  }
+  const std::size_t body_len = content.size() - kTrailerLen;
+  const std::string hex = content.substr(body_len + 8, 8);
+  char* end = nullptr;
+  const unsigned long parsed = std::strtoul(hex.c_str(), &end, 16);
+  if (end == nullptr || *end != '\0') {
+    return false;
+  }
+  return static_cast<std::uint32_t>(parsed) == Crc32(content.data(), body_len);
+}
+
+}  // namespace dcs

@@ -1,0 +1,113 @@
+// Campaign-resilience layer over the sweep engine.
+//
+// A campaign is a sweep that survives its own harness: the process being
+// SIGKILLed mid-run, a single config hanging its simulator, a job crashing
+// on one grid point.  The CampaignRunner wraps SweepRunner with three
+// mechanisms, all optional and off by default:
+//
+//   * Checkpoint/resume (--resume=FILE): every finished job is appended to a
+//     CRC32-framed journal (journal.h) with an fsync before the next job's
+//     result can land.  A re-invoked bench with the same grid replays the
+//     journaled slots byte-identically — same energy numbers, same series,
+//     same metrics JSON — and only runs the remainder.  A journal written
+//     for a different grid fails the fingerprint check and is never replayed.
+//
+//   * Per-job watchdog (--job-timeout=SECS): each attempt gets a wall-clock
+//     budget, enforced through the cooperative cancellation token threaded
+//     into the job's Simulator event loop.  A runaway job is cancelled
+//     between events and counted as a failed attempt.
+//
+//   * Bounded retry + quarantine (--max-retries=N): failed attempts are
+//     retried with exponential backoff (the same 2^k shape as the Kernel's
+//     clock-transition retry); a config that exhausts its retries is
+//     quarantined — recorded in a machine-readable quarantine.json and in
+//     the journal — while every other job still runs to completion.
+//     Invalid configs (unknown governor, bad fault spec) are deterministic
+//     failures and go straight to quarantine without burning retries.
+//
+// Determinism contract: replayed slots are byte-identical to freshly
+// computed ones, so a campaign killed and resumed any number of times
+// produces the same stdout/report bytes as an uninterrupted run (enforced
+// end-to-end by bench/campaign_soak).  All campaign diagnostics go to
+// stderr.
+//
+// Journaling is skipped (with a stderr note) when the grid requests raw
+// observability captures: an ObsCapture holds the full power tape and
+// scheduler log, which the journal deliberately does not persist.
+
+#ifndef SRC_EXP_CAMPAIGN_H_
+#define SRC_EXP_CAMPAIGN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/exp/journal.h"
+#include "src/exp/sweep.h"
+
+namespace dcs {
+
+// One quarantined config, as written to the quarantine report.
+struct QuarantineEntry {
+  int slot = 0;
+  std::string app;
+  std::string governor;
+  std::uint64_t seed = 0;
+  std::uint64_t config_fingerprint = 0;
+  int attempts = 0;
+  std::string error;
+};
+
+// Outcome summary of CampaignRunner::Run.
+struct CampaignReport {
+  int jobs = 0;
+  // Slots satisfied from the journal without running anything.
+  int replayed = 0;
+  // Slots actually executed this invocation.
+  int executed = 0;
+  // Retry attempts across all jobs (beyond each job's first attempt).
+  std::uint64_t retries = 0;
+  // Jobs that exhausted their retries this run, plus quarantined slots
+  // replayed from the journal.
+  std::vector<QuarantineEntry> quarantined;
+  // True when a matching journal contributed at least one replayed slot.
+  bool resumed = false;
+  // True when a journal file existed but matched a different grid.
+  bool journal_mismatch = false;
+  // Where the journal / quarantine report live ("" when not written).
+  std::string journal_path;
+  std::string quarantine_path;
+};
+
+class CampaignRunner {
+ public:
+  explicit CampaignRunner(SweepOptions options);
+
+  // Runs (or resumes) the campaign.  Slot i always corresponds to
+  // configs[i]; quarantined slots come back with ok() == false and the error
+  // of their final attempt.  Throws only on an unusable journal path or an
+  // unwritable quarantine report — never on job failures.
+  std::vector<SweepJobResult> Run(const std::vector<ExperimentConfig>& configs);
+
+  const CampaignReport& report() const { return report_; }
+  // Engine metrics for the jobs actually executed (replayed slots cost no
+  // wall clock and are excluded).
+  const SweepMetrics& sweep_metrics() const { return sweep_metrics_; }
+
+ private:
+  SweepJobResult RunJobWithWatchdog(const ExperimentConfig& config, std::uint32_t* attempts,
+                                    bool* quarantined);
+
+  SweepOptions options_;
+  CampaignReport report_;
+  SweepMetrics sweep_metrics_;
+};
+
+// Renders the quarantine report ({"campaign": ..., "quarantined": [...]})
+// used by --quarantine-out; exposed for tests.
+std::string RenderQuarantineJson(std::uint64_t grid_fingerprint, int jobs,
+                                 const std::vector<QuarantineEntry>& entries);
+
+}  // namespace dcs
+
+#endif  // SRC_EXP_CAMPAIGN_H_

@@ -24,6 +24,7 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
                                DeadlineMonitor& deadlines) {
   Simulator sim;
+  sim.BindCancel(config.cancel);
   Itsy itsy(sim, config.itsy);
   KernelConfig kernel_config = config.kernel;
   // The experiment seed drives every stochastic element: per-task workload
@@ -85,6 +86,12 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
 
   kernel.Start();
   sim.RunUntil(duration);
+  if (sim.CancelRequested()) {
+    // The watchdog pulled the token mid-run: everything below would report a
+    // half-simulated experiment as if it finished.  Fail the job instead.
+    throw CancelledError("experiment cancelled at simulated " + sim.Now().ToString() +
+                         " of " + duration.ToString());
+  }
   itsy.gpio().Toggle(kTriggerPin, sim.Now());
   itsy.SyncBattery();
 

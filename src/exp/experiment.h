@@ -6,6 +6,7 @@
 #define SRC_EXP_EXPERIMENT_H_
 
 #include <array>
+#include <atomic>
 #include <map>
 #include <memory>
 #include <optional>
@@ -44,6 +45,13 @@ struct ExperimentConfig {
   // log, power tape, energy attribution) needed to export a Chrome trace.
   // Off by default: the capture copies the full tape and log.
   bool capture_obs = false;
+  // Cooperative cancellation token (non-owning; may be null).  When another
+  // thread sets it, the simulator's event loop exits between events and
+  // RunExperiment throws CancelledError instead of returning a partial
+  // result.  Set by the campaign watchdog (--job-timeout); excluded from the
+  // config fingerprint, since it changes how a job is run, not what it
+  // computes.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 // Raw per-run capture for trace export and energy attribution, filled only

@@ -1,0 +1,208 @@
+// Append-only, CRC32-framed campaign journal.
+//
+// A campaign (see campaign.h) persists every finished job here so a
+// re-invoked bench with --resume=FILE replays completed slots byte-identically
+// and only runs the remainder.  The format is built for exactly one failure
+// mode: the writing process dies mid-append (SIGKILL, OOM, power).  Frames
+// are self-checking, so the reader accepts the longest valid prefix and
+// reports the torn tail; the writer truncates that tail before appending.
+//
+// On-disk layout — a sequence of frames, each:
+//
+//   u32  magic        'DCSJ' (0x4A534344 little-endian)
+//   u32  payload_len
+//   u32  crc32(payload)     IEEE 802.3, see atomic_io.h
+//   u8[payload_len]         payload, first byte = frame type
+//
+// Frame types:
+//   kHeaderFrame:  version, grid fingerprint, job count, free-form label.
+//                  One per campaign run; a journal holds several segments
+//                  when one bench process runs several grids (e.g. Table 2's
+//                  five RunRepeated rows) or a campaign is resumed.
+//   kRecordFrame:  slot index, per-config fingerprint, attempts, outcome
+//                  (ok / error / quarantined) and, for successes, the full
+//                  serialized ExperimentResult.
+//
+// Fingerprints are FNV-1a 64 over a canonical serialization of the
+// ExperimentConfig, so a journal written for a different grid (or an edited
+// config) never silently replays into the wrong campaign.
+//
+// Reading follows the InvariantChecker's record-don't-throw idiom
+// (src/fault/invariants.h): structural problems — record before any header,
+// duplicate slot, slot out of range, version mismatch — are collected as
+// violation strings on the result while the valid frames are still returned.
+//
+// Values are serialized in the host's native byte order: a journal is a
+// crash-resume artifact for the machine that wrote it, not an interchange
+// format.
+
+#ifndef SRC_EXP_JOURNAL_H_
+#define SRC_EXP_JOURNAL_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/exp/experiment.h"
+
+namespace dcs {
+
+// --- Byte-stream primitives -------------------------------------------------
+
+class ByteWriter {
+ public:
+  void U8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(std::uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(std::uint64_t v) { Raw(&v, sizeof(v)); }
+  void I64(std::int64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Time(SimTime t) { I64(t.nanos()); }
+  void Str(const std::string& s) {
+    U32(static_cast<std::uint32_t>(s.size()));
+    out_.append(s);
+  }
+
+  const std::string& bytes() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Raw(const void* p, std::size_t n) {
+    out_.append(static_cast<const char*>(p), n);
+  }
+  std::string out_;
+};
+
+// Reader over a byte string.  Running past the end (or an oversized string
+// length) latches ok() false and returns zero values; callers check ok()
+// once at the end instead of after every field.
+class ByteReader {
+ public:
+  explicit ByteReader(const std::string& data) : data_(data) {}
+
+  std::uint8_t U8();
+  std::uint32_t U32();
+  std::uint64_t U64();
+  std::int64_t I64();
+  double F64();
+  SimTime Time() { return SimTime::Nanos(I64()); }
+  std::string Str();
+
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  bool Take(void* p, std::size_t n);
+
+  const std::string& data_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Config fingerprints ----------------------------------------------------
+
+// FNV-1a 64 over a canonical serialization of every simulation-relevant
+// config field (not the cancel token or capture flag — those change how a
+// job is run, not what it computes).
+std::uint64_t ConfigFingerprint(const ExperimentConfig& config);
+
+// Fingerprint of a whole grid: order-sensitive combination of every config's
+// fingerprint plus the grid size.
+std::uint64_t GridFingerprint(const std::vector<ExperimentConfig>& configs);
+
+// --- Result serialization ---------------------------------------------------
+
+// Serializes every ExperimentResult field a bench or exporter can read —
+// scalars, step residency, task CPU seconds, deadline streams, every
+// recorded series, the full metrics registry and the fault report — except
+// the raw ObsCapture (power tape + scheduler log), which is orders of
+// magnitude larger than everything else; campaigns therefore don't journal
+// runs that request capture_obs.
+void SerializeResult(const ExperimentResult& result, ByteWriter* out);
+
+// Inverse of SerializeResult.  Returns false (result unspecified) on a
+// malformed payload.
+bool DeserializeResult(ByteReader* in, ExperimentResult* result);
+
+// --- Journal frames ---------------------------------------------------------
+
+inline constexpr std::uint32_t kJournalMagic = 0x4A534344u;  // "DCSJ"
+inline constexpr std::uint32_t kJournalVersion = 1;
+
+struct JournalHeader {
+  std::uint32_t version = kJournalVersion;
+  std::uint64_t grid_fingerprint = 0;
+  std::uint32_t jobs = 0;
+  std::string label;
+};
+
+struct JournalRecord {
+  std::uint32_t slot = 0;
+  std::uint64_t config_fingerprint = 0;
+  bool ok = false;
+  bool quarantined = false;
+  std::uint32_t attempts = 1;
+  std::string error;          // meaningful when !ok
+  ExperimentResult result;    // meaningful when ok
+};
+
+// One header and the records appended under it.
+struct JournalSegment {
+  JournalHeader header;
+  std::vector<JournalRecord> records;
+};
+
+struct JournalReadResult {
+  // False when the file doesn't exist or no complete valid frame parses.
+  bool readable = false;
+  std::vector<JournalSegment> segments;
+  // Byte offset of the end of the last valid frame; a writer appending to
+  // this journal must truncate to here first.
+  std::uint64_t valid_bytes = 0;
+  // True when trailing bytes after valid_bytes were dropped (torn append).
+  bool truncated = false;
+  // InvariantChecker-style structural findings (recorded, not thrown).
+  std::vector<std::string> violations;
+
+  // Records from every segment whose header matches (fingerprint + jobs).
+  std::vector<const JournalRecord*> MatchingRecords(std::uint64_t grid_fingerprint,
+                                                    std::uint32_t jobs) const;
+};
+
+// Parses the journal at `path`.  Never throws: unreadable or torn journals
+// come back with readable=false / truncated=true and violations describing
+// what was dropped.
+JournalReadResult ReadJournal(const std::string& path);
+
+// Appender.  All writes are frame-at-a-time with an fsync after each, so a
+// kill between appends loses at most the frame being written — which the
+// reader then drops as a torn tail.
+class JournalWriter {
+ public:
+  // Creates (or truncates) `path`.  Returns null and fills *error on I/O
+  // failure.
+  static std::unique_ptr<JournalWriter> Create(const std::string& path,
+                                               std::string* error);
+  // Opens `path` for appending, first truncating it to `valid_bytes` (from
+  // ReadJournal) so a torn tail is never buried under new frames.
+  static std::unique_ptr<JournalWriter> Append(const std::string& path,
+                                               std::uint64_t valid_bytes,
+                                               std::string* error);
+  ~JournalWriter();
+  JournalWriter(const JournalWriter&) = delete;
+  JournalWriter& operator=(const JournalWriter&) = delete;
+
+  bool AppendHeader(const JournalHeader& header, std::string* error);
+  bool AppendRecord(const JournalRecord& record, std::string* error);
+
+ private:
+  explicit JournalWriter(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  bool AppendFrame(const std::string& payload, std::string* error);
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_EXP_JOURNAL_H_

@@ -1,8 +1,8 @@
 #include "src/exp/obs_export.h"
 
 #include <cstdio>
-#include <fstream>
 
+#include "src/exp/atomic_io.h"
 #include "src/hw/clock_table.h"
 
 namespace dcs {
@@ -129,32 +129,23 @@ MetricsRegistry AggregateMetrics(const std::vector<ExperimentResult>& results) {
 
 bool ExportObsArtifacts(const SweepOptions& options,
                         const std::vector<ExperimentResult>& results, std::string* error) {
-  auto fail = [error](const std::string& what) {
-    if (error != nullptr) {
-      *error = what;
-    }
+  // Both outputs publish atomically: a kill mid-export (or a full disk)
+  // leaves the previous trace/metrics file intact, never a torn JSON a
+  // viewer would choke on.
+  if (!options.trace_out.empty() &&
+      !AtomicWriteFile(
+          options.trace_out, [&](std::ostream& os) { WriteChromeTrace(results, os); }, error)) {
     return false;
-  };
-  if (!options.trace_out.empty()) {
-    std::ofstream os(options.trace_out, std::ios::binary);
-    if (!os) {
-      return fail("cannot open trace output '" + options.trace_out + "'");
-    }
-    WriteChromeTrace(results, os);
-    if (!os) {
-      return fail("error writing trace output '" + options.trace_out + "'");
-    }
   }
-  if (!options.metrics_out.empty()) {
-    std::ofstream os(options.metrics_out, std::ios::binary);
-    if (!os) {
-      return fail("cannot open metrics output '" + options.metrics_out + "'");
-    }
-    AggregateMetrics(results).WriteJson(os);
-    os << "\n";
-    if (!os) {
-      return fail("error writing metrics output '" + options.metrics_out + "'");
-    }
+  if (!options.metrics_out.empty() &&
+      !AtomicWriteFile(
+          options.metrics_out,
+          [&](std::ostream& os) {
+            AggregateMetrics(results).WriteJson(os);
+            os << "\n";
+          },
+          error)) {
+    return false;
   }
   return true;
 }

@@ -1,5 +1,7 @@
 #include "src/exp/sweep.h"
 
+#include "src/exp/campaign.h"
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -27,8 +29,15 @@ int SweepRunner::threads() const {
 }
 
 std::vector<SweepJobResult> SweepRunner::Run(const std::vector<ExperimentConfig>& configs) {
+  return Run(configs, SweepJobHooks{});
+}
+
+std::vector<SweepJobResult> SweepRunner::Run(const std::vector<ExperimentConfig>& configs,
+                                             const SweepJobHooks& hooks) {
   const int job_count = static_cast<int>(configs.size());
   std::vector<SweepJobResult> results(configs.size());
+  // Reset up front so an empty grid never reports the previous call's
+  // wall-clock or failure counts (regression-tested).
   metrics_ = SweepMetrics{};
   metrics_.jobs = job_count;
   metrics_.threads = std::min(threads(), std::max(job_count, 1));
@@ -66,7 +75,11 @@ std::vector<SweepJobResult> SweepRunner::Run(const std::vector<ExperimentConfig>
       }
       SweepJobResult& slot = results[static_cast<std::size_t>(i)];
       try {
-        slot.result = RunExperiment(configs[static_cast<std::size_t>(i)]);
+        if (hooks.execute) {
+          slot = hooks.execute(configs[static_cast<std::size_t>(i)], i);
+        } else {
+          slot.result = RunExperiment(configs[static_cast<std::size_t>(i)]);
+        }
       } catch (const std::exception& e) {
         slot.error = e.what();
       } catch (...) {
@@ -74,6 +87,9 @@ std::vector<SweepJobResult> SweepRunner::Run(const std::vector<ExperimentConfig>
       }
       if (slot.error.empty() && !slot.result.has_value()) {
         slot.error = "job produced no result";
+      }
+      if (hooks.on_result) {
+        hooks.on_result(i, slot);
       }
       report_progress(done.fetch_add(1, std::memory_order_relaxed) + 1);
     }
@@ -116,13 +132,24 @@ std::vector<SweepJobResult> SweepRunner::Run(const std::vector<ExperimentConfig>
 
 std::vector<ExperimentResult> RunSweep(const std::vector<ExperimentConfig>& configs,
                                        const SweepOptions& options) {
-  SweepRunner runner(options);
-  std::vector<SweepJobResult> jobs = runner.Run(configs);
+  std::vector<SweepJobResult> jobs;
+  std::string quarantine_note;
+  if (options.campaign.Enabled()) {
+    CampaignRunner runner(options);
+    jobs = runner.Run(configs);
+    if (!runner.report().quarantine_path.empty()) {
+      quarantine_note = " (quarantine report: " + runner.report().quarantine_path + ")";
+    }
+  } else {
+    SweepRunner runner(options);
+    jobs = runner.Run(configs);
+  }
   std::vector<ExperimentResult> results;
   results.reserve(jobs.size());
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     if (!jobs[i].ok()) {
-      throw std::runtime_error("sweep job " + std::to_string(i) + " failed: " + jobs[i].error);
+      throw std::runtime_error("sweep job " + std::to_string(i) + " failed: " +
+                               jobs[i].error + quarantine_note);
     }
     results.push_back(std::move(*jobs[i].result));
   }
@@ -151,10 +178,32 @@ SweepOptions SweepOptionsFromArgs(int argc, char** argv) {
       options.faults = arg + 9;
     } else if (std::strcmp(arg, "--faults") == 0 && i + 1 < argc) {
       options.faults = argv[++i];
+    } else if (std::strncmp(arg, "--resume=", 9) == 0) {
+      options.campaign.resume = arg + 9;
+    } else if (std::strcmp(arg, "--resume") == 0 && i + 1 < argc) {
+      options.campaign.resume = argv[++i];
+    } else if (std::strncmp(arg, "--job-timeout=", 14) == 0) {
+      options.campaign.job_timeout = std::atof(arg + 14);
+    } else if (std::strcmp(arg, "--job-timeout") == 0 && i + 1 < argc) {
+      options.campaign.job_timeout = std::atof(argv[++i]);
+    } else if (std::strncmp(arg, "--max-retries=", 14) == 0) {
+      options.campaign.max_retries = std::atoi(arg + 14);
+    } else if (std::strcmp(arg, "--max-retries") == 0 && i + 1 < argc) {
+      options.campaign.max_retries = std::atoi(argv[++i]);
+    } else if (std::strncmp(arg, "--quarantine-out=", 17) == 0) {
+      options.campaign.quarantine_out = arg + 17;
+    } else if (std::strcmp(arg, "--quarantine-out") == 0 && i + 1 < argc) {
+      options.campaign.quarantine_out = argv[++i];
     }
   }
   if (options.threads < 0) {
     options.threads = 0;
+  }
+  if (options.campaign.job_timeout < 0.0) {
+    options.campaign.job_timeout = 0.0;
+  }
+  if (options.campaign.max_retries < 0) {
+    options.campaign.max_retries = 0;
   }
   return options;
 }

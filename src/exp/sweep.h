@@ -25,6 +25,39 @@
 
 namespace dcs {
 
+// Campaign-resilience knobs (see campaign.h for the runner).  Parsed from
+// the same argv as the sweep flags, so every sweep bench accepts them.
+struct CampaignOptions {
+  // --resume=FILE: append-only CRC32-framed journal (journal.h).  Completed
+  // slots recorded there are replayed byte-identically instead of re-run; a
+  // journal written for a different config grid never matches (fingerprint
+  // check) and forces a fresh run.
+  std::string resume;
+  // --job-timeout=SECS: wall-clock watchdog per job attempt.  On expiry the
+  // job's simulator loop is cooperatively cancelled and the attempt counts
+  // as a failure (retried, then quarantined).  0 disables the watchdog.
+  double job_timeout = 0.0;
+  // --max-retries=N: failed/timed-out jobs are retried up to N times with
+  // bounded exponential backoff before being quarantined.  Invalid configs
+  // (bad governor/fault spec) are permanent failures and skip retries.
+  int max_retries = 2;
+  // First retry delay; doubles per retry (the Kernel transition-retry shape).
+  double retry_backoff_ms = 25.0;
+  // --quarantine-out=FILE: machine-readable JSON report of quarantined
+  // configs.  Defaults to "<resume>.quarantine.json" when --resume is set.
+  std::string quarantine_out;
+
+  bool Enabled() const {
+    return !resume.empty() || job_timeout > 0.0 || !quarantine_out.empty();
+  }
+  std::string QuarantinePath() const {
+    if (!quarantine_out.empty()) {
+      return quarantine_out;
+    }
+    return resume.empty() ? std::string() : resume + ".quarantine.json";
+  }
+};
+
 struct SweepOptions {
   // Worker threads; 0 means std::thread::hardware_concurrency() (at least 1).
   int threads = 0;
@@ -41,6 +74,10 @@ struct SweepOptions {
   // --faults=SPEC: fault-injection spec forwarded to every experiment in the
   // grid (see fault_plan.h for the grammar; "" / "none" injects nothing).
   std::string faults;
+  // Campaign-resilience flags (--resume / --job-timeout / --max-retries /
+  // --quarantine-out).  When any is set, RunSweep routes the grid through
+  // the CampaignRunner instead of a bare SweepRunner.
+  CampaignOptions campaign;
 
   // Whether the experiments must capture raw observability data
   // (ExperimentConfig::capture_obs) for the requested outputs.
@@ -54,6 +91,18 @@ struct SweepJobResult {
   std::string error;
 
   bool ok() const { return result.has_value(); }
+};
+
+// Per-job interception points for the campaign layer (campaign.h).  Both
+// callbacks run on worker threads; `index` is the job's position in the
+// config vector handed to Run().
+struct SweepJobHooks {
+  // Replaces the default RunExperiment call for each job.  Exceptions it
+  // lets escape are captured into the slot's error like the default path.
+  std::function<SweepJobResult(const ExperimentConfig&, int index)> execute;
+  // Observes each finished slot in completion order (not slot order), after
+  // the slot is written.  Must be internally synchronized.
+  std::function<void(int index, const SweepJobResult&)> on_result;
 };
 
 // Aggregate engine statistics for the last Run() call.
@@ -75,6 +124,8 @@ class SweepRunner {
   // Runs every config as one job; result i corresponds to configs[i]
   // regardless of which worker executed it or in what order jobs finished.
   std::vector<SweepJobResult> Run(const std::vector<ExperimentConfig>& configs);
+  std::vector<SweepJobResult> Run(const std::vector<ExperimentConfig>& configs,
+                                  const SweepJobHooks& hooks);
 
   // Metrics for the most recent Run().
   const SweepMetrics& metrics() const { return metrics_; }
@@ -89,14 +140,18 @@ class SweepRunner {
 
 // Convenience wrapper: runs the grid and unwraps the results, rethrowing the
 // first job error as std::runtime_error.  For benches whose configs are known
-// good, this keeps call sites as simple as the old serial loops.
+// good, this keeps call sites as simple as the old serial loops.  When
+// options.campaign.Enabled(), the grid runs under the CampaignRunner: the
+// journal replays finished slots, the watchdog bounds each job, and failures
+// land in the quarantine report (the throw then names it).
 std::vector<ExperimentResult> RunSweep(const std::vector<ExperimentConfig>& configs,
                                        const SweepOptions& options = {});
 
 // Parses "--threads=N" / "--threads N", "--progress", "--trace-out=FILE",
-// "--metrics-out=FILE" and "--faults=SPEC" from a bench's argv, returning the
-// corresponding options.  Unrecognised arguments are ignored so benches can
-// layer their own flags.
+// "--metrics-out=FILE", "--faults=SPEC" and the campaign flags ("--resume",
+// "--job-timeout", "--max-retries", "--quarantine-out") from a bench's argv,
+// returning the corresponding options.  Unrecognised arguments are ignored
+// so benches can layer their own flags.
 SweepOptions SweepOptionsFromArgs(int argc, char** argv);
 
 }  // namespace dcs

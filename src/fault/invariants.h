@@ -16,7 +16,9 @@
 //
 // Check() is cheap (no allocation on the pass path) so experiments call it
 // every quantum while a fault plan is active.  Violations are recorded, not
-// thrown: a storm sweep reports all of them at the end.
+// thrown: a storm sweep reports all of them at the end.  The campaign
+// journal reader (src/exp/journal.h) reuses this record-don't-throw idiom
+// for structural problems in a resume journal.
 
 #ifndef SRC_FAULT_INVARIANTS_H_
 #define SRC_FAULT_INVARIANTS_H_

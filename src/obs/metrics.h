@@ -43,11 +43,19 @@ class MetricsGauge {
     samples_ = 1;
   }
   double value() const { return samples_ == 0 ? 0.0 : sum_ / static_cast<double>(samples_); }
+  double sum() const { return sum_; }
   std::uint64_t samples() const { return samples_; }
 
   void MergeFrom(const MetricsGauge& other) {
     sum_ += other.sum_;
     samples_ += other.samples_;
+  }
+
+  // Reinstates a serialized gauge exactly (campaign journal replay); regular
+  // producers use Set().
+  void Restore(double sum, std::uint64_t samples) {
+    sum_ = sum;
+    samples_ = samples;
   }
 
  private:
@@ -95,6 +103,17 @@ class LogHistogram {
   static double BucketUpperBound(int i) { return std::ldexp(1.0, i); }
 
   void MergeFrom(const LogHistogram& other);
+
+  // Reinstates a serialized histogram exactly (campaign journal replay);
+  // regular producers use Observe().
+  void Restore(const std::array<std::uint64_t, kBuckets>& buckets, std::uint64_t count,
+               double sum, double min, double max) {
+    buckets_ = buckets;
+    count_ = count;
+    sum_ = sum;
+    min_ = min;
+    max_ = max;
+  }
 
  private:
   std::array<std::uint64_t, kBuckets> buckets_{};

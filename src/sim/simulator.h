@@ -7,12 +7,23 @@
 #ifndef SRC_SIM_SIMULATOR_H_
 #define SRC_SIM_SIMULATOR_H_
 
+#include <atomic>
 #include <functional>
+#include <stdexcept>
 
 #include "src/sim/event_queue.h"
 #include "src/sim/time.h"
 
 namespace dcs {
+
+// Thrown by RunExperiment when its run was cancelled through the cooperative
+// token (see Simulator::BindCancel) — e.g. by the campaign watchdog killing
+// a job that outran --job-timeout.  The simulator itself never throws: its
+// loops just stop between events, and the harness turns that into this.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
 
 class Simulator {
  public:
@@ -52,6 +63,17 @@ class Simulator {
   void RequestStop() { stop_requested_ = true; }
   bool StopRequested() const { return stop_requested_; }
 
+  // Binds a cooperative cancellation token (non-owning; null unbinds).  The
+  // event loops check it between events: once another thread sets it, the
+  // run exits after the current callback, time stops advancing, and
+  // CancelRequested() stays true (unlike a stop, cancellation is never
+  // consumed — a cancelled simulation is over).  Unbound, the loops pay one
+  // null check per event.
+  void BindCancel(const std::atomic<bool>* token) { cancel_ = token; }
+  bool CancelRequested() const {
+    return cancel_ != nullptr && cancel_->load(std::memory_order_relaxed);
+  }
+
   // Number of events executed / successfully cancelled since construction
   // (diagnostics; exported as sim.* metrics by the experiment harness).
   std::uint64_t events_executed() const { return events_executed_; }
@@ -64,6 +86,7 @@ class Simulator {
   EventQueue queue_;
   SimTime now_;
   bool stop_requested_ = false;
+  const std::atomic<bool>* cancel_ = nullptr;
   std::uint64_t events_executed_ = 0;
   std::uint64_t events_cancelled_ = 0;
 };

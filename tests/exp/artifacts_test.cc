@@ -79,6 +79,28 @@ TEST_F(ArtifactsTest, CreatesNestedDirectories) {
   EXPECT_TRUE(fs::exists(nested / "t.summary.csv"));
 }
 
+TEST_F(ArtifactsTest, FailureSurfacesTheFailingPath) {
+  const ExperimentResult result = ShortRun();
+  // A file already occupies the destination *directory* path: creating the
+  // directory fails before any CSV is attempted, and the error names it.
+  fs::create_directories(dir_);
+  const fs::path blocked = dir_ / "occupied";
+  std::ofstream(blocked).put('\n');
+  std::string error;
+  EXPECT_FALSE(WriteArtifacts(blocked.string(), "t", result, &error));
+  EXPECT_NE(error.find("occupied"), std::string::npos) << error;
+}
+
+TEST_F(ArtifactsTest, FailedExportLeavesNoPartialFiles) {
+  const ExperimentResult result = ShortRun();
+  ASSERT_TRUE(WriteArtifacts(dir_.string(), "t", result));
+  // Every artifact is published via temp+rename, so the directory holds only
+  // complete CSVs — no .tmp leftovers even right after a write.
+  for (const auto& entry : fs::directory_iterator(dir_)) {
+    EXPECT_EQ(entry.path().extension(), ".csv") << entry.path();
+  }
+}
+
 TEST_F(ArtifactsTest, MaybeWriteSkipsWithoutEnvVar) {
   unsetenv("DCS_ARTIFACTS");
   const ExperimentResult result = ShortRun();

@@ -1,0 +1,127 @@
+#include "src/exp/atomic_io.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace dcs {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string ReadAll(const fs::path& path) {
+  std::ifstream is(path, std::ios::binary);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
+}
+
+class AtomicIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("dcs_atomic_io_") + info->name() + "_" +
+            std::to_string(static_cast<long>(::getpid())));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  // Number of directory entries, including any leftover temp files.
+  std::size_t EntryCount() const {
+    std::size_t n = 0;
+    for ([[maybe_unused]] const auto& entry : fs::directory_iterator(dir_)) {
+      ++n;
+    }
+    return n;
+  }
+
+  fs::path dir_;
+};
+
+TEST(Crc32Test, MatchesTheStandardCheckValue) {
+  // The IEEE 802.3 / zlib check vector.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, ChunkedEqualsOneShot) {
+  const std::string data = "the quick brown fox jumps over the lazy dog";
+  const std::uint32_t whole = Crc32(data);
+  std::uint32_t chunked = 0;
+  for (char c : data) {
+    chunked = Crc32(&c, 1, chunked);
+  }
+  EXPECT_EQ(chunked, whole);
+}
+
+TEST_F(AtomicIoTest, WritesContentAndLeavesNoTempFile) {
+  const fs::path path = dir_ / "out.txt";
+  std::string error;
+  ASSERT_TRUE(AtomicWriteFile(path.string(), std::string("hello\n"), &error)) << error;
+  EXPECT_EQ(ReadAll(path), "hello\n");
+  EXPECT_EQ(EntryCount(), 1u);
+}
+
+TEST_F(AtomicIoTest, FailedWritePreservesOldFileAndNamesThePath) {
+  const fs::path path = dir_ / "missing_subdir" / "out.txt";
+  std::string error;
+  // The destination directory doesn't exist: the temp-file create fails and
+  // the error must say which path was involved.
+  EXPECT_FALSE(AtomicWriteFile(path.string(), std::string("x"), &error));
+  EXPECT_NE(error.find("missing_subdir"), std::string::npos) << error;
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(AtomicIoTest, RenderFailureLeavesNoStalePartialFile) {
+  const fs::path path = dir_ / "report.txt";
+  ASSERT_TRUE(AtomicWriteFile(path.string(), std::string("previous good content\n")));
+  std::string error;
+  // A writer that fails its stream mid-render must not replace (or truncate)
+  // the published file, and must not leave a temp file behind.
+  const bool ok = AtomicWriteFile(
+      path.string(),
+      [](std::ostream& os) {
+        os << "partial";
+        os.setstate(std::ios::failbit);
+      },
+      &error);
+  EXPECT_FALSE(ok);
+  EXPECT_NE(error.find(path.string()), std::string::npos) << error;
+  EXPECT_EQ(ReadAll(path), "previous good content\n");
+  EXPECT_EQ(EntryCount(), 1u);
+}
+
+TEST_F(AtomicIoTest, OverwriteReplacesWholeFile) {
+  const fs::path path = dir_ / "out.txt";
+  ASSERT_TRUE(AtomicWriteFile(path.string(), std::string("a much longer first version\n")));
+  ASSERT_TRUE(AtomicWriteFile(path.string(), std::string("v2\n")));
+  EXPECT_EQ(ReadAll(path), "v2\n");
+}
+
+TEST_F(AtomicIoTest, TrailingCrcRoundTrips) {
+  const fs::path path = dir_ / "report.txt";
+  AtomicWriteOptions options;
+  options.trailing_crc = true;
+  ASSERT_TRUE(AtomicWriteFile(
+      path.string(), [](std::ostream& os) { os << "line one\nline two\n"; }, nullptr,
+      options));
+  const std::string content = ReadAll(path);
+  EXPECT_TRUE(VerifyTrailingCrc(content)) << content;
+
+  // Any corruption or truncation of the body must be detected.
+  std::string corrupted = content;
+  corrupted[0] ^= 0x01;
+  EXPECT_FALSE(VerifyTrailingCrc(corrupted));
+  EXPECT_FALSE(VerifyTrailingCrc(content.substr(1)));
+  EXPECT_FALSE(VerifyTrailingCrc("no trailer at all\n"));
+  EXPECT_FALSE(VerifyTrailingCrc(""));
+}
+
+}  // namespace
+}  // namespace dcs

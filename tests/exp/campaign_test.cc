@@ -1,0 +1,261 @@
+#include "src/exp/campaign.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/exp/sweep.h"
+#include "tests/fault/fingerprint.h"
+
+namespace dcs {
+namespace {
+
+namespace fs = std::filesystem;
+
+ExperimentConfig ShortMpeg(std::uint64_t seed, const std::string& governor = "fixed-206.4") {
+  ExperimentConfig config;
+  config.app = "mpeg";
+  config.governor = governor;
+  config.seed = seed;
+  config.duration = SimTime::Seconds(2);
+  return config;
+}
+
+std::vector<std::string> Fingerprints(const std::vector<SweepJobResult>& jobs) {
+  std::vector<std::string> fps;
+  for (const SweepJobResult& job : jobs) {
+    fps.push_back(job.ok() ? Fingerprint(*job.result) : "error:" + job.error);
+  }
+  return fps;
+}
+
+class CampaignTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    dir_ = fs::temp_directory_path() /
+           (std::string("dcs_campaign_") + info->name() + "_" +
+            std::to_string(static_cast<long>(::getpid())));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    journal_ = (dir_ / "campaign.journal").string();
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  SweepOptions ResumeOptions(int threads = 2) const {
+    SweepOptions options;
+    options.threads = threads;
+    options.campaign.resume = journal_;
+    return options;
+  }
+
+  fs::path dir_;
+  std::string journal_;
+};
+
+TEST_F(CampaignTest, SecondRunReplaysEverySlotByteIdentically) {
+  const std::vector<ExperimentConfig> grid = {ShortMpeg(1), ShortMpeg(2, "PAST-peg-peg-93-98"),
+                                              ShortMpeg(3, "AVG9-one-one-50-70")};
+  CampaignRunner first(ResumeOptions());
+  const auto first_jobs = first.Run(grid);
+  EXPECT_FALSE(first.report().resumed);
+  EXPECT_EQ(first.report().executed, 3);
+  EXPECT_EQ(first.report().replayed, 0);
+
+  CampaignRunner second(ResumeOptions());
+  const auto second_jobs = second.Run(grid);
+  EXPECT_TRUE(second.report().resumed);
+  EXPECT_EQ(second.report().executed, 0);
+  EXPECT_EQ(second.report().replayed, 3);
+  // Replayed slots must be indistinguishable from computed ones: same
+  // hexfloat fingerprint over every reported number and series.
+  EXPECT_EQ(Fingerprints(second_jobs), Fingerprints(first_jobs));
+}
+
+TEST_F(CampaignTest, ResumeIsByteIdenticalAcrossThreadCounts) {
+  std::vector<ExperimentConfig> grid;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    grid.push_back(ShortMpeg(seed, seed % 2 == 0 ? "PAST-peg-peg-93-98" : "fixed-132.7"));
+  }
+  // Journal written serially, resumed with four workers — and vice versa a
+  // fresh four-worker campaign must agree with both.
+  CampaignRunner serial(ResumeOptions(1));
+  const auto serial_jobs = serial.Run(grid);
+  CampaignRunner resumed(ResumeOptions(4));
+  const auto resumed_jobs = resumed.Run(grid);
+  EXPECT_EQ(resumed.report().replayed, 5);
+
+  SweepOptions fresh_options;
+  fresh_options.threads = 4;
+  fresh_options.campaign.resume = (dir_ / "fresh.journal").string();
+  CampaignRunner fresh(fresh_options);
+  const auto fresh_jobs = fresh.Run(grid);
+  EXPECT_EQ(fresh.report().executed, 5);
+
+  EXPECT_EQ(Fingerprints(resumed_jobs), Fingerprints(serial_jobs));
+  EXPECT_EQ(Fingerprints(fresh_jobs), Fingerprints(serial_jobs));
+}
+
+TEST_F(CampaignTest, PartialJournalRunsOnlyTheRemainder) {
+  const std::vector<ExperimentConfig> grid = {ShortMpeg(1), ShortMpeg(2), ShortMpeg(3)};
+  // Seed the journal with a completed campaign over a one-job prefix...
+  // no — the grid fingerprint must match, so instead journal two of three
+  // slots by hand.
+  CampaignRunner full(ResumeOptions());
+  const auto full_jobs = full.Run(grid);
+
+  // Rewrite the journal holding only slots 0 and 2.
+  const JournalReadResult complete = ReadJournal(journal_);
+  ASSERT_TRUE(complete.readable);
+  std::string error;
+  auto writer = JournalWriter::Create(journal_, &error);
+  ASSERT_NE(writer, nullptr) << error;
+  ASSERT_TRUE(writer->AppendHeader(complete.segments[0].header, &error)) << error;
+  for (const JournalRecord& record : complete.segments[0].records) {
+    if (record.slot != 1) {
+      ASSERT_TRUE(writer->AppendRecord(record, &error)) << error;
+    }
+  }
+  writer.reset();
+
+  CampaignRunner partial(ResumeOptions());
+  const auto partial_jobs = partial.Run(grid);
+  EXPECT_TRUE(partial.report().resumed);
+  EXPECT_EQ(partial.report().replayed, 2);
+  EXPECT_EQ(partial.report().executed, 1);
+  EXPECT_EQ(Fingerprints(partial_jobs), Fingerprints(full_jobs));
+}
+
+TEST_F(CampaignTest, FingerprintMismatchForcesAFreshRun) {
+  const std::vector<ExperimentConfig> grid = {ShortMpeg(1), ShortMpeg(2)};
+  CampaignRunner first(ResumeOptions());
+  first.Run(grid);
+
+  // Same journal path, different grid: nothing may replay.
+  const std::vector<ExperimentConfig> other = {ShortMpeg(7), ShortMpeg(8)};
+  CampaignRunner second(ResumeOptions());
+  const auto jobs = second.Run(other);
+  EXPECT_FALSE(second.report().resumed);
+  EXPECT_TRUE(second.report().journal_mismatch);
+  EXPECT_EQ(second.report().executed, 2);
+  ASSERT_TRUE(jobs[0].ok());
+  EXPECT_EQ(Fingerprint(*jobs[0].result), Fingerprint(RunExperiment(other[0])));
+}
+
+TEST_F(CampaignTest, HangingJobIsQuarantinedWhileOthersSucceed) {
+  // The hang must keep the *simulation* busy (the watchdog cancels between
+  // events), so the MPEG app decodes for ~28 hours of simulated time with a
+  // full fault storm (invariant sweep every quantum) — wall seconds per
+  // attempt even on a fast machine, ~25x the watchdog budget here.
+  ExperimentConfig hang = ShortMpeg(2);
+  hang.mpeg = MpegConfig{};
+  hang.mpeg->duration = SimTime::Seconds(100000);
+  hang.duration = SimTime::Seconds(100000);
+  hang.faults = "storm=1.0,seed=3";
+  const std::vector<ExperimentConfig> grid = {ShortMpeg(1), hang, ShortMpeg(3)};
+
+  SweepOptions options;
+  options.threads = 2;
+  options.campaign.job_timeout = 0.2;
+  options.campaign.max_retries = 1;
+  options.campaign.retry_backoff_ms = 1.0;
+  options.campaign.quarantine_out = (dir_ / "quarantine.json").string();
+  CampaignRunner runner(options);
+  const auto jobs = runner.Run(grid);
+
+  ASSERT_TRUE(jobs[0].ok()) << jobs[0].error;
+  ASSERT_TRUE(jobs[2].ok()) << jobs[2].error;
+  ASSERT_FALSE(jobs[1].ok());
+  EXPECT_NE(jobs[1].error.find("watchdog timeout"), std::string::npos) << jobs[1].error;
+
+  ASSERT_EQ(runner.report().quarantined.size(), 1u);
+  const QuarantineEntry& entry = runner.report().quarantined[0];
+  EXPECT_EQ(entry.slot, 1);
+  EXPECT_EQ(entry.attempts, 2);  // first attempt + one retry, both timed out
+  EXPECT_EQ(entry.seed, 2u);
+
+  std::ifstream in(options.campaign.quarantine_out);
+  ASSERT_TRUE(in.good());
+  std::ostringstream json;
+  json << in.rdbuf();
+  EXPECT_NE(json.str().find("\"slot\":1"), std::string::npos) << json.str();
+  EXPECT_NE(json.str().find("watchdog timeout"), std::string::npos) << json.str();
+}
+
+TEST_F(CampaignTest, InvalidConfigSkipsRetriesAndIsQuarantined) {
+  const std::vector<ExperimentConfig> grid = {ShortMpeg(1),
+                                              ShortMpeg(2, "definitely-not-a-spec")};
+  SweepOptions options;
+  options.threads = 1;
+  options.campaign.max_retries = 3;
+  options.campaign.quarantine_out = (dir_ / "quarantine.json").string();
+  CampaignRunner runner(options);
+  const auto jobs = runner.Run(grid);
+
+  EXPECT_TRUE(jobs[0].ok());
+  EXPECT_FALSE(jobs[1].ok());
+  ASSERT_EQ(runner.report().quarantined.size(), 1u);
+  // A deterministic rejection (unknown governor) must not burn the retry
+  // budget: one attempt, straight to quarantine.
+  EXPECT_EQ(runner.report().quarantined[0].attempts, 1);
+  EXPECT_EQ(runner.report().retries, 0u);
+}
+
+TEST_F(CampaignTest, QuarantinedSlotReplaysAsQuarantinedOnResume) {
+  const std::vector<ExperimentConfig> grid = {ShortMpeg(1),
+                                              ShortMpeg(2, "definitely-not-a-spec")};
+  SweepOptions options = ResumeOptions(1);
+  options.campaign.max_retries = 0;
+  CampaignRunner first(options);
+  first.Run(grid);
+  ASSERT_EQ(first.report().quarantined.size(), 1u);
+
+  CampaignRunner second(options);
+  const auto jobs = second.Run(grid);
+  // The journal remembers the quarantine: nothing re-runs, and the slot is
+  // still reported as quarantined with its original error.
+  EXPECT_EQ(second.report().executed, 0);
+  EXPECT_EQ(second.report().replayed, 2);
+  ASSERT_EQ(second.report().quarantined.size(), 1u);
+  EXPECT_FALSE(jobs[1].ok());
+  EXPECT_NE(jobs[1].error.find("definitely-not-a-spec"), std::string::npos);
+}
+
+TEST_F(CampaignTest, RunSweepRoutesThroughTheCampaignAndNamesTheQuarantine) {
+  const std::vector<ExperimentConfig> grid = {ShortMpeg(1),
+                                              ShortMpeg(2, "definitely-not-a-spec")};
+  SweepOptions options;
+  options.threads = 1;
+  options.campaign.quarantine_out = (dir_ / "quarantine.json").string();
+  try {
+    RunSweep(grid, options);
+    FAIL() << "expected RunSweep to throw for the quarantined job";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("quarantine"), std::string::npos) << e.what();
+  }
+  EXPECT_TRUE(fs::exists(options.campaign.quarantine_out));
+}
+
+TEST(RenderQuarantineJsonTest, EscapesAndStructuresEntries) {
+  QuarantineEntry entry;
+  entry.slot = 4;
+  entry.app = "mpeg";
+  entry.governor = "bad\"spec";
+  entry.seed = 9;
+  entry.attempts = 3;
+  entry.error = "line\nbreak";
+  const std::string json = RenderQuarantineJson(0x1234, 8, {entry});
+  EXPECT_NE(json.find("\"jobs\":8"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"slot\":4"), std::string::npos) << json;
+  EXPECT_NE(json.find("bad\\\"spec"), std::string::npos) << json;
+  EXPECT_NE(json.find("line\\nbreak"), std::string::npos) << json;
+  EXPECT_NE(RenderQuarantineJson(0, 0, {}).find("\"quarantined\":[]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -55,6 +55,23 @@ TEST(SweepRunnerTest, EmptyGridYieldsNoResults) {
   EXPECT_EQ(runner.metrics().jobs, 0);
 }
 
+TEST(SweepRunnerTest, EmptyGridResetsMetricsFromPreviousRun) {
+  // Regression: an empty grid after a real one must not report the previous
+  // call's wall clock, failure count or throughput.
+  SweepRunner runner;
+  runner.Run({ShortMpeg(1), ShortMpeg(2, "definitely-not-a-spec")});
+  ASSERT_GT(runner.metrics().wall_seconds, 0.0);
+  ASSERT_EQ(runner.metrics().failed, 1);
+
+  EXPECT_TRUE(runner.Run({}).empty());
+  const SweepMetrics& m = runner.metrics();
+  EXPECT_EQ(m.jobs, 0);
+  EXPECT_EQ(m.failed, 0);
+  EXPECT_EQ(m.wall_seconds, 0.0);
+  EXPECT_EQ(m.simulated_seconds, 0.0);
+  EXPECT_EQ(m.sim_seconds_per_second, 0.0);
+}
+
 TEST(SweepRunnerTest, ResultsAreIndexedByJobOrder) {
   const std::vector<ExperimentConfig> configs = {
       ShortMpeg(1, "fixed-206.4"), ShortMpeg(2, "fixed-132.7"),
@@ -152,6 +169,38 @@ TEST(SweepOptionsFromArgsTest, ParsesThreadsAndProgress) {
   char* argv3[] = {prog};
   options = SweepOptionsFromArgs(1, argv3);
   EXPECT_EQ(options.threads, 0);
+}
+
+TEST(SweepOptionsFromArgsTest, ParsesCampaignFlags) {
+  char prog[] = "bench";
+  char resume[] = "--resume=run.journal";
+  char timeout[] = "--job-timeout=2.5";
+  char retries[] = "--max-retries=5";
+  char quarantine[] = "--quarantine-out=bad.json";
+  char* argv1[] = {prog, resume, timeout, retries, quarantine};
+  SweepOptions options = SweepOptionsFromArgs(5, argv1);
+  EXPECT_EQ(options.campaign.resume, "run.journal");
+  EXPECT_DOUBLE_EQ(options.campaign.job_timeout, 2.5);
+  EXPECT_EQ(options.campaign.max_retries, 5);
+  EXPECT_EQ(options.campaign.quarantine_out, "bad.json");
+  EXPECT_TRUE(options.campaign.Enabled());
+  EXPECT_EQ(options.campaign.QuarantinePath(), "bad.json");
+
+  // Space-separated form, negative values clamped, defaults otherwise.
+  char resume_flag[] = "--resume";
+  char journal[] = "j.bin";
+  char bad_timeout[] = "--job-timeout=-1";
+  char* argv2[] = {prog, resume_flag, journal, bad_timeout};
+  options = SweepOptionsFromArgs(4, argv2);
+  EXPECT_EQ(options.campaign.resume, "j.bin");
+  EXPECT_EQ(options.campaign.job_timeout, 0.0);
+  EXPECT_EQ(options.campaign.QuarantinePath(), "j.bin.quarantine.json");
+
+  char* argv3[] = {prog};
+  options = SweepOptionsFromArgs(1, argv3);
+  EXPECT_FALSE(options.campaign.Enabled());
+  EXPECT_EQ(options.campaign.QuarantinePath(), "");
+  EXPECT_EQ(options.campaign.max_retries, 2);
 }
 
 TEST(RunRepeatedParallelTest, BitIdenticalToSerial) {
