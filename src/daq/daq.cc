@@ -27,17 +27,22 @@ Daq::Daq(const DaqConfig& config) : config_(config), rng_(config.seed) {
   supply_lsb_ = config_.supply_range_volts / steps;
 }
 
-double Daq::ReadPower(const PowerTape& tape, SimTime t) {
-  const double watts = tape.WattsAt(t);
+double Daq::ReadPower(double watts, double sigma_shunt, double sigma_supply) {
   const double amps = watts / config_.supply_volts;
-  // Channel 1: shunt voltage drop.
+  // Channel 1: shunt voltage drop.  A zero-sigma Gaussian only ever adds a
+  // signed zero, which cannot change any reachable reading, so the draws are
+  // skipped entirely when noise is disabled (nothing else observes rng_).
   double shunt_v = amps * config_.shunt_ohms;
-  shunt_v += rng_.Gaussian(0.0, config_.noise_lsb * shunt_lsb_);
+  if (sigma_shunt != 0.0) {
+    shunt_v += rng_.Gaussian(0.0, sigma_shunt);
+  }
   shunt_v = Quantise(shunt_v, shunt_lsb_, -config_.shunt_range_volts,
                      config_.shunt_range_volts);
   // Channel 2: supply voltage.
   double supply_v = config_.supply_volts;
-  supply_v += rng_.Gaussian(0.0, config_.noise_lsb * supply_lsb_);
+  if (sigma_supply != 0.0) {
+    supply_v += rng_.Gaussian(0.0, sigma_supply);
+  }
   supply_v = Quantise(supply_v, supply_lsb_, 0.0, config_.supply_range_volts);
   // "The current was then calculated by dividing the voltage by the
   // resistance."
@@ -55,13 +60,29 @@ std::vector<double> Daq::SamplePowerWatts(const PowerTape& tape, SimTime begin,
   const std::int64_t count = static_cast<std::int64_t>(
       std::floor((end - begin).ToSeconds() / period_s));
   samples.reserve(static_cast<std::size_t>(count));
+  // Sample times are non-decreasing, so a tape cursor makes each lookup
+  // amortised O(1) instead of a fresh binary search per sample.  The noise
+  // sigmas are loop-invariant; hoisting them keeps the per-sample additions
+  // bitwise-identical (same product, same order of draws).
+  PowerTape::Cursor cursor(tape);
+  const double sigma_shunt = config_.noise_lsb * shunt_lsb_;
+  const double sigma_supply = config_.noise_lsb * supply_lsb_;
+  if (faults_ == nullptr) {
+    // Fast path: without an injector no sample can drop, so skip the drop
+    // checks and never materialise the dropped-index bookkeeping.
+    for (std::int64_t i = 0; i < count; ++i) {
+      const SimTime t = begin + SimTime::FromSecondsF(i * period_s);
+      samples.push_back(ReadPower(cursor.WattsAt(t), sigma_shunt, sigma_supply));
+    }
+    return samples;
+  }
   std::vector<std::size_t> dropped;
   for (std::int64_t i = 0; i < count; ++i) {
     const SimTime t = begin + SimTime::FromSecondsF(i * period_s);
     // The reading is always taken (the ADC ran; its noise stream must not
     // shift) — a drop loses the value on the way to the host.
-    const double reading = ReadPower(tape, t);
-    if (faults_ != nullptr && faults_->DropSample()) {
+    const double reading = ReadPower(cursor.WattsAt(t), sigma_shunt, sigma_supply);
+    if (faults_->DropSample()) {
       dropped.push_back(samples.size());
       samples.push_back(0.0);
     } else {

@@ -51,9 +51,12 @@ class Daq {
   SimTime SamplePeriod() const { return SimTime::FromSecondsF(1.0 / config_.sample_hz); }
 
   // Samples instantaneous power over [begin, end) at sample_hz, applying the
-  // shunt/ADC model.  Sample i is taken at begin + i/sample_hz.  Samples the
-  // bound fault injector drops are reconstructed by linear interpolation
-  // between their surviving neighbours (edge runs copy the nearest survivor).
+  // shunt/ADC model.  Sample i is taken at begin + i/sample_hz; the tape is
+  // read through a PowerTape::Cursor, so a whole window costs amortised O(1)
+  // per sample.  Samples the bound fault injector drops are reconstructed by
+  // linear interpolation between their surviving neighbours (edge runs copy
+  // the nearest survivor); without a bound injector the drop bookkeeping is
+  // never materialised.
   std::vector<double> SamplePowerWatts(const PowerTape& tape, SimTime begin, SimTime end);
 
   // Binds the fault injector (non-owning; null unbinds).  Unbound, sampling
@@ -71,8 +74,9 @@ class Daq {
   double MeasureEnergyJoules(const PowerTape& tape, SimTime begin, SimTime end);
 
  private:
-  // One power reading at time `t` through the ADC pipeline.
-  double ReadPower(const PowerTape& tape, SimTime t);
+  // One power reading of true power `watts` through the ADC pipeline, with
+  // per-channel noise sigmas (hoisted by the caller; zero skips the draw).
+  double ReadPower(double watts, double sigma_shunt, double sigma_supply);
 
   // Reconstructs the samples at `dropped` (sorted indices) in place.
   static void InterpolateDropped(std::vector<double>* samples,

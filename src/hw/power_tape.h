@@ -4,13 +4,28 @@
 // peripheral activity) appends a segment.  The tape is the ground truth the
 // DAQ samples from, and also supports exact energy integration so tests can
 // verify the sampled estimate against the analytic value.
+//
+// Alongside the segments the tape keeps a cumulative-energy prefix array:
+// prefix_[i] is the energy from the first segment's start to segment i's
+// start, accumulated left-to-right in append order.  A windowed energy query
+// then costs two binary searches plus O(1) arithmetic instead of a walk over
+// every segment — and because the prefix is built with exactly the additions
+// the old full scan performed, from-the-start windows (the tab2/ledger
+// pattern) produce bitwise-identical joules.  Windows that open mid-segment
+// fall back to a scan bounded to the overlapped segments, again with the
+// original expressions, so those too are bitwise-unchanged.
 
 #ifndef SRC_HW_POWER_TAPE_H_
 #define SRC_HW_POWER_TAPE_H_
 
+#include <cstddef>
 #include <vector>
 
 #include "src/sim/time.h"
+
+// Feature probe for call sites (bench harness) that want the sequential
+// cursor when present.
+#define DCS_POWER_TAPE_HAS_CURSOR 1
 
 namespace dcs {
 
@@ -38,8 +53,28 @@ class PowerTape {
   const std::vector<Segment>& segments() const { return segments_; }
   bool empty() const { return segments_.empty(); }
 
+  // Sequential reader: remembers the segment the previous lookup landed in,
+  // so a non-decreasing stream of query times (the DAQ's sampling pattern)
+  // costs amortised O(1) per read instead of a binary search each.  Reads
+  // see segments appended to the tape after the cursor was created; a query
+  // time earlier than the previous one is handled by falling back to a
+  // binary search re-sync.
+  class Cursor {
+   public:
+    explicit Cursor(const PowerTape& tape) : tape_(&tape) {}
+
+    double WattsAt(SimTime t);
+
+   private:
+    const PowerTape* tape_;
+    std::size_t index_ = 0;
+  };
+
  private:
   std::vector<Segment> segments_;
+  // prefix_[i]: joules accumulated from segments_[0].start to
+  // segments_[i].start (so prefix_[0] == 0).  Always segments_.size() long.
+  std::vector<double> prefix_;
 };
 
 }  // namespace dcs

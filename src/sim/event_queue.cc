@@ -1,59 +1,70 @@
 #include "src/sim/event_queue.h"
 
-#include <cassert>
-#include <utility>
-
 namespace dcs {
 
-EventId EventQueue::Push(SimTime at, std::function<void()> fn) {
-  const EventId id = next_id_++;
-  heap_.push(HeapEntry{at, next_seq_++, id});
-  callbacks_.emplace(id, std::move(fn));
-  ++live_count_;
-  return id;
-}
+// The heap is 4-ary: half the depth of a binary heap, so pushes (which pay
+// one compare per level on the way up) and pops (whose compares touch
+// adjacent entries on one cache line per level) both get shorter paths.
 
-bool EventQueue::Cancel(EventId id) {
-  const auto it = callbacks_.find(id);
-  if (it == callbacks_.end()) {
-    return false;
+void EventQueue::FlushStaging() {
+  for (const HeapEntry& entry : staging_) {
+    slots_[entry.slot].link = 0;
+    heap_.push_back(entry);
+    SiftUp(heap_.size() - 1);
   }
-  callbacks_.erase(it);
-  --live_count_;
-  return true;
+  staging_.clear();
 }
 
-void EventQueue::SkipDead() {
-  while (!heap_.empty() && callbacks_.find(heap_.top().id) == callbacks_.end()) {
-    heap_.pop();
+void EventQueue::SiftDown(std::size_t i) {
+  const std::size_t n = heap_.size();
+  HeapEntry entry = heap_[i];
+  for (;;) {
+    const std::size_t best = MinChild(i, n);
+    if (best >= n || !Earlier(heap_[best], entry)) {
+      break;
+    }
+    heap_[i] = heap_[best];
+    i = best;
   }
+  heap_[i] = entry;
 }
 
-SimTime EventQueue::NextTime() {
-  SkipDead();
-  assert(!heap_.empty() && "NextTime() on empty queue");
-  return heap_.top().at;
-}
-
-EventQueue::Entry EventQueue::Pop() {
-  SkipDead();
-  assert(!heap_.empty() && "Pop() on empty queue");
-  const HeapEntry top = heap_.top();
-  heap_.pop();
-  auto it = callbacks_.find(top.id);
-  Entry entry{top.at, top.id, std::move(it->second)};
-  callbacks_.erase(it);
-  --live_count_;
-  return entry;
+void EventQueue::MaybeCompact() {
+  const std::size_t live_in_heap = heap_.size() - dead_in_heap_;
+  if (dead_in_heap_ <= 2 * live_in_heap + kCompactSlack) {
+    return;
+  }
+  std::size_t kept = 0;
+  for (const HeapEntry& entry : heap_) {
+    if (IsLive(entry)) {
+      heap_[kept++] = entry;
+    }
+  }
+  heap_.resize(kept);
+  dead_in_heap_ = 0;
+  // Floyd heapify; pop order is unaffected because (at, seq) is a strict
+  // total order.
+  for (std::size_t i = kept / 2; i-- > 0;) {
+    SiftDown(i);
+  }
 }
 
 void EventQueue::Clear() {
-  heap_ = {};
-  callbacks_.clear();
+  for (const HeapEntry& entry : heap_) {
+    if (IsLive(entry)) {
+      ReleaseSlot(entry.slot);
+    }
+  }
+  for (const HeapEntry& entry : staging_) {
+    ReleaseSlot(entry.slot);
+  }
+  heap_.clear();
+  staging_.clear();
   live_count_ = 0;
+  dead_in_heap_ = 0;
   // Restart the FIFO tie-break counter so a cleared queue orders simultaneous
-  // events exactly like a fresh one (ids stay unique for the queue's lifetime,
-  // so next_id_ is deliberately not reset).
+  // events exactly like a fresh one (slot generations are deliberately left
+  // advanced, so ids stay unique for the queue's lifetime).
   next_seq_ = 0;
 }
 

@@ -1,14 +1,41 @@
 // Cancellable priority queue of timed events for the discrete-event engine.
+//
+// Layout: callbacks live in a slot pool (free-listed vector, no hashing, no
+// per-event allocation thanks to InlineFunction's small-buffer storage); the
+// heap itself holds only 24-byte {time, seq, slot, generation} entries, so
+// sift moves are cheap.  Cancellation is O(1): bumping the slot's generation
+// orphans the heap entry, which is discarded when it surfaces — or swept
+// eagerly by a compaction pass when orphans outnumber live entries 2:1, so a
+// cancel-heavy workload cannot grow the heap without bound.
+//
+// Pushes land in an unsorted staging buffer first and are only sifted into
+// the heap when a Pop or NextTime needs ordering.  The kernel frequently
+// schedules a completion and cancels it within the same tick callback (task
+// blocked, task preempted), and a staged event cancels by O(1) swap-erase —
+// it never pays heap work at all.  The slot's spare word records where its
+// event lives (free list link, staging position, or heap) so both cancel
+// paths stay constant-time.  Pop order is the strict (time, seq) order
+// either way, so staging is invisible to simulation results.
+//
+// EventId encoding: bits [63:32] hold the slot's generation, bits [31:0] the
+// slot index.  Generations start at 1 and advance every time a slot is freed
+// (cancel, pop, or Clear), so an id is live iff its generation matches its
+// slot's current one — stale ids from any earlier lifetime of the slot fail
+// the match, and kInvalidEventId (0) can never collide because no issued id
+// has generation 0.  A single slot would need 2^32 free transitions for its
+// generation to wrap and an id to repeat; no simulated workload approaches
+// that.
 
 #ifndef SRC_SIM_EVENT_QUEUE_H_
 #define SRC_SIM_EVENT_QUEUE_H_
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "src/sim/inline_function.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -19,9 +46,10 @@ using EventId = std::uint64_t;
 
 inline constexpr EventId kInvalidEventId = 0;
 
-// A min-heap of (time, callback) entries with stable FIFO ordering for
-// simultaneous events and O(1) amortised cancellation (lazy deletion: a
-// cancelled entry stays in the heap and is skipped when popped).
+// Event callback type.  48 inline bytes covers every capture list in the
+// tree ([this] plus a few words) without touching the heap.
+using EventFn = InlineFunction<void(), 48>;
+
 class EventQueue {
  public:
   EventQueue() = default;
@@ -31,9 +59,16 @@ class EventQueue {
   EventQueue(const EventQueue&) = delete;
   EventQueue& operator=(const EventQueue&) = delete;
 
+  // Push / Cancel / Pop are defined inline below: they run once per
+  // simulated event, and keeping them visible to callers lets the compiler
+  // build each callback directly in its slot instead of bouncing it through
+  // a by-value parameter.
+
   // Schedules `fn` at absolute time `at`.  Events that tie on time fire in
-  // insertion order.
-  EventId Push(SimTime at, std::function<void()> fn);
+  // insertion order.  Accepts any callable (built directly in its slot) or
+  // a ready-made EventFn (moved in).
+  template <typename F>
+  EventId Push(SimTime at, F&& fn);
 
   // Cancels a previously scheduled event.  Returns true if the event was
   // still pending (i.e. had not fired and had not already been cancelled).
@@ -52,38 +87,221 @@ class EventQueue {
   struct Entry {
     SimTime at;
     EventId id;
-    std::function<void()> fn;
+    EventFn fn;
   };
   Entry Pop();
 
   // Removes everything (the queue can be reused afterwards).
   void Clear();
 
+  // Heap entries whose event was cancelled but that have not yet been
+  // discarded by a pop or a compaction sweep (diagnostics: bounded at
+  // 2 * Size() + kCompactSlack by MaybeCompact).
+  std::size_t dead_entries() const { return dead_in_heap_; }
+
  private:
+  static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+  // Compacting tiny heaps isn't worth the pass; below this many orphans the
+  // 2:1 dead/live bound is not enforced.
+  static constexpr std::size_t kCompactSlack = 64;
+
+  struct Slot {
+    std::uint32_t generation = 1;
+    // While free: index of the next free slot (kNoSlot ends the list).
+    // While occupied: 1 + the event's staging_ index, or 0 once the entry
+    // has been flushed into the heap.
+    std::uint32_t link = kNoSlot;
+    EventFn fn;
+  };
   struct HeapEntry {
     SimTime at;
     std::uint64_t seq;
-    EventId id;
+    std::uint32_t slot;
+    std::uint32_t generation;
   };
-  struct Later {
-    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
-      if (a.at != b.at) {
-        return a.at > b.at;
-      }
-      return a.seq > b.seq;
+
+  static bool Earlier(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) {
+      return a.at < b.at;
     }
-  };
+    return a.seq < b.seq;
+  }
 
-  // Drops cancelled entries from the top of the heap.
-  void SkipDead();
+  bool IsLive(const HeapEntry& e) const {
+    return slots_[e.slot].generation == e.generation;
+  }
 
-  std::priority_queue<HeapEntry, std::vector<HeapEntry>, Later> heap_;
-  // Callbacks are kept out of the heap so heap moves stay cheap.
-  std::unordered_map<EventId, std::function<void()>> callbacks_;
+  // Frees `slot` (destroys its callback, orphans any heap entry) and returns
+  // it to the free list.
+  void ReleaseSlot(std::uint32_t slot) {
+    Slot& s = slots_[slot];
+    s.fn = nullptr;
+    ++s.generation;
+    s.link = free_head_;
+    free_head_ = slot;
+  }
+
+  // Sifts every staged entry into the heap.  Out of line: the common Pop
+  // in a busy loop finds staging empty or short.
+  void FlushStaging();
+  void Flush() {
+    if (!staging_.empty()) {
+      FlushStaging();
+    }
+  }
+
+  // Index of the smallest child of heap_[i], or n if i is a leaf.
+  std::size_t MinChild(std::size_t i, std::size_t n) const {
+    const std::size_t first = 4 * i + 1;
+    if (first >= n) {
+      return n;
+    }
+    if (first + 4 <= n) {
+      // Interior node: all four children exist, no bounds checks needed.
+      const std::size_t a =
+          Earlier(heap_[first + 1], heap_[first]) ? first + 1 : first;
+      const std::size_t b =
+          Earlier(heap_[first + 3], heap_[first + 2]) ? first + 3 : first + 2;
+      return Earlier(heap_[b], heap_[a]) ? b : a;
+    }
+    std::size_t best = first;
+    for (std::size_t child = first + 1; child < n; ++child) {
+      if (Earlier(heap_[child], heap_[best])) {
+        best = child;
+      }
+    }
+    return best;
+  }
+
+  void SiftUp(std::size_t i);
+  void SiftDown(std::size_t i);
+
+  // Removes the root via a hole sift: walk the hole at the root down to a
+  // leaf pulling the smaller child up (3 compares per level, no compare
+  // against a sinking entry), then drop the detached last element into the
+  // hole and float it up — since it came from the leaf level it rarely moves
+  // more than a step.
+  void PopRoot() {
+    const HeapEntry last = heap_.back();
+    heap_.pop_back();
+    const std::size_t n = heap_.size();
+    if (n == 0) {
+      return;
+    }
+    std::size_t hole = 0;
+    for (;;) {
+      const std::size_t best = MinChild(hole, n);
+      if (best >= n) {
+        break;
+      }
+      heap_[hole] = heap_[best];
+      hole = best;
+    }
+    heap_[hole] = last;
+    SiftUp(hole);
+  }
+  // Drops orphaned entries sitting at the root so heap_[0] is live.
+  void SkipDead() {
+    while (!heap_.empty() && !IsLive(heap_[0])) {
+      PopRoot();
+      --dead_in_heap_;
+    }
+  }
+  // Rebuilds the heap without orphans once they outnumber live entries 2:1.
+  void MaybeCompact();
+
+  std::vector<Slot> slots_;
+  std::vector<HeapEntry> heap_;
+  // Pushes since the last Pop/NextTime, not yet heap-ordered.
+  std::vector<HeapEntry> staging_;
+  std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
   std::size_t live_count_ = 0;
+  std::size_t dead_in_heap_ = 0;
 };
+
+template <typename F>
+inline EventId EventQueue::Push(SimTime at, F&& fn) {
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = slots_[slot].link;
+  } else {
+    assert(slots_.size() < kNoSlot && "slot index space exhausted");
+    slot = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& s = slots_[slot];
+  if constexpr (std::is_same_v<std::remove_cvref_t<F>, EventFn>) {
+    s.fn = std::forward<F>(fn);  // rvalue required: EventFn is move-only
+  } else {
+    s.fn.Emplace(std::forward<F>(fn));
+  }
+  staging_.push_back(HeapEntry{at, next_seq_++, slot, s.generation});
+  s.link = static_cast<std::uint32_t>(staging_.size());  // staging index + 1
+  ++live_count_;
+  return (static_cast<EventId>(s.generation) << 32) | slot;
+}
+
+inline bool EventQueue::Cancel(EventId id) {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return false;
+  }
+  const std::uint32_t staged = slots_[slot].link;
+  ReleaseSlot(slot);
+  --live_count_;
+  if (staged != 0) {
+    // Still in the staging buffer: remove it outright by swapping the tail
+    // into its place — no heap entry ever existed for it.
+    const std::size_t pos = staged - 1;
+    if (pos + 1 != staging_.size()) {
+      staging_[pos] = staging_.back();
+      slots_[staging_[pos].slot].link = staged;
+    }
+    staging_.pop_back();
+    return true;
+  }
+  ++dead_in_heap_;
+  MaybeCompact();
+  return true;
+}
+
+inline void EventQueue::SiftUp(std::size_t i) {
+  HeapEntry entry = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!Earlier(entry, heap_[parent])) {
+      break;
+    }
+    heap_[i] = heap_[parent];
+    i = parent;
+  }
+  heap_[i] = entry;
+}
+
+inline SimTime EventQueue::NextTime() {
+  Flush();
+  SkipDead();
+  assert(!heap_.empty() && "NextTime() on empty queue");
+  return heap_[0].at;
+}
+
+inline EventQueue::Entry EventQueue::Pop() {
+  Flush();
+  SkipDead();
+  assert(!heap_.empty() && "Pop() on empty queue");
+  const HeapEntry top = heap_[0];
+  PopRoot();
+  Slot& s = slots_[top.slot];
+  Entry entry{top.at,
+              (static_cast<EventId>(top.generation) << 32) | top.slot,
+              std::move(s.fn)};
+  ReleaseSlot(top.slot);
+  --live_count_;
+  return entry;
+}
 
 }  // namespace dcs
 

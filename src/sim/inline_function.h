@@ -1,0 +1,159 @@
+// A move-only callable wrapper with small-buffer storage.
+//
+// std::function heap-allocates any callable whose captures exceed its
+// (implementation-defined, typically 16-byte) inline buffer, which puts a
+// malloc/free pair on every Push/Pop of the event queue for the common
+// "[this, pid, deadline]"-sized lambdas the kernel schedules.  This wrapper
+// stores callables up to InlineBytes in place — no allocation, no pointer
+// chase on invoke — and falls back to the heap only for oversized or
+// non-trivially-copyable ones.
+//
+// Inline storage is restricted to trivially copyable callables (which every
+// capture list of references, pointers and scalars is) so that moving a
+// wrapper is a plain fixed-size memcpy plus a pointer assignment: no virtual
+// dispatch, no per-type relocate function, and destroying a moved-from or
+// inline wrapper is free.  Only heap-boxed callables carry a destroy hook.
+//
+// Move-only on purpose: event callbacks capture raw pointers into simulator
+// state, so the copyability std::function demands is a hazard, not a feature.
+
+#ifndef SRC_SIM_INLINE_FUNCTION_H_
+#define SRC_SIM_INLINE_FUNCTION_H_
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace dcs {
+
+template <typename Signature, std::size_t InlineBytes>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t InlineBytes>
+class InlineFunction<R(Args...), InlineBytes> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  InlineFunction& operator=(std::nullptr_t) {
+    Reset();
+    return *this;
+  }
+
+  // Wraps any callable invocable as R(Args...).  Trivially copyable
+  // callables that fit the inline buffer live in it; anything else is boxed
+  // on the heap.  Lvalue callables are copied in, rvalues moved.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  InlineFunction(F&& f) {  // NOLINT(google-explicit-constructor)
+    Construct(std::forward<F>(f));
+  }
+
+  // Replaces the held callable, building the new one directly in the buffer
+  // — what Push-style sinks want instead of materialize-then-move.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, InlineFunction> &&
+                std::is_invocable_r_v<R, std::decay_t<F>&, Args...>>>
+  void Emplace(F&& f) {
+    Reset();
+    Construct(std::forward<F>(f));
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { MoveFrom(other); }
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+  ~InlineFunction() { Reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  R operator()(Args... args) {
+    return ops_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+ private:
+  template <typename F>
+  void Construct(F&& f) {
+    using D = std::decay_t<F>;
+    if constexpr (sizeof(D) <= InlineBytes &&
+                  alignof(D) <= alignof(std::max_align_t) &&
+                  std::is_trivially_copyable_v<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(f));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(f)));
+      ops_ = &kHeapOps<D>;
+    }
+  }
+
+  struct Ops {
+    R (*invoke)(void*, Args&&...);
+    // Null for inline callables: they are trivially copyable, so dropping
+    // the storage is destruction enough.  Heap-boxed callables delete here.
+    void (*destroy)(void*);
+  };
+
+  template <typename D>
+  static D* Stored(void* s) {
+    return std::launder(reinterpret_cast<D*>(s));
+  }
+  template <typename D>
+  static D* Boxed(void* s) {
+    return *std::launder(reinterpret_cast<D**>(s));
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      [](void* s, Args&&... args) -> R {
+        return (*Stored<D>(s))(std::forward<Args>(args)...);
+      },
+      nullptr,
+  };
+
+  template <typename D>
+  static constexpr Ops kHeapOps = {
+      [](void* s, Args&&... args) -> R {
+        return (*Boxed<D>(s))(std::forward<Args>(args)...);
+      },
+      [](void* s) { delete Boxed<D>(s); },
+  };
+
+  void Reset() {
+    if (ops_ != nullptr && ops_->destroy != nullptr) {
+      ops_->destroy(storage_);
+    }
+    ops_ = nullptr;
+  }
+
+  // Relocation: inline callables are trivially copyable and heap boxes are a
+  // raw pointer, so a byte copy of the buffer transfers ownership either
+  // way.  The memcpy is unconditional — fixed size, no branch — and copies
+  // the buffer's unused tail too; those indeterminate bytes are never
+  // interpreted (gcc's -Wmaybe-uninitialized flags exactly that, hence the
+  // pragma).  An empty wrapper's bytes are harmless because ops_ stays null.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#pragma GCC diagnostic ignored "-Wuninitialized"
+  void MoveFrom(InlineFunction& other) noexcept {
+    std::memcpy(storage_, other.storage_, InlineBytes);
+    ops_ = std::exchange(other.ops_, nullptr);
+  }
+#pragma GCC diagnostic pop
+
+  alignas(std::max_align_t) std::byte storage_[InlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace dcs
+
+#endif  // SRC_SIM_INLINE_FUNCTION_H_

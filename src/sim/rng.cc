@@ -13,8 +13,6 @@ std::uint64_t SplitMix64(std::uint64_t& x) {
   return z ^ (z >> 31);
 }
 
-std::uint64_t Rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
-
 }  // namespace
 
 Rng::Rng(std::uint64_t seed) {
@@ -24,40 +22,6 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
-std::uint64_t Rng::Next() {
-  const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = Rotl(s_[3], 45);
-  return result;
-}
-
-double Rng::NextDouble() {
-  // 53 random mantissa bits -> uniform on [0, 1).
-  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
-}
-
-std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
-  const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
-  if (range == 0) {
-    // Full 64-bit range requested.
-    return static_cast<std::int64_t>(Next());
-  }
-  // Rejection sampling to remove modulo bias.
-  const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
-  std::uint64_t draw;
-  do {
-    draw = Next();
-  } while (draw >= limit);
-  return lo + static_cast<std::int64_t>(draw % range);
-}
-
-double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
-
 bool Rng::Bernoulli(double p) {
   if (p <= 0.0) {
     return false;
@@ -66,17 +30,6 @@ bool Rng::Bernoulli(double p) {
     return true;
   }
   return NextDouble() < p;
-}
-
-double Rng::Gaussian(double mean, double stddev) {
-  // Box-Muller; u1 is kept away from 0 so log() stays finite.
-  double u1 = NextDouble();
-  const double u2 = NextDouble();
-  if (u1 < 1e-300) {
-    u1 = 1e-300;
-  }
-  const double mag = std::sqrt(-2.0 * std::log(u1));
-  return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
 }
 
 double Rng::Exponential(double mean) {

@@ -9,6 +9,7 @@
 #ifndef SRC_SIM_RNG_H_
 #define SRC_SIM_RNG_H_
 
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
@@ -22,24 +23,65 @@ class Rng {
   // any seed (including 0) yields a well-mixed state.
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+  // The draw primitives and the distributions on the simulation hot path
+  // (event scheduling, workload generation, DAQ noise) are defined inline so
+  // call sites can fold constant ranges — e.g. `% range` compiles to a
+  // multiply-shift when the range is a literal.  The arithmetic is identical
+  // to the out-of-line originals, so every stream is bit-for-bit unchanged.
+
   // Uniform 64-bit draw.
-  std::uint64_t Next();
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
 
   // Uniform double in [0, 1).
-  double NextDouble();
+  double NextDouble() {
+    // 53 random mantissa bits -> uniform on [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
 
   // Uniform integer in [lo, hi] (inclusive).  Requires lo <= hi.
-  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi) {
+    const std::uint64_t range = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (range == 0) {
+      // Full 64-bit range requested.
+      return static_cast<std::int64_t>(Next());
+    }
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t limit = UINT64_MAX - UINT64_MAX % range;
+    std::uint64_t draw;
+    do {
+      draw = Next();
+    } while (draw >= limit);
+    return lo + static_cast<std::int64_t>(draw % range);
+  }
 
   // Uniform double in [lo, hi).
-  double Uniform(double lo, double hi);
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
 
   // true with probability p (clamped to [0,1]).
   bool Bernoulli(double p);
 
   // Gaussian via Box-Muller (no cached spare: keeps the state stream
   // position a pure function of the number of calls).
-  double Gaussian(double mean, double stddev);
+  double Gaussian(double mean, double stddev) {
+    // u1 is kept away from 0 so log() stays finite.
+    double u1 = NextDouble();
+    const double u2 = NextDouble();
+    if (u1 < 1e-300) {
+      u1 = 1e-300;
+    }
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * mag * std::cos(2.0 * M_PI * u2);
+  }
 
   // Exponential with given mean (> 0).
   double Exponential(double mean);
@@ -64,6 +106,10 @@ class Rng {
   }
 
  private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::uint64_t s_[4];
 };
 

@@ -4,14 +4,14 @@
 
 namespace dcs {
 
-EventId Simulator::At(SimTime at, std::function<void()> fn) {
+EventId Simulator::At(SimTime at, EventFn fn) {
   if (at < now_) {
     at = now_;
   }
   return queue_.Push(at, std::move(fn));
 }
 
-EventId Simulator::After(SimTime delay, std::function<void()> fn) {
+EventId Simulator::After(SimTime delay, EventFn fn) {
   return At(now_ + delay, std::move(fn));
 }
 

@@ -8,7 +8,6 @@
 #define SRC_SIM_SIMULATOR_H_
 
 #include <atomic>
-#include <functional>
 #include <stdexcept>
 
 #include "src/sim/event_queue.h"
@@ -36,11 +35,12 @@ class Simulator {
 
   // Schedules `fn` at absolute time `at`.  Scheduling in the past (at < Now())
   // fires the event at Now(); this mirrors hardware timers that raise an
-  // already-expired deadline immediately.
-  EventId At(SimTime at, std::function<void()> fn);
+  // already-expired deadline immediately.  Any callable converts to EventFn;
+  // captures up to 48 bytes are stored without allocating.
+  EventId At(SimTime at, EventFn fn);
 
   // Schedules `fn` `delay` after Now().
-  EventId After(SimTime delay, std::function<void()> fn);
+  EventId After(SimTime delay, EventFn fn);
 
   // Cancels a pending event.  Returns true if it was still pending.
   bool Cancel(EventId id);

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "src/daq/stats.h"
+#include "src/fault/fault_injector.h"
+#include "src/sim/rng.h"
 
 namespace dcs {
 namespace {
@@ -150,6 +152,61 @@ TEST_P(DaqNoisePropertyTest, EnergyMatchesAverageTimesTime) {
 
 INSTANTIATE_TEST_SUITE_P(NoiseSweep, DaqNoisePropertyTest,
                          ::testing::Values(0.0, 0.5, 1.0, 2.0, 4.0));
+
+TEST(DaqTest, FastPathMatchesFaultPathWhenNothingDrops) {
+  // SamplePowerWatts takes a branch-free fast path when no fault injector is
+  // bound.  A bound injector whose drop probability is zero must produce the
+  // exact same bytes — the fast path is an optimisation, not a behaviour.
+  Rng rng(0xFA57);
+  PowerTape tape;
+  SimTime t = SimTime::Zero();
+  for (int i = 0; i < 300; ++i) {
+    tape.Set(t, rng.Uniform(0.1, 2.5));
+    t += SimTime::Micros(rng.UniformInt(100, 9'000));
+  }
+  Daq fast;
+  FaultPlan plan;  // all probabilities zero: DropSample() never fires
+  FaultInjector injector(plan);
+  Daq faulted;
+  faulted.BindFaults(&injector);
+  const auto a = fast.SamplePowerWatts(tape, SimTime::Zero(), t);
+  const auto b = faulted.SamplePowerWatts(tape, SimTime::Zero(), t);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i], b[i]) << "sample " << i;
+  }
+  EXPECT_EQ(faulted.dropped_samples(), 0u);
+}
+
+TEST(DaqTest, ZeroNoiseSamplingMatchesQuantisedTape) {
+  // With noise off, each sample is the tape's instantaneous power pushed
+  // through the two ADC quantisers — recompute that pipeline per sample with
+  // plain WattsAt and demand bitwise equality with the cursor-driven loop.
+  Rng rng(0xFA58);
+  PowerTape tape;
+  SimTime t = SimTime::Zero();
+  for (int i = 0; i < 200; ++i) {
+    tape.Set(t, rng.Uniform(0.1, 2.5));
+    t += SimTime::Micros(rng.UniformInt(100, 9'000));
+  }
+  DaqConfig config;
+  config.noise_lsb = 0.0;
+  Daq daq(config);
+  const auto samples = daq.SamplePowerWatts(tape, SimTime::Zero(), t);
+  const double steps = std::pow(2.0, config.adc_bits);
+  const double shunt_lsb = 2.0 * config.shunt_range_volts / steps;
+  const double supply_lsb = config.supply_range_volts / steps;
+  const double period_s = 1.0 / config.sample_hz;
+  ASSERT_FALSE(samples.empty());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const SimTime at = SimTime::Zero() + SimTime::FromSecondsF(i * period_s);
+    const double watts = tape.WattsAt(at);
+    const double shunt_v =
+        std::round(watts / config.supply_volts * config.shunt_ohms / shunt_lsb) * shunt_lsb;
+    const double supply_v = std::round(config.supply_volts / supply_lsb) * supply_lsb;
+    ASSERT_EQ(samples[i], shunt_v / config.shunt_ohms * supply_v) << "sample " << i;
+  }
+}
 
 TEST(GpioTriggerTest, LatchesWindowsFromEdges) {
   Gpio gpio;

@@ -19,7 +19,8 @@ set -eu
 build_dir="${1:-build}"
 golden_dir="$(cd "$(dirname "$0")" && pwd)"
 
-for bench in tab1_avg9_actions tab2_energy_summary fig9_utilization_vs_freq; do
+for bench in tab1_avg9_actions tab2_energy_summary fig9_utilization_vs_freq \
+             fig8_best_policy_trace; do
   binary="$build_dir/bench/$bench"
   if [ ! -x "$binary" ]; then
     echo "error: $binary not built (run: cmake --build $build_dir -j)" >&2
@@ -28,4 +29,21 @@ for bench in tab1_avg9_actions tab2_energy_summary fig9_utilization_vs_freq; do
   echo "regenerating $bench.txt" >&2
   "$binary" --threads=1 > "$golden_dir/$bench.txt"
 done
+
+# Observability artifacts: commit the metrics JSON verbatim; the Chrome
+# traces are large, so only their digests go into obs_artifacts.sha256.
+tmp_dir="$(mktemp -d)"
+trap 'rm -rf "$tmp_dir"' EXIT
+: > "$golden_dir/obs_artifacts.sha256"
+regen_artifacts() {
+  bench="$1"
+  artifact="$2"
+  echo "regenerating $artifact artifacts" >&2
+  "$build_dir/bench/$bench" --threads=1 \
+      --trace-out="$tmp_dir/$artifact.trace.json" \
+      --metrics-out="$golden_dir/$artifact.metrics.json" > /dev/null
+  (cd "$tmp_dir" && sha256sum "$artifact.trace.json") >> "$golden_dir/obs_artifacts.sha256"
+}
+regen_artifacts fig8_best_policy_trace fig8_past_peg_peg
+regen_artifacts tab2_energy_summary tab2_energy_summary
 echo "done — review with: git diff tests/golden/" >&2

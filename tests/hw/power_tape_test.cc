@@ -173,6 +173,127 @@ TEST(PowerTapePropertyTest, RedundantSetsDoNotChangeTheRecord) {
   }
 }
 
+// The pre-prefix-array implementation of EnergyJoules: a full scan over
+// every stored segment.  The prefix-based version promises bitwise-identical
+// results (it performs the same additions in the same order), so the
+// differential below asserts exact equality, not a tolerance.
+double NaiveScanEnergy(const PowerTape& tape, SimTime begin, SimTime end) {
+  const auto& segments = tape.segments();
+  if (segments.empty() || end <= begin) {
+    return 0.0;
+  }
+  double joules = 0.0;
+  for (std::size_t i = 0; i < segments.size(); ++i) {
+    const SimTime seg_begin = std::max(segments[i].start, begin);
+    const SimTime seg_end =
+        std::min(i + 1 < segments.size() ? segments[i + 1].start : end, end);
+    if (seg_end > seg_begin) {
+      joules += segments[i].watts * (seg_end - seg_begin).ToSeconds();
+    }
+  }
+  return joules;
+}
+
+// Builds a tape that exercises every Set() edge: merges, same-instant
+// overwrites (collapse), and collapses that re-merge with the previous
+// segment (the prefix_ pop_back path).
+SimTime BuildCollapsingTape(Rng& rng, PowerTape* tape, int count) {
+  SimTime t = SimTime::Micros(rng.UniformInt(0, 50));
+  double watts = rng.Uniform(0.1, 3.0);
+  tape->Set(t, watts);
+  for (int i = 0; i < count; ++i) {
+    const double roll = rng.NextDouble();
+    if (roll < 0.25) {
+      // Same-instant overwrite, possibly back to the previous power.
+      const double prev = tape->segments().size() >= 2
+                              ? tape->segments()[tape->segments().size() - 2].watts
+                              : watts;
+      watts = rng.NextDouble() < 0.4 ? prev : rng.Uniform(0.1, 3.0);
+      tape->Set(t, watts);
+    } else {
+      t += SimTime::Micros(rng.UniformInt(1, 4'000));
+      watts = roll < 0.45 ? watts : rng.Uniform(0.1, 3.0);
+      tape->Set(t, watts);
+    }
+  }
+  return t;
+}
+
+TEST(PowerTapePropertyTest, PrefixEnergyBitwiseMatchesNaiveScan) {
+  Rng rng(0xDC8);
+  for (int trial = 0; trial < 60; ++trial) {
+    PowerTape tape;
+    const SimTime last = BuildCollapsingTape(rng, &tape, 120);
+    // Probe windows of every shape: from before the tape, starting exactly
+    // at the first segment, mid-tape, and past the end.
+    const SimTime first = tape.segments().front().start;
+    for (int probe = 0; probe < 30; ++probe) {
+      const SimTime a = SimTime::Micros(rng.UniformInt(0, last.micros() + 2'000));
+      const SimTime b = SimTime::Micros(rng.UniformInt(0, last.micros() + 2'000));
+      const SimTime begin = std::min(a, b);
+      const SimTime end = std::max(a, b);
+      EXPECT_EQ(tape.EnergyJoules(begin, end), NaiveScanEnergy(tape, begin, end))
+          << "trial " << trial << " probe " << probe;
+      if (end > begin) {
+        EXPECT_EQ(tape.AverageWatts(begin, end),
+                  NaiveScanEnergy(tape, begin, end) / (end - begin).ToSeconds());
+      }
+    }
+    EXPECT_EQ(tape.EnergyJoules(SimTime::Zero(), last),
+              NaiveScanEnergy(tape, SimTime::Zero(), last));
+    EXPECT_EQ(tape.EnergyJoules(first, last), NaiveScanEnergy(tape, first, last));
+    EXPECT_EQ(tape.EnergyJoules(first, first + SimTime::Micros(1)),
+              NaiveScanEnergy(tape, first, first + SimTime::Micros(1)));
+  }
+}
+
+TEST(PowerTapeTest, PrefixSurvivesSameInstantCollapseAndRemerge) {
+  // Deterministic walk through the collapse edge cases, checking the energy
+  // record after each mutation (a stale prefix entry would corrupt it).
+  PowerTape tape;
+  tape.Set(SimTime::Seconds(0), 1.0);
+  tape.Set(SimTime::Seconds(1), 2.0);
+  tape.Set(SimTime::Seconds(1), 3.0);  // collapse: overwrite open segment
+  EXPECT_EQ(tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(2)),
+            NaiveScanEnergy(tape, SimTime::Zero(), SimTime::Seconds(2)));
+  EXPECT_DOUBLE_EQ(tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(2)), 4.0);
+  tape.Set(SimTime::Seconds(1), 1.0);  // collapse + re-merge with segment 0
+  ASSERT_EQ(tape.segments().size(), 1u);
+  EXPECT_DOUBLE_EQ(tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(2)), 2.0);
+  tape.Set(SimTime::Seconds(3), 5.0);  // append after the pop_back path
+  EXPECT_EQ(tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(4)),
+            NaiveScanEnergy(tape, SimTime::Zero(), SimTime::Seconds(4)));
+  EXPECT_DOUBLE_EQ(tape.EnergyJoules(SimTime::Zero(), SimTime::Seconds(4)), 8.0);
+}
+
+TEST(PowerTapeTest, CursorMatchesWattsAtOnSequentialReads) {
+  Rng rng(0xDC9);
+  PowerTape tape;
+  const SimTime last = BuildRandomTape(rng, &tape, 200);
+  PowerTape::Cursor cursor(tape);
+  SimTime t = SimTime::Zero();
+  while (t < last + SimTime::Millis(1)) {
+    EXPECT_EQ(cursor.WattsAt(t), tape.WattsAt(t)) << "t=" << t.micros();
+    t += SimTime::Micros(rng.UniformInt(0, 700));
+  }
+}
+
+TEST(PowerTapeTest, CursorResyncsOnBackwardsQueryAndSeesAppends) {
+  PowerTape tape;
+  tape.Set(SimTime::Seconds(1), 1.0);
+  tape.Set(SimTime::Seconds(2), 2.0);
+  tape.Set(SimTime::Seconds(3), 3.0);
+  PowerTape::Cursor cursor(tape);
+  EXPECT_EQ(cursor.WattsAt(SimTime::Millis(500)), 0.0);  // before first
+  EXPECT_EQ(cursor.WattsAt(SimTime::Seconds(3)), 3.0);
+  EXPECT_EQ(cursor.WattsAt(SimTime::Millis(1'500)), 1.0);  // backwards re-sync
+  EXPECT_EQ(cursor.WattsAt(SimTime::Millis(2'500)), 2.0);
+  tape.Set(SimTime::Seconds(4), 4.0);  // appended after cursor creation
+  EXPECT_EQ(cursor.WattsAt(SimTime::Seconds(5)), 4.0);
+  EXPECT_EQ(cursor.WattsAt(SimTime::Millis(100)), 0.0);  // backwards to before first
+  EXPECT_EQ(cursor.WattsAt(SimTime::Seconds(2)), 2.0);
+}
+
 // The paper's 5 kHz DAQ pipeline, fed by random tapes with noise disabled,
 // converges on the tape's analytic energy as the sample rate rises: the
 // rectangle-rule error shrinks roughly linearly with the sample period.

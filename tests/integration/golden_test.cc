@@ -118,6 +118,10 @@ void ExpectGolden(const std::string& bench, const std::string& args) {
 
 TEST(GoldenTest, Tab1Avg9Actions) { ExpectGolden("tab1_avg9_actions", ""); }
 
+TEST(GoldenTest, Fig8BestPolicyTrace) {
+  ExpectGolden("fig8_best_policy_trace", "--threads=2");
+}
+
 TEST(GoldenTest, Fig9UtilizationVsFreq) {
   ExpectGolden("fig9_utilization_vs_freq", "--threads=2");
 }
@@ -135,6 +139,85 @@ TEST(GoldenTest, Fig9WithExplicitNoFaults) {
 
 TEST(GoldenTest, Tab2WithExplicitNoFaults) {
   ExpectGolden("tab2_energy_summary", "--threads=2 --faults=none");
+}
+
+// ---------------------------------------------------------------------------
+// Artifact byte-identity: beyond stdout, the exported observability files
+// (--trace-out / --metrics-out) must be byte-for-byte reproducible.  The
+// metrics JSON is compared directly against a committed golden; the Chrome
+// traces are large, so only their sha256 digests are committed
+// (tests/golden/obs_artifacts.sha256) and recomputed here.
+
+std::string Sha256Of(const std::string& path) {
+  const std::string out = RunAndCapture("sha256sum " + path);
+  const std::size_t space = out.find(' ');
+  return space == std::string::npos ? out : out.substr(0, space);
+}
+
+// Parses "hash  name" lines from obs_artifacts.sha256 into (name -> hash).
+std::string GoldenShaFor(const std::string& artifact_name) {
+  std::string listing;
+  if (!ReadFile(GoldenDir() + "/obs_artifacts.sha256", &listing)) {
+    ADD_FAILURE() << "missing " << GoldenDir() << "/obs_artifacts.sha256";
+    return "";
+  }
+  std::istringstream lines(listing);
+  std::string line;
+  while (std::getline(lines, line)) {
+    const std::size_t space = line.find(' ');
+    if (space == std::string::npos) {
+      continue;
+    }
+    std::string name = line.substr(space);
+    name.erase(0, name.find_first_not_of(" \t"));
+    if (name == artifact_name) {
+      return line.substr(0, space);
+    }
+  }
+  ADD_FAILURE() << artifact_name << " not listed in obs_artifacts.sha256";
+  return "";
+}
+
+void ExpectArtifactsGolden(const std::string& bench, const std::string& artifact,
+                           const std::string& args) {
+  const std::string dir = ::testing::TempDir();
+  const std::string trace_path = dir + "/" + artifact + ".trace.json";
+  const std::string metrics_path = dir + "/" + artifact + ".metrics.json";
+  const std::string command = BenchDir() + "/" + bench + " " + args +
+                              " --trace-out=" + trace_path +
+                              " --metrics-out=" + metrics_path +
+                              " > /dev/null 2>/dev/null";
+  RunAndCapture(command);
+
+  std::string golden_metrics;
+  ASSERT_TRUE(ReadFile(GoldenDir() + "/" + artifact + ".metrics.json", &golden_metrics))
+      << "missing golden metrics for " << artifact;
+  std::string actual_metrics;
+  ASSERT_TRUE(ReadFile(metrics_path, &actual_metrics))
+      << bench << " did not write " << metrics_path;
+  ExpectSameText(golden_metrics, actual_metrics, artifact + ".metrics.json");
+
+  const std::string want_sha = GoldenShaFor(artifact + ".trace.json");
+  if (!want_sha.empty()) {
+    EXPECT_EQ(Sha256Of(trace_path), want_sha)
+        << artifact << ".trace.json changed — if intentional, regenerate "
+           "with tests/golden/update.sh and review the diff";
+  }
+  std::remove(trace_path.c_str());
+  std::remove(metrics_path.c_str());
+}
+
+TEST(GoldenTest, Fig8ArtifactsByteIdentical) {
+  ExpectArtifactsGolden("fig8_best_policy_trace", "fig8_past_peg_peg", "--threads=1");
+}
+
+TEST(GoldenTest, Tab2ArtifactsByteIdentical) {
+  ExpectArtifactsGolden("tab2_energy_summary", "tab2_energy_summary", "--threads=1");
+}
+
+// Thread-count invariance extends to the artifacts, not just stdout.
+TEST(GoldenTest, Tab2ArtifactsThreadInvariant) {
+  ExpectArtifactsGolden("tab2_energy_summary", "tab2_energy_summary", "--threads=2");
 }
 
 }  // namespace

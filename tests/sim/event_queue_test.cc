@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <vector>
+
+#include "src/sim/rng.h"
 
 namespace dcs {
 namespace {
@@ -162,6 +166,163 @@ TEST(EventQueueTest, ManyEventsStressOrdering) {
     EXPECT_GE(t, last);
     last = t;
   }
+}
+
+TEST(EventQueueTest, MillionCancelsKeepDeadEntriesBounded) {
+  // Regression for the unbounded-heap hazard: a workload that cancels almost
+  // everything it schedules (timeouts that rarely fire) used to leave one
+  // lazily-deleted heap entry per cancel, so the heap grew without bound.
+  // MaybeCompact promises dead <= 2 * live + slack at all times.
+  EventQueue q;
+  Rng rng(0xC0FFEEu);
+  std::vector<EventId> pending;
+  std::size_t cancelled = 0;
+  std::size_t max_dead = 0;
+  while (cancelled < 1'000'000) {
+    // Keep ~64 live events and cancel everything else before it fires.
+    while (pending.size() < 64) {
+      pending.push_back(
+          q.Push(SimTime::Micros(rng.UniformInt(0, 1'000'000)), [] {}));
+    }
+    // Force the staged entries into the heap so the cancels below exercise
+    // the lazy-delete path, not the staging swap-erase.
+    (void)q.NextTime();
+    for (int i = 0; i < 48; ++i) {
+      const std::size_t victim =
+          static_cast<std::size_t>(rng.UniformInt(0, static_cast<std::int64_t>(pending.size()) - 1));
+      ASSERT_TRUE(q.Cancel(pending[victim]));
+      pending[victim] = pending.back();
+      pending.pop_back();
+      ++cancelled;
+    }
+    max_dead = std::max(max_dead, q.dead_entries());
+    ASSERT_LE(q.dead_entries(), 2 * q.Size() + 64)
+        << "after " << cancelled << " cancels";
+  }
+  EXPECT_LE(max_dead, 2 * 64 + 64);
+  EXPECT_EQ(q.Size(), pending.size());
+}
+
+// Reference model for the differential test: a sorted vector ordered by
+// (time, push sequence), the queue's documented pop order.
+struct RefModel {
+  struct Ev {
+    SimTime at;
+    std::uint64_t seq;
+    EventId id;
+    int payload;
+  };
+  std::vector<Ev> events;  // kept sorted by (at, seq)
+  std::uint64_t next_seq = 0;
+
+  void Push(SimTime at, EventId id, int payload) {
+    const Ev ev{at, next_seq++, id, payload};
+    const auto pos = std::upper_bound(
+        events.begin(), events.end(), ev, [](const Ev& a, const Ev& b) {
+          return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+        });
+    events.insert(pos, ev);
+  }
+  bool Cancel(EventId id) {
+    const auto it = std::find_if(events.begin(), events.end(),
+                                 [id](const Ev& e) { return e.id == id; });
+    if (it == events.end()) {
+      return false;
+    }
+    events.erase(it);
+    return true;
+  }
+  Ev Pop() {
+    const Ev front = events.front();
+    events.erase(events.begin());
+    return front;
+  }
+  void Clear() {
+    events.clear();
+    next_seq = 0;  // a cleared queue ties like a fresh one
+  }
+};
+
+TEST(EventQueueTest, RandomizedDifferentialAgainstSortedVector) {
+  // Drives random push/cancel/pop/Clear interleavings against the reference
+  // model above and demands identical observable behaviour: sizes, pop order
+  // (including FIFO tie-breaks — times are drawn from a tiny range so ties
+  // are common), which callback fired, and cancel return values for live,
+  // popped, cancelled, and pre-Clear ids.
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    EventQueue q;
+    RefModel ref;
+    Rng rng(seed);
+    std::vector<EventId> stale;  // ids no longer live: must all Cancel()==false
+    std::vector<int> fired;
+    int next_payload = 0;
+    for (int step = 0; step < 20'000; ++step) {
+      const std::int64_t r = rng.UniformInt(0, 99);
+      if (r < 45 || ref.events.empty()) {
+        const SimTime at = SimTime::Micros(rng.UniformInt(0, 15));
+        const int payload = next_payload++;
+        const EventId id =
+            q.Push(at, [&fired, payload] { fired.push_back(payload); });
+        ref.Push(at, id, payload);
+      } else if (r < 70) {
+        const std::size_t victim = static_cast<std::size_t>(
+            rng.UniformInt(0, static_cast<std::int64_t>(ref.events.size()) - 1));
+        const EventId id = ref.events[victim].id;
+        ASSERT_TRUE(ref.Cancel(id));
+        ASSERT_TRUE(q.Cancel(id)) << "step " << step << " seed " << seed;
+        stale.push_back(id);
+      } else if (r < 95) {
+        const RefModel::Ev want = ref.Pop();
+        ASSERT_EQ(q.NextTime(), want.at) << "step " << step << " seed " << seed;
+        auto entry = q.Pop();
+        ASSERT_EQ(entry.at, want.at) << "step " << step << " seed " << seed;
+        ASSERT_EQ(entry.id, want.id) << "step " << step << " seed " << seed;
+        fired.clear();
+        entry.fn();
+        ASSERT_EQ(fired, std::vector<int>{want.payload});
+        stale.push_back(entry.id);
+      } else if (r < 98) {
+        if (!stale.empty()) {
+          const std::size_t i = static_cast<std::size_t>(rng.UniformInt(
+              0, static_cast<std::int64_t>(stale.size()) - 1));
+          EXPECT_FALSE(q.Cancel(stale[i]));
+        }
+      } else {
+        for (const RefModel::Ev& ev : ref.events) {
+          stale.push_back(ev.id);
+        }
+        ref.Clear();
+        q.Clear();
+      }
+      ASSERT_EQ(q.Size(), ref.events.size());
+      ASSERT_EQ(q.Empty(), ref.events.empty());
+    }
+    // Drain: the remaining pops must come out in exact reference order.
+    while (!ref.events.empty()) {
+      const RefModel::Ev want = ref.Pop();
+      auto entry = q.Pop();
+      ASSERT_EQ(entry.at, want.at);
+      ASSERT_EQ(entry.id, want.id);
+    }
+    EXPECT_TRUE(q.Empty());
+  }
+}
+
+TEST(EventQueueTest, CancelWhileStagedThenReuseSlot) {
+  // A push cancelled before any Pop/NextTime never reaches the heap; the
+  // freed slot is immediately reused by the next push.  The stale id must
+  // keep failing even though the slot is live again.
+  EventQueue q;
+  const EventId a = q.Push(SimTime::Millis(1), [] {});
+  const EventId b = q.Push(SimTime::Millis(2), [] {});
+  ASSERT_TRUE(q.Cancel(b));
+  ASSERT_TRUE(q.Cancel(a));
+  const EventId c = q.Push(SimTime::Millis(3), [] {});
+  EXPECT_FALSE(q.Cancel(a));
+  EXPECT_FALSE(q.Cancel(b));
+  EXPECT_EQ(q.dead_entries(), 0u);
+  EXPECT_EQ(q.Pop().id, c);
+  EXPECT_TRUE(q.Empty());
 }
 
 }  // namespace

@@ -1,0 +1,111 @@
+#include "src/sim/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace dcs {
+namespace {
+
+TEST(InlineFunctionTest, DefaultIsEmpty) {
+  InlineFunction<int(), 48> f;
+  EXPECT_FALSE(static_cast<bool>(f));
+  InlineFunction<int(), 48> g = nullptr;
+  EXPECT_FALSE(static_cast<bool>(g));
+}
+
+TEST(InlineFunctionTest, InvokesSmallCaptureInline) {
+  int x = 41;
+  InlineFunction<int(), 48> f([&x] { return x + 1; });
+  ASSERT_TRUE(static_cast<bool>(f));
+  EXPECT_EQ(f(), 42);
+  x = 99;
+  EXPECT_EQ(f(), 100);
+}
+
+TEST(InlineFunctionTest, ForwardsArgumentsAndReturn) {
+  InlineFunction<int(int, int), 48> add([](int a, int b) { return a + b; });
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+TEST(InlineFunctionTest, FourWordCaptureStaysCallable) {
+  // The event-queue hot path stores captures past std::function's 16-byte
+  // SBO but within the 48 inline bytes; they must round-trip through moves.
+  std::uint64_t a = 1, b = 2, c = 3, d = 4;
+  InlineFunction<std::uint64_t(), 48> f(
+      [a, b, c, d] { return a * 1000 + b * 100 + c * 10 + d; });
+  InlineFunction<std::uint64_t(), 48> g = std::move(f);
+  EXPECT_FALSE(static_cast<bool>(f));  // moved-from is empty
+  EXPECT_EQ(g(), 1234u);
+}
+
+TEST(InlineFunctionTest, HeapFallbackForNonTriviallyCopyable) {
+  // A shared_ptr capture is not trivially copyable, so it is heap-boxed.
+  // The box must be destroyed exactly once: on Reset, reassignment, or
+  // destruction — proven by the refcount returning to 1.
+  auto token = std::make_shared<int>(7);
+  {
+    InlineFunction<int(), 48> f([token] { return *token; });
+    EXPECT_EQ(token.use_count(), 2);
+    EXPECT_EQ(f(), 7);
+    InlineFunction<int(), 48> g = std::move(f);
+    EXPECT_EQ(token.use_count(), 2);  // move transfers, never copies the box
+    EXPECT_EQ(g(), 7);
+    g = nullptr;
+    EXPECT_EQ(token.use_count(), 1);
+  }
+  EXPECT_EQ(token.use_count(), 1);
+}
+
+TEST(InlineFunctionTest, OversizeCaptureFallsBackToHeap) {
+  struct Big {
+    char bytes[96] = {};
+    int value = 5;
+  };
+  Big big;
+  big.value = 11;
+  InlineFunction<int(), 48> f([big] { return big.value; });
+  EXPECT_EQ(f(), 11);
+  InlineFunction<int(), 48> g = std::move(f);
+  EXPECT_EQ(g(), 11);
+}
+
+TEST(InlineFunctionTest, MoveAssignDestroysPreviousTarget) {
+  auto old_token = std::make_shared<int>(1);
+  auto new_token = std::make_shared<int>(2);
+  InlineFunction<int(), 48> f([old_token] { return *old_token; });
+  InlineFunction<int(), 48> g([new_token] { return *new_token; });
+  f = std::move(g);
+  EXPECT_EQ(old_token.use_count(), 1);  // old target destroyed
+  EXPECT_EQ(new_token.use_count(), 2);
+  EXPECT_EQ(f(), 2);
+}
+
+TEST(InlineFunctionTest, EmplaceReplacesTarget) {
+  InlineFunction<int(), 48> f([] { return 1; });
+  f.Emplace([] { return 2; });
+  EXPECT_EQ(f(), 2);
+}
+
+TEST(InlineFunctionTest, SelfMoveAssignIsSafe) {
+  InlineFunction<int(), 48> f([] { return 3; });
+  InlineFunction<int(), 48>& alias = f;
+  f = std::move(alias);
+  // Self-move leaves the object valid; it may be empty or keep its target.
+  if (static_cast<bool>(f)) {
+    EXPECT_EQ(f(), 3);
+  }
+}
+
+TEST(InlineFunctionTest, MutableLambdaKeepsStatePerInstance) {
+  InlineFunction<int(), 48> counter([n = 0]() mutable { return ++n; });
+  EXPECT_EQ(counter(), 1);
+  EXPECT_EQ(counter(), 2);
+  InlineFunction<int(), 48> moved = std::move(counter);
+  EXPECT_EQ(moved(), 3);  // state travels with the move
+}
+
+}  // namespace
+}  // namespace dcs
