@@ -32,7 +32,6 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -41,6 +40,7 @@
 #include <vector>
 
 #include "src/exp/experiment.h"
+#include "src/exp/flags.h"
 #include "src/exp/journal.h"
 #include "src/exp/report.h"
 #include "src/exp/sweep.h"
@@ -232,27 +232,25 @@ int RunParent(const char* argv0, std::string workdir, int kills, int kill_after_
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  // One strict FlagSet covers both modes: the parent's orchestration knobs
+  // plus the full sweep/campaign surface the child consumes (--resume,
+  // --threads, ...).  The parent simply ignores the sweep-only flags, and a
+  // typo or duplicate in either mode exits 2 instead of parsing as garbage.
+  dcs::SweepOptions options;
   bool child = false;
   std::string workdir;
   int kills = 2;
   int kill_after_ms = 150;
-  int threads = 2;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strcmp(arg, "--child") == 0) {
-      child = true;
-    } else if (std::strncmp(arg, "--workdir=", 10) == 0) {
-      workdir = arg + 10;
-    } else if (std::strncmp(arg, "--kills=", 8) == 0) {
-      kills = std::atoi(arg + 8);
-    } else if (std::strncmp(arg, "--kill-after-ms=", 16) == 0) {
-      kill_after_ms = std::atoi(arg + 16);
-    } else if (std::strncmp(arg, "--threads=", 10) == 0) {
-      threads = std::atoi(arg + 10);
-    }
-  }
+  dcs::FlagSet flags;
+  dcs::RegisterSweepFlags(flags, &options);
+  flags.Switch("child", &child);
+  flags.String("workdir", &workdir);
+  flags.Int("kills", &kills);
+  flags.Int("kill-after-ms", &kill_after_ms);
+  flags.ParseOrExit(argc, argv);
   if (child) {
-    return dcs::RunChild(dcs::SweepOptionsFromArgs(argc, argv));
+    return dcs::RunChild(options);
   }
+  const int threads = options.threads > 0 ? options.threads : 2;
   return dcs::RunParent(argv[0], workdir, kills, kill_after_ms, threads);
 }

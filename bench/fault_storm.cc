@@ -5,19 +5,20 @@
 // invariant is violated, which is what CI keys on.
 //
 //   --report-out=FILE   write the per-run invariant/injection report to FILE
-//                       (uploaded as a CI artifact)
+//                       (uploaded as a CI artifact; --out is an alias, and
+//                       passing both spellings is a usage error)
 //
 // Plus the standard sweep flags (--threads, --progress, ...).  A --faults
 // spec, if given, is ignored: this bench owns its fault grid.
 
 #include <cstdio>
-#include <cstring>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "src/exp/atomic_io.h"
 #include "src/exp/experiment.h"
+#include "src/exp/flags.h"
 #include "src/exp/report.h"
 #include "src/exp/sweep.h"
 
@@ -125,14 +126,13 @@ int Run(const SweepOptions& options, const std::string& report_out) {
 }  // namespace dcs
 
 int main(int argc, char** argv) {
+  dcs::SweepOptions options;
   std::string report_out;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--report-out=", 13) == 0) {
-      report_out = argv[i] + 13;
-    } else if (std::strcmp(argv[i], "--report-out") == 0 && i + 1 < argc) {
-      report_out = argv[i + 1];
-    }
-  }
+  dcs::FlagSet flags;
+  dcs::RegisterSweepFlags(flags, &options);
+  flags.String("report-out", &report_out);
+  flags.Alias("out", "report-out");
+  flags.ParseOrExit(argc, argv);
   dcs::PrintHeading(std::cout, "Fault storm — invariants under injected hardware faults");
-  return dcs::Run(dcs::SweepOptionsFromArgs(argc, argv), report_out);
+  return dcs::Run(options, report_out);
 }

@@ -1,0 +1,194 @@
+// Server-class open-loop SLO sweep: does the paper's negative result on
+// interval policies survive when utilization is set by a request queue
+// instead of a user?
+//
+// The grid crosses offered load (arrival rate) x SLO x every governor the
+// registry can build (AllGovernorSpecs), on the open-loop server workload
+// (src/workload/server.h).  Each cell reports energy, SLO violations, and
+// the response-time percentiles (log-bucketed, so p50/p95/p99 are bucket
+// upper bounds — within a factor of two).  A second section compares the
+// three arrival grammars (poisson / bursty / selfsimilar) at fixed load,
+// since interval policies react to utilization history and burstiness is
+// exactly what breaks history-based prediction.
+//
+// "Race-to-idle" here is fixed-206.4: run flat out, idle the remainder.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "src/core/governor_registry.h"
+#include "src/exp/experiment.h"
+#include "src/exp/flags.h"
+#include "src/exp/obs_export.h"
+#include "src/exp/report.h"
+#include "src/exp/sweep.h"
+
+namespace dcs {
+namespace {
+
+constexpr const char* kRaceToIdle = "fixed-206.4";
+
+ServerConfig BaseScenario(bool quick) {
+  ServerConfig config;
+  config.duration = quick ? SimTime::Seconds(6) : SimTime::Seconds(20);
+  return config;
+}
+
+ExperimentConfig MakeCell(const ServerConfig& scenario, const std::string& governor,
+                          const SweepOptions& options) {
+  ExperimentConfig config;
+  config.app = "server";
+  config.server = scenario;
+  config.governor = governor;
+  config.seed = 7;
+  config.capture_obs = options.WantsObsCapture();
+  config.faults = options.faults;
+  return config;
+}
+
+// Percentile cell: bucket upper bound in ms ("<=16.4" style would overstate
+// precision; the log-bucket bound is already a ceiling).
+std::string QuantileMs(const LogHistogram& h, double q) {
+  return TextTable::Fixed(h.ApproxQuantile(q) / 1000.0, 1);
+}
+
+const DeadlineMonitor::StreamStats& RequestStats(const ExperimentResult& result) {
+  static const DeadlineMonitor::StreamStats kEmpty;
+  const auto it = result.streams.find("requests");
+  return it == result.streams.end() ? kEmpty : it->second;
+}
+
+// One rate x SLO section over the full governor slate.  Returns the results
+// for artifact export.
+std::vector<ExperimentResult> SweepRateSlo(double rate_rps, SimTime slo, bool quick,
+                                           const SweepOptions& options) {
+  char heading[96];
+  std::snprintf(heading, sizeof(heading), "Open-loop server — %.0f req/s, SLO %.0f ms",
+                rate_rps, slo.ToMicrosF() / 1000.0);
+  PrintHeading(std::cout, heading);
+
+  ServerConfig scenario = BaseScenario(quick);
+  scenario.rate_rps = rate_rps;
+  scenario.slo = slo;
+
+  const std::vector<std::string> governors = AllGovernorSpecs();
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(governors.size());
+  for (const std::string& governor : governors) {
+    configs.push_back(MakeCell(scenario, governor, options));
+  }
+  std::vector<ExperimentResult> results = RunSweep(configs, options);
+
+  TextTable table({"governor", "requests", "violations", "viol %", "p50 ms", "p95 ms",
+                   "p99 ms", "energy (J)", "avg util"});
+  double race_energy = 0.0;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const ExperimentResult& result = results[i];
+    const auto& stats = RequestStats(result);
+    if (governors[i] == kRaceToIdle) {
+      race_energy = result.energy_joules;
+    }
+    table.AddRow({governors[i], std::to_string(stats.total), std::to_string(stats.missed),
+                  TextTable::Percent(stats.MissRate()), QuantileMs(stats.latency_us, 0.50),
+                  QuantileMs(stats.latency_us, 0.95), QuantileMs(stats.latency_us, 0.99),
+                  TextTable::Fixed(result.energy_joules, 2),
+                  TextTable::Percent(result.avg_utilization)});
+  }
+  table.Print(std::cout);
+
+  // The question the grid answers: cheapest governor that still meets the
+  // SLO on every request, vs racing to idle.
+  double best_energy = 0.0;
+  std::string best;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    if (RequestStats(results[i]).missed != 0) {
+      continue;
+    }
+    if (best.empty() || results[i].energy_joules < best_energy) {
+      best = governors[i];
+      best_energy = results[i].energy_joules;
+    }
+  }
+  if (best.empty()) {
+    std::cout << "No governor met the SLO on every request at this load.\n";
+  } else if (race_energy > 0.0) {
+    std::printf("Cheapest zero-violation governor: %s at %.2f J (race-to-idle %s: %.2f J, "
+                "%+.1f%%)\n",
+                best.c_str(), best_energy, kRaceToIdle, race_energy,
+                (best_energy / race_energy - 1.0) * 100.0);
+  }
+  return results;
+}
+
+// Arrival-grammar comparison at fixed load: history-based interval policies
+// vs race-to-idle vs the deadline governor, under progressively burstier
+// traffic.
+std::vector<ExperimentResult> SweepArrivalGrammars(bool quick, const SweepOptions& options) {
+  PrintHeading(std::cout, "Arrival grammar vs policy (160 req/s, SLO 50 ms)");
+  const std::vector<ArrivalProcess> processes = {
+      ArrivalProcess::kPoisson, ArrivalProcess::kBursty, ArrivalProcess::kSelfSimilar};
+  const std::vector<std::string> governors = {kRaceToIdle, "PAST-peg-peg-93-98",
+                                              "AVG9-one-one-50-70", "deadline-vs"};
+  std::vector<ExperimentConfig> configs;
+  for (const ArrivalProcess process : processes) {
+    ServerConfig scenario = BaseScenario(quick);
+    scenario.rate_rps = 160.0;
+    scenario.slo = SimTime::Millis(50);
+    scenario.arrivals = process;
+    for (const std::string& governor : governors) {
+      configs.push_back(MakeCell(scenario, governor, options));
+    }
+  }
+  std::vector<ExperimentResult> results = RunSweep(configs, options);
+
+  TextTable table({"arrivals", "governor", "requests", "violations", "p99 ms", "energy (J)"});
+  std::size_t i = 0;
+  for (const ArrivalProcess process : processes) {
+    for (const std::string& governor : governors) {
+      const ExperimentResult& result = results[i++];
+      const auto& stats = RequestStats(result);
+      table.AddRow({ArrivalProcessName(process), governor, std::to_string(stats.total),
+                    std::to_string(stats.missed), QuantileMs(stats.latency_us, 0.99),
+                    TextTable::Fixed(result.energy_joules, 2)});
+    }
+  }
+  table.Print(std::cout);
+  return results;
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::SweepOptions options;
+  bool quick = false;
+  dcs::FlagSet flags;
+  dcs::RegisterSweepFlags(flags, &options);
+  flags.Switch("quick", &quick);
+  flags.ParseOrExit(argc, argv);
+
+  dcs::PrintHeading(std::cout, "Server SLO sweep — open-loop load vs the governor slate");
+  std::vector<dcs::ExperimentResult> all_results;
+  const std::vector<double> rates = quick ? std::vector<double>{160.0}
+                                          : std::vector<double>{80.0, 160.0, 320.0};
+  const std::vector<dcs::SimTime> slos =
+      quick ? std::vector<dcs::SimTime>{dcs::SimTime::Millis(50)}
+            : std::vector<dcs::SimTime>{dcs::SimTime::Millis(20), dcs::SimTime::Millis(50)};
+  for (const double rate : rates) {
+    for (const dcs::SimTime slo : slos) {
+      for (dcs::ExperimentResult& result : dcs::SweepRateSlo(rate, slo, quick, options)) {
+        all_results.push_back(std::move(result));
+      }
+    }
+  }
+  for (dcs::ExperimentResult& result : dcs::SweepArrivalGrammars(quick, options)) {
+    all_results.push_back(std::move(result));
+  }
+  std::string obs_error;
+  if (!dcs::ExportObsArtifacts(options, all_results, &obs_error)) {
+    std::fprintf(stderr, "[obs] %s\n", obs_error.c_str());
+  }
+  return 0;
+}

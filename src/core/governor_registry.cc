@@ -228,4 +228,27 @@ std::vector<std::string> PaperGovernorSpecs() {
   };
 }
 
+std::vector<std::string> AllGovernorSpecs() {
+  return {
+      "none",
+      "fixed-206.4",
+      "fixed-132.7@1.23",
+      "PAST-peg-peg-93-98",
+      "PAST-peg-peg-93-98-vs",
+      "AVG9-one-one-50-70",
+      "WIN10-peg-peg-93-98",
+      "PAST-double-double-50-70",
+      "cycles4",
+      "satrate4",
+      "deadline",
+      "deadline-vs",
+      "ondemand",
+      "schedutil",
+      "flat-75",
+      "LS-peg-peg-93-98",
+      "CYCLE10-peg-peg-93-98",
+      "PEAK-peg-peg-93-98",
+  };
+}
+
 }  // namespace dcs

@@ -33,6 +33,13 @@ std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* 
 // Specs of the policies highlighted by the paper, for sweep benches.
 std::vector<std::string> PaperGovernorSpecs();
 
+// The full 18-governor slate: every policy family the registry can build —
+// fixed points, the PAST/AVG/WIN/LS/CYCLE/PEAK interval variants, cycle- and
+// saturation-counters, the deadline pair, the Linux-style governors, flat
+// utilization, and "none".  Shared by the fault-storm suite and the server
+// SLO bench so "all governors" means the same thing everywhere.
+std::vector<std::string> AllGovernorSpecs();
+
 }  // namespace dcs
 
 #endif  // SRC_CORE_GOVERNOR_REGISTRY_H_

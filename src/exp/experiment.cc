@@ -15,9 +15,14 @@ namespace dcs {
 
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
   DeadlineMonitor deadlines;
-  AppBundle bundle = config.app == "mpeg" && config.mpeg.has_value()
-                         ? MakeMpegApp(*config.mpeg, &deadlines, config.seed)
-                         : MakeApp(config.app, &deadlines, config.seed);
+  AppBundle bundle;
+  if (config.app == "mpeg" && config.mpeg.has_value()) {
+    bundle = MakeMpegApp(*config.mpeg, &deadlines, config.seed);
+  } else if (config.app == "server" && config.server.has_value()) {
+    bundle = MakeServerApp(*config.server, &deadlines, config.seed);
+  } else {
+    bundle = MakeApp(config.app, &deadlines, config.seed);
+  }
   return RunExperiment(config, std::move(bundle), deadlines);
 }
 
@@ -140,8 +145,16 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
   result.deadline_events = deadlines.TotalEvents();
   result.deadline_misses = deadlines.TotalMissed();
   result.worst_lateness = deadlines.WorstLateness();
+  result.worst_overrun = deadlines.WorstOverrun();
   for (const std::string& stream : deadlines.Streams()) {
     result.streams.emplace(stream, deadlines.Stats(stream));
+    // Streams with response-time tracking (ReportRequest) surface their
+    // latency distribution through the metrics pipeline, so --metrics-out
+    // carries p50/p95/p99/p999 without per-request artifacts.
+    const DeadlineMonitor::StreamStats& stats = result.streams.at(stream);
+    if (stats.latency_us.count() > 0) {
+      metrics.Histogram("latency_us." + stream).MergeFrom(stats.latency_us);
+    }
   }
 
   // Experiment- and simulator-level readings into the registry (simulated

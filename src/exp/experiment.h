@@ -19,11 +19,12 @@
 #include "src/obs/metrics.h"
 #include "src/workload/apps.h"
 #include "src/workload/deadline_monitor.h"
+#include "src/workload/server.h"
 
 namespace dcs {
 
 struct ExperimentConfig {
-  // Application name ("mpeg" | "web" | "chess" | "editor").
+  // Application name ("mpeg" | "web" | "chess" | "editor" | "server").
   std::string app = "mpeg";
   // Governor spec (see governor_registry.h); "none" runs at the initial
   // clock step with no policy installed.
@@ -33,6 +34,8 @@ struct ExperimentConfig {
   std::optional<SimTime> duration;
   // Custom MPEG configuration (only consulted when app == "mpeg").
   std::optional<MpegConfig> mpeg;
+  // Custom server scenario (only consulted when app == "server").
+  std::optional<ServerConfig> server;
   ItsyConfig itsy;
   KernelConfig kernel;
   DaqConfig daq;
@@ -117,10 +120,14 @@ struct ExperimentResult {
   // CPU seconds consumed by each task, keyed "pid:name".
   std::map<std::string, double> task_cpu_seconds;
 
-  // Deadline outcome.
+  // Deadline outcome.  worst_lateness is measured past `deadline +
+  // tolerance` (zero whenever deadline_misses is zero); worst_overrun is
+  // measured past the bare deadline, so it stays a margin-erosion signal for
+  // runs whose events land inside the tolerance window.
   std::int64_t deadline_events = 0;
   std::int64_t deadline_misses = 0;
   SimTime worst_lateness;
+  SimTime worst_overrun;
   std::map<std::string, DeadlineMonitor::StreamStats> streams;
 
   // Recorded series ("utilization", "freq_mhz", "core_volts") for plotting.

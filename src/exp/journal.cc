@@ -149,6 +149,25 @@ std::uint64_t ConfigFingerprint(const ExperimentConfig& c) {
     h.Time(m.av_sync_tolerance);
   }
 
+  h.I32(c.server.has_value() ? 1 : 0);
+  if (c.server.has_value()) {
+    const ServerConfig& s = *c.server;
+    h.I32(static_cast<std::int32_t>(s.arrivals));
+    h.F64(s.rate_rps);
+    h.Time(s.duration);
+    h.Time(s.slo);
+    h.F64(s.service_ms_at_top);
+    h.F64(s.max_service_factor);
+    HashMemoryProfile(h, s.profile);
+    h.F64(s.burst_rate_factor);
+    h.Time(s.calm_dwell_mean);
+    h.Time(s.burst_dwell_mean);
+    h.I32(s.onoff_sources);
+    h.F64(s.pareto_shape);
+    h.Time(s.pareto_on_min);
+    h.Time(s.pareto_off_min);
+  }
+
   const ItsyConfig& i = c.itsy;
   h.F64(i.power.core_dynamic_mw_per_v2mhz);
   h.F64(i.power.core_static_busy_mw);
@@ -204,6 +223,43 @@ std::uint64_t GridFingerprint(const std::vector<ExperimentConfig>& configs) {
 
 namespace {
 
+void SerializeHistogram(const LogHistogram& hist, ByteWriter* out) {
+  out->U64(hist.count());
+  out->F64(hist.sum());
+  out->F64(hist.min());
+  out->F64(hist.max());
+  std::uint32_t nonzero = 0;
+  for (const std::uint64_t b : hist.buckets()) {
+    nonzero += b != 0 ? 1 : 0;
+  }
+  out->U32(nonzero);
+  for (int b = 0; b < LogHistogram::kBuckets; ++b) {
+    if (hist.buckets()[static_cast<std::size_t>(b)] != 0) {
+      out->U32(static_cast<std::uint32_t>(b));
+      out->U64(hist.buckets()[static_cast<std::size_t>(b)]);
+    }
+  }
+}
+
+bool DeserializeHistogram(ByteReader* in, LogHistogram* hist) {
+  const std::uint64_t count = in->U64();
+  const double sum = in->F64();
+  const double min = in->F64();
+  const double max = in->F64();
+  std::array<std::uint64_t, LogHistogram::kBuckets> buckets{};
+  const std::uint32_t nonzero = in->U32();
+  for (std::uint32_t b = 0; b < nonzero && in->ok(); ++b) {
+    const std::uint32_t idx = in->U32();
+    const std::uint64_t value = in->U64();
+    if (idx >= static_cast<std::uint32_t>(LogHistogram::kBuckets)) {
+      return false;
+    }
+    buckets[idx] = value;
+  }
+  hist->Restore(buckets, count, sum, min, max);
+  return in->ok();
+}
+
 void SerializeMetrics(const MetricsRegistry& m, ByteWriter* out) {
   out->U32(static_cast<std::uint32_t>(m.counters().size()));
   for (const auto& [name, counter] : m.counters()) {
@@ -219,21 +275,7 @@ void SerializeMetrics(const MetricsRegistry& m, ByteWriter* out) {
   out->U32(static_cast<std::uint32_t>(m.histograms().size()));
   for (const auto& [name, hist] : m.histograms()) {
     out->Str(name);
-    out->U64(hist.count());
-    out->F64(hist.sum());
-    out->F64(hist.min());
-    out->F64(hist.max());
-    std::uint32_t nonzero = 0;
-    for (const std::uint64_t b : hist.buckets()) {
-      nonzero += b != 0 ? 1 : 0;
-    }
-    out->U32(nonzero);
-    for (int b = 0; b < LogHistogram::kBuckets; ++b) {
-      if (hist.buckets()[static_cast<std::size_t>(b)] != 0) {
-        out->U32(static_cast<std::uint32_t>(b));
-        out->U64(hist.buckets()[static_cast<std::size_t>(b)]);
-      }
-    }
+    SerializeHistogram(hist, out);
   }
 }
 
@@ -253,21 +295,9 @@ bool DeserializeMetrics(ByteReader* in, MetricsRegistry* m) {
   const std::uint32_t histograms = in->U32();
   for (std::uint32_t i = 0; i < histograms && in->ok(); ++i) {
     const std::string name = in->Str();
-    const std::uint64_t count = in->U64();
-    const double sum = in->F64();
-    const double min = in->F64();
-    const double max = in->F64();
-    std::array<std::uint64_t, LogHistogram::kBuckets> buckets{};
-    const std::uint32_t nonzero = in->U32();
-    for (std::uint32_t b = 0; b < nonzero && in->ok(); ++b) {
-      const std::uint32_t idx = in->U32();
-      const std::uint64_t value = in->U64();
-      if (idx >= static_cast<std::uint32_t>(LogHistogram::kBuckets)) {
-        return false;
-      }
-      buckets[idx] = value;
+    if (!DeserializeHistogram(in, &m->Histogram(name))) {
+      return false;
     }
-    m->Histogram(name).Restore(buckets, count, sum, min, max);
   }
   return in->ok();
 }
@@ -333,6 +363,7 @@ void SerializeResult(const ExperimentResult& r, ByteWriter* out) {
   out->I64(r.deadline_events);
   out->I64(r.deadline_misses);
   out->Time(r.worst_lateness);
+  out->Time(r.worst_overrun);
   out->U32(static_cast<std::uint32_t>(r.streams.size()));
   for (const auto& [stream, stats] : r.streams) {
     out->Str(stream);
@@ -340,6 +371,8 @@ void SerializeResult(const ExperimentResult& r, ByteWriter* out) {
     out->I64(stats.missed);
     out->Time(stats.worst_lateness);
     out->Time(stats.total_lateness);
+    out->Time(stats.worst_overrun);
+    SerializeHistogram(stats.latency_us, out);
   }
   SerializeSink(r.sink, out);
   SerializeMetrics(r.metrics, out);
@@ -388,6 +421,7 @@ bool DeserializeResult(ByteReader* in, ExperimentResult* r) {
   r->deadline_events = in->I64();
   r->deadline_misses = in->I64();
   r->worst_lateness = in->Time();
+  r->worst_overrun = in->Time();
   const std::uint32_t streams = in->U32();
   for (std::uint32_t i = 0; i < streams && in->ok(); ++i) {
     const std::string stream = in->Str();
@@ -396,6 +430,10 @@ bool DeserializeResult(ByteReader* in, ExperimentResult* r) {
     stats.missed = in->I64();
     stats.worst_lateness = in->Time();
     stats.total_lateness = in->Time();
+    stats.worst_overrun = in->Time();
+    if (!DeserializeHistogram(in, &stats.latency_us)) {
+      return false;
+    }
     r->streams.emplace(stream, stats);
   }
   if (!DeserializeSink(in, &r->sink) || !DeserializeMetrics(in, &r->metrics)) {

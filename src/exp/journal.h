@@ -127,7 +127,10 @@ bool DeserializeResult(ByteReader* in, ExperimentResult* result);
 // --- Journal frames ---------------------------------------------------------
 
 inline constexpr std::uint32_t kJournalMagic = 0x4A534344u;  // "DCSJ"
-inline constexpr std::uint32_t kJournalVersion = 1;
+// v2: per-stream latency histograms in StreamStats; server app in the config
+// fingerprint.  Version-mismatched segments are ignored wholesale, so a v1
+// journal forces a fresh run instead of replaying shape-incompatible records.
+inline constexpr std::uint32_t kJournalVersion = 2;
 
 struct JournalHeader {
   std::uint32_t version = kJournalVersion;

@@ -1,6 +1,7 @@
 #include "src/exp/sweep.h"
 
 #include "src/exp/campaign.h"
+#include "src/exp/flags.h"
 
 #include <atomic>
 #include <chrono>
@@ -156,46 +157,23 @@ std::vector<ExperimentResult> RunSweep(const std::vector<ExperimentConfig>& conf
   return results;
 }
 
+void RegisterSweepFlags(FlagSet& flags, SweepOptions* options) {
+  flags.Int("threads", &options->threads);
+  flags.Switch("progress", &options->progress);
+  flags.String("trace-out", &options->trace_out);
+  flags.String("metrics-out", &options->metrics_out);
+  flags.String("faults", &options->faults);
+  flags.String("resume", &options->campaign.resume);
+  flags.Double("job-timeout", &options->campaign.job_timeout);
+  flags.Int("max-retries", &options->campaign.max_retries);
+  flags.String("quarantine-out", &options->campaign.quarantine_out);
+}
+
 SweepOptions SweepOptionsFromArgs(int argc, char** argv) {
   SweepOptions options;
-  for (int i = 1; i < argc; ++i) {
-    const char* arg = argv[i];
-    if (std::strncmp(arg, "--threads=", 10) == 0) {
-      options.threads = std::atoi(arg + 10);
-    } else if (std::strcmp(arg, "--threads") == 0 && i + 1 < argc) {
-      options.threads = std::atoi(argv[++i]);
-    } else if (std::strcmp(arg, "--progress") == 0) {
-      options.progress = true;
-    } else if (std::strncmp(arg, "--trace-out=", 12) == 0) {
-      options.trace_out = arg + 12;
-    } else if (std::strcmp(arg, "--trace-out") == 0 && i + 1 < argc) {
-      options.trace_out = argv[++i];
-    } else if (std::strncmp(arg, "--metrics-out=", 14) == 0) {
-      options.metrics_out = arg + 14;
-    } else if (std::strcmp(arg, "--metrics-out") == 0 && i + 1 < argc) {
-      options.metrics_out = argv[++i];
-    } else if (std::strncmp(arg, "--faults=", 9) == 0) {
-      options.faults = arg + 9;
-    } else if (std::strcmp(arg, "--faults") == 0 && i + 1 < argc) {
-      options.faults = argv[++i];
-    } else if (std::strncmp(arg, "--resume=", 9) == 0) {
-      options.campaign.resume = arg + 9;
-    } else if (std::strcmp(arg, "--resume") == 0 && i + 1 < argc) {
-      options.campaign.resume = argv[++i];
-    } else if (std::strncmp(arg, "--job-timeout=", 14) == 0) {
-      options.campaign.job_timeout = std::atof(arg + 14);
-    } else if (std::strcmp(arg, "--job-timeout") == 0 && i + 1 < argc) {
-      options.campaign.job_timeout = std::atof(argv[++i]);
-    } else if (std::strncmp(arg, "--max-retries=", 14) == 0) {
-      options.campaign.max_retries = std::atoi(arg + 14);
-    } else if (std::strcmp(arg, "--max-retries") == 0 && i + 1 < argc) {
-      options.campaign.max_retries = std::atoi(argv[++i]);
-    } else if (std::strncmp(arg, "--quarantine-out=", 17) == 0) {
-      options.campaign.quarantine_out = arg + 17;
-    } else if (std::strcmp(arg, "--quarantine-out") == 0 && i + 1 < argc) {
-      options.campaign.quarantine_out = argv[++i];
-    }
-  }
+  FlagSet flags;
+  RegisterSweepFlags(flags, &options);
+  flags.ParseOrExit(argc, argv, /*allow_unknown=*/true);
   if (options.threads < 0) {
     options.threads = 0;
   }

@@ -147,11 +147,19 @@ class SweepRunner {
 std::vector<ExperimentResult> RunSweep(const std::vector<ExperimentConfig>& configs,
                                        const SweepOptions& options = {});
 
-// Parses "--threads=N" / "--threads N", "--progress", "--trace-out=FILE",
-// "--metrics-out=FILE", "--faults=SPEC" and the campaign flags ("--resume",
-// "--job-timeout", "--max-retries", "--quarantine-out") from a bench's argv,
-// returning the corresponding options.  Unrecognised arguments are ignored
-// so benches can layer their own flags.
+// Registers the shared sweep/campaign flags ("--threads", "--progress",
+// "--trace-out", "--metrics-out", "--faults", "--resume", "--job-timeout",
+// "--max-retries", "--quarantine-out") on `flags`, writing into *options.
+// Benches with their own flags call this, add theirs, and parse the whole
+// argv with one strict FlagSet so duplicates and typos fail loudly.
+class FlagSet;
+void RegisterSweepFlags(FlagSet& flags, SweepOptions* options);
+
+// Parses the shared sweep/campaign flags from a bench's argv, returning the
+// corresponding options.  Unrecognised arguments are still ignored (so
+// benches that have not migrated to a full FlagSet can layer their own
+// parsing on top), but malformed or duplicated sweep flags now print the
+// error and exit(2) instead of resolving by atoi-garbage or last-write-wins.
 SweepOptions SweepOptionsFromArgs(int argc, char** argv);
 
 }  // namespace dcs

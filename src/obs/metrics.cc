@@ -98,7 +98,9 @@ void WriteHistogramJson(std::ostream& os, const LogHistogram& h) {
      << ",\"min\":" << JsonNumber(h.min()) << ",\"max\":" << JsonNumber(h.max())
      << ",\"mean\":" << JsonNumber(h.mean())
      << ",\"p50\":" << JsonNumber(h.ApproxQuantile(0.50))
-     << ",\"p99\":" << JsonNumber(h.ApproxQuantile(0.99)) << ",\"buckets\":[";
+     << ",\"p95\":" << JsonNumber(h.ApproxQuantile(0.95))
+     << ",\"p99\":" << JsonNumber(h.ApproxQuantile(0.99))
+     << ",\"p999\":" << JsonNumber(h.ApproxQuantile(0.999)) << ",\"buckets\":[";
   bool first = true;
   for (int i = 0; i < LogHistogram::kBuckets; ++i) {
     const std::uint64_t n = h.buckets()[static_cast<std::size_t>(i)];
@@ -148,7 +150,9 @@ void MetricsRegistry::WriteText(std::ostream& os) const {
     os << name << " count=" << histogram.count() << " mean=" << JsonNumber(histogram.mean())
        << " min=" << JsonNumber(histogram.min()) << " max=" << JsonNumber(histogram.max())
        << " p50=" << JsonNumber(histogram.ApproxQuantile(0.50))
-       << " p99=" << JsonNumber(histogram.ApproxQuantile(0.99)) << "\n";
+       << " p95=" << JsonNumber(histogram.ApproxQuantile(0.95))
+       << " p99=" << JsonNumber(histogram.ApproxQuantile(0.99))
+       << " p999=" << JsonNumber(histogram.ApproxQuantile(0.999)) << "\n";
   }
 }
 

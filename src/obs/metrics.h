@@ -155,8 +155,8 @@ class MetricsRegistry {
 
   // Renders every instrument as one deterministic JSON object:
   //   {"counters":{...},"gauges":{...},"histograms":{...}}
-  // Histograms render count/sum/min/max/mean/p50/p99 plus the non-empty
-  // buckets as [upper_bound, count] pairs.
+  // Histograms render count/sum/min/max/mean/p50/p95/p99/p999 plus the
+  // non-empty buckets as [upper_bound, count] pairs.
   void WriteJson(std::ostream& os) const;
 
   // Human-readable "name value" lines, one instrument per line.

@@ -5,6 +5,7 @@
 #include "src/workload/chess.h"
 #include "src/workload/java_vm.h"
 #include "src/workload/mpeg.h"
+#include "src/workload/server.h"
 #include "src/workload/talking_editor.h"
 #include "src/workload/web.h"
 
@@ -77,11 +78,15 @@ AppBundle MakeApp(const std::string& name, DeadlineMonitor* deadlines, std::uint
   if (name == "editor") {
     return MakeTalkingEditorApp(deadlines, seed);
   }
+  if (name == "server") {
+    return MakeServerApp(deadlines, seed);
+  }
   // An empty bundle here would run a perfectly plausible-looking idle
   // experiment; fail loudly instead so a typo can't produce quiet nonsense.
-  throw std::invalid_argument("unknown app '" + name + "' (expected mpeg|web|chess|editor)");
+  throw std::invalid_argument("unknown app '" + name +
+                              "' (expected mpeg|web|chess|editor|server)");
 }
 
-std::vector<std::string> AllAppNames() { return {"mpeg", "web", "chess", "editor"}; }
+std::vector<std::string> AllAppNames() { return {"mpeg", "web", "chess", "editor", "server"}; }
 
 }  // namespace dcs

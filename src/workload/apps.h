@@ -45,11 +45,12 @@ AppBundle MakeChessApp(DeadlineMonitor* deadlines, std::uint64_t seed);
 // 70 s mpedit + DECtalk session (Java-hosted).
 AppBundle MakeTalkingEditorApp(DeadlineMonitor* deadlines, std::uint64_t seed);
 
-// Factory by name: "mpeg" | "web" | "chess" | "editor".  Throws
+// Factory by name: "mpeg" | "web" | "chess" | "editor" | "server" (the
+// open-loop request server, src/workload/server.h).  Throws
 // std::invalid_argument for unknown names.
 AppBundle MakeApp(const std::string& name, DeadlineMonitor* deadlines, std::uint64_t seed);
 
-// All four app names in paper order.
+// The paper's four apps in paper order, plus "server".
 std::vector<std::string> AllAppNames();
 
 }  // namespace dcs

@@ -8,13 +8,26 @@ void DeadlineMonitor::Report(const std::string& stream, SimTime deadline, SimTim
                              SimTime tolerance) {
   StreamStats& stats = streams_[stream];
   ++stats.total;
+  // Miss and lateness share one threshold (see header): an event inside the
+  // tolerance window contributes neither.
+  const SimTime threshold = deadline + tolerance;
   const SimTime lateness =
-      completed > deadline ? completed - deadline : SimTime::Zero();
-  if (completed > deadline + tolerance) {
+      completed > threshold ? completed - threshold : SimTime::Zero();
+  if (completed > threshold) {
     ++stats.missed;
   }
   stats.worst_lateness = std::max(stats.worst_lateness, lateness);
   stats.total_lateness += lateness;
+  const SimTime overrun =
+      completed > deadline ? completed - deadline : SimTime::Zero();
+  stats.worst_overrun = std::max(stats.worst_overrun, overrun);
+}
+
+void DeadlineMonitor::ReportRequest(const std::string& stream, SimTime arrival, SimTime slo,
+                                    SimTime completed, SimTime tolerance) {
+  Report(stream, arrival + slo, completed, tolerance);
+  const SimTime latency = completed > arrival ? completed - arrival : SimTime::Zero();
+  streams_[stream].latency_us.Observe(latency.ToMicrosF());
 }
 
 DeadlineMonitor::StreamStats DeadlineMonitor::Stats(const std::string& stream) const {
@@ -51,6 +64,14 @@ SimTime DeadlineMonitor::WorstLateness() const {
   SimTime worst;
   for (const auto& [name, stats] : streams_) {
     worst = std::max(worst, stats.worst_lateness);
+  }
+  return worst;
+}
+
+SimTime DeadlineMonitor::WorstOverrun() const {
+  SimTime worst;
+  for (const auto& [name, stats] : streams_) {
+    worst = std::max(worst, stats.worst_overrun);
   }
   return worst;
 }

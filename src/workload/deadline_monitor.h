@@ -7,6 +7,20 @@
 // its natural deadline events here — MPEG frame display times, audio buffer
 // refills, speech-synthesis hand-offs, interactive response times — and the
 // experiment layer judges a policy unacceptable if any stream misses.
+//
+// Tolerance semantics: `tolerance` extends the deadline.  An event is a miss
+// if `completed > deadline + tolerance`, and lateness is measured from that
+// same extended deadline — `max(completed - (deadline + tolerance), 0)` — so
+// a tolerated event contributes neither a miss nor lateness.  (Earlier
+// revisions measured lateness from the bare `deadline`, which made
+// `worst_lateness` nonzero for streams that never missed; the two thresholds
+// are now consistent.)
+//
+// For the open-loop server workloads the monitor also tracks the full
+// response-time distribution: ReportRequest() records latency (completion
+// minus arrival) into a per-stream log-bucketed histogram, giving
+// p50/p95/p99/p999 through the metrics pipeline without per-request
+// artifacts.
 
 #ifndef SRC_WORKLOAD_DEADLINE_MONITOR_H_
 #define SRC_WORKLOAD_DEADLINE_MONITOR_H_
@@ -16,6 +30,7 @@
 #include <string>
 #include <vector>
 
+#include "src/obs/metrics.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -25,17 +40,32 @@ class DeadlineMonitor {
   struct StreamStats {
     std::int64_t total = 0;
     std::int64_t missed = 0;
-    SimTime worst_lateness;     // max(completed - deadline, 0) over all events
-    SimTime total_lateness;     // sum of positive lateness
+    SimTime worst_lateness;     // max(completed - (deadline + tolerance), 0)
+    SimTime total_lateness;     // sum of positive lateness past the tolerance
+    // Worst overrun past the *bare* deadline, tolerance ignored:
+    // max(completed - deadline, 0).  Nonzero overrun with zero misses means
+    // events are landing inside the tolerance window — the margin-erosion
+    // signal the ablation suite watches.
+    SimTime worst_overrun;
+    // Response-time distribution in microseconds, filled by ReportRequest()
+    // (empty for streams that only report bare deadline events).
+    LogHistogram latency_us;
     double MissRate() const {
       return total == 0 ? 0.0 : static_cast<double>(missed) / static_cast<double>(total);
     }
   };
 
   // Reports one deadline event on `stream`.  The event is a miss if
-  // `completed` is later than `deadline + tolerance`.
+  // `completed` is later than `deadline + tolerance`, and its lateness is
+  // measured from the same `deadline + tolerance` threshold.
   void Report(const std::string& stream, SimTime deadline, SimTime completed,
               SimTime tolerance = SimTime::Zero());
+
+  // Reports one open-loop request on `stream`: the deadline is
+  // `arrival + slo`, and the request's latency (`completed - arrival`, in
+  // microseconds) is recorded into the stream's latency histogram.
+  void ReportRequest(const std::string& stream, SimTime arrival, SimTime slo,
+                     SimTime completed, SimTime tolerance = SimTime::Zero());
 
   // Stats for one stream (zeroes if the stream never reported).
   StreamStats Stats(const std::string& stream) const;
@@ -47,6 +77,7 @@ class DeadlineMonitor {
   std::int64_t TotalEvents() const;
   std::int64_t TotalMissed() const;
   SimTime WorstLateness() const;
+  SimTime WorstOverrun() const;
   bool AnyMissed() const { return TotalMissed() > 0; }
 
   void Clear() { streams_.clear(); }

@@ -46,11 +46,22 @@ class InputTrace {
   SimTime Duration() const;
 
   // Returns a copy with every timestamp perturbed by up to +/- `jitter`
-  // (uniform), clamped to preserve ordering — models the millisecond replay
-  // accuracy of the paper's replay rig.
+  // (uniform) — models the millisecond replay accuracy of the paper's replay
+  // rig.  Jittered times are clamped at zero (an event near t=0 never goes
+  // negative) and at the previous emitted time, so ordering is preserved and
+  // equal-time events keep their recorded order.  Throws
+  // std::invalid_argument on negative jitter.
   InputTrace WithReplayJitter(Rng& rng, SimTime jitter = SimTime::Micros(500)) const;
 
-  // CSV round-trip ("time_us,kind,magnitude").
+  // CSV round-trip, schema v2: a strict "time_us,kind,magnitude" header,
+  // then one event per row.  Times are microseconds with up to three
+  // fractional digits (nanosecond-exact); magnitudes use shortest
+  // round-trip precision; a kind containing a comma/quote/newline is
+  // CSV-quoted ("" escapes a quote).  Blank lines and `#` comments are
+  // skipped.  ReadCsv throws std::invalid_argument, naming the line, on a
+  // missing/mismatched header, malformed row, unparsable or negative
+  // number, or out-of-order timestamp — a recorded trace is an input to a
+  // deterministic experiment, so silent row-dropping is worse than failing.
   void WriteCsv(std::ostream& os) const;
   static InputTrace ReadCsv(std::istream& is);
 

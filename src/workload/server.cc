@@ -1,0 +1,243 @@
+#include "src/workload/server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "src/workload/apps.h"
+#include "src/workload/demand.h"
+
+namespace dcs {
+namespace {
+
+// Pareto draw with minimum `xm` and shape `alpha` (inverse-CDF on a uniform
+// kept away from 0 so the heavy tail stays finite).
+double Pareto(Rng& rng, double xm, double alpha) {
+  double u = rng.NextDouble();
+  if (u < 1e-12) {
+    u = 1e-12;
+  }
+  return xm * std::pow(u, -1.0 / alpha);
+}
+
+// Service demand in microseconds at the top step: exponential with the
+// configured mean, clamped below at a sliver (no zero-cycle requests) and
+// above at max_service_factor times the mean.
+double DrawServiceUs(Rng& rng, const ServerConfig& config) {
+  const double mean_us = config.service_ms_at_top * 1e3;
+  const double draw = rng.Exponential(mean_us);
+  return std::clamp(draw, 0.05 * mean_us, config.max_service_factor * mean_us);
+}
+
+void AppendPoissonArrivals(Rng& rng, double rate_rps, double from_s, double until_s,
+                           std::vector<double>* arrivals) {
+  if (rate_rps <= 0.0) {
+    return;
+  }
+  double t = from_s;
+  for (;;) {
+    t += rng.Exponential(1.0 / rate_rps);
+    if (t >= until_s) {
+      return;
+    }
+    arrivals->push_back(t);
+  }
+}
+
+std::vector<double> PoissonArrivalTimes(Rng& rng, const ServerConfig& config) {
+  std::vector<double> arrivals;
+  AppendPoissonArrivals(rng, config.rate_rps, 0.0, config.duration.ToSeconds(), &arrivals);
+  return arrivals;
+}
+
+// 2-state Markov-modulated Poisson process.  Dwell times are exponential;
+// the calm-state rate is solved so the long-run mean stays at rate_rps:
+//   f_calm * r_calm + f_burst * (factor * r_calm) = rate_rps
+// with f_* the stationary dwell fractions.
+std::vector<double> BurstyArrivalTimes(Rng& rng, const ServerConfig& config) {
+  const double calm_dwell = config.calm_dwell_mean.ToSeconds();
+  const double burst_dwell = config.burst_dwell_mean.ToSeconds();
+  const double f_calm = calm_dwell / (calm_dwell + burst_dwell);
+  const double f_burst = 1.0 - f_calm;
+  const double r_calm = config.rate_rps / (f_calm + f_burst * config.burst_rate_factor);
+  const double r_burst = r_calm * config.burst_rate_factor;
+
+  std::vector<double> arrivals;
+  const double until = config.duration.ToSeconds();
+  double t = 0.0;
+  bool burst = false;
+  while (t < until) {
+    const double dwell = rng.Exponential(burst ? burst_dwell : calm_dwell);
+    const double end = std::min(t + dwell, until);
+    AppendPoissonArrivals(rng, burst ? r_burst : r_calm, t, end, &arrivals);
+    t = end;
+    burst = !burst;
+  }
+  return arrivals;
+}
+
+// Superposed Pareto on-off sources: each source alternates heavy-tailed
+// on/off periods and emits Poisson arrivals while on.  The per-source on
+// rate is solved from the duty cycle so the aggregate mean stays rate_rps.
+std::vector<double> SelfSimilarArrivalTimes(Rng& rng, const ServerConfig& config) {
+  const int sources = std::max(1, config.onoff_sources);
+  const double alpha = config.pareto_shape;
+  if (!(alpha > 1.0)) {
+    throw std::invalid_argument("ServerConfig: pareto_shape must be > 1");
+  }
+  const double mean_on = config.pareto_on_min.ToSeconds() * alpha / (alpha - 1.0);
+  const double mean_off = config.pareto_off_min.ToSeconds() * alpha / (alpha - 1.0);
+  const double duty = mean_on / (mean_on + mean_off);
+  const double rate_on = config.rate_rps / (static_cast<double>(sources) * duty);
+
+  std::vector<double> arrivals;
+  const double until = config.duration.ToSeconds();
+  for (int s = 0; s < sources; ++s) {
+    // Each source gets a forked stream so the source count doesn't shift
+    // the draws of the others.
+    Rng source_rng = rng.Fork();
+    double t = 0.0;
+    bool on = source_rng.NextDouble() < duty;  // stationary-ish start
+    while (t < until) {
+      const double period = Pareto(
+          source_rng,
+          on ? config.pareto_on_min.ToSeconds() : config.pareto_off_min.ToSeconds(), alpha);
+      const double end = std::min(t + period, until);
+      if (on) {
+        AppendPoissonArrivals(source_rng, rate_on, t, end, &arrivals);
+      }
+      t = end;
+      on = !on;
+    }
+  }
+  std::sort(arrivals.begin(), arrivals.end());
+  return arrivals;
+}
+
+}  // namespace
+
+ArrivalProcess ArrivalProcessFromName(const std::string& name) {
+  if (name == "poisson") {
+    return ArrivalProcess::kPoisson;
+  }
+  if (name == "bursty") {
+    return ArrivalProcess::kBursty;
+  }
+  if (name == "selfsimilar") {
+    return ArrivalProcess::kSelfSimilar;
+  }
+  throw std::invalid_argument("unknown arrival process '" + name +
+                              "' (expected poisson|bursty|selfsimilar)");
+}
+
+const char* ArrivalProcessName(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+    case ArrivalProcess::kSelfSimilar:
+      return "selfsimilar";
+  }
+  return "?";
+}
+
+InputTrace MakeServerRequestTrace(const ServerConfig& config, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> arrivals;
+  switch (config.arrivals) {
+    case ArrivalProcess::kPoisson:
+      arrivals = PoissonArrivalTimes(rng, config);
+      break;
+    case ArrivalProcess::kBursty:
+      arrivals = BurstyArrivalTimes(rng, config);
+      break;
+    case ArrivalProcess::kSelfSimilar:
+      arrivals = SelfSimilarArrivalTimes(rng, config);
+      break;
+  }
+  // Demands are drawn after the full arrival pattern so the two streams stay
+  // independent (the self-similar merge would otherwise interleave them).
+  InputTrace trace;
+  for (const double at : arrivals) {
+    trace.Record(SimTime::FromSecondsF(at), "service_us", DrawServiceUs(rng, config));
+  }
+  return trace;
+}
+
+ServerWorkload::ServerWorkload(InputTrace trace, const ServerConfig& config,
+                               DeadlineMonitor* deadlines)
+    : trace_(std::move(trace)), config_(config), deadlines_(deadlines) {
+  for (const InputEvent& event : trace_.events()) {
+    if (event.kind != "service_us" && event.kind != "arrival") {
+      throw std::invalid_argument("ServerWorkload: unsupported event kind '" + event.kind +
+                                  "' (expected service_us|arrival)");
+    }
+  }
+}
+
+Action ServerWorkload::Next(const WorkloadContext& ctx) {
+  if (!primed_) {
+    primed_ = true;
+    origin_ = ctx.now;
+  }
+  if (serving_) {
+    serving_ = false;
+    if (deadlines_ != nullptr) {
+      deadlines_->ReportRequest("requests", current_.arrival, config_.slo, ctx.now);
+    }
+  }
+  // Admit everything that arrived while the worker was busy.
+  while (next_arrival_ < trace_.events().size()) {
+    const InputEvent& event = trace_.events()[next_arrival_];
+    const SimTime at = origin_ + event.at;
+    if (at > ctx.now) {
+      break;
+    }
+    const double service_us = event.kind == "service_us"
+                                  ? event.magnitude
+                                  : event.magnitude * config_.service_ms_at_top * 1e3;
+    queue_.push_back(Request{at, service_us});
+    ++next_arrival_;
+  }
+  if (!queue_.empty()) {
+    current_ = queue_.front();
+    queue_.pop_front();
+    serving_ = true;
+    // Announce the request's deadline so deadline-aware governors can pace
+    // the work; oblivious interval policies ignore it.
+    return Action::ComputeBy(BaseCyclesForMsAtTop(current_.service_us * 1e-3, config_.profile),
+                             current_.arrival + config_.slo);
+  }
+  if (next_arrival_ < trace_.events().size()) {
+    // Idle until the next request hits the NIC; the wake-up is an interrupt,
+    // not a jiffy-rounded usleep.
+    return Action::SleepUntil(origin_ + trace_.events()[next_arrival_].at, /*jiffy=*/false);
+  }
+  return Action::Exit();
+}
+
+AppBundle MakeServerApp(DeadlineMonitor* deadlines, std::uint64_t seed) {
+  return MakeServerApp(ServerConfig{}, deadlines, seed);
+}
+
+AppBundle MakeServerApp(const ServerConfig& config, DeadlineMonitor* deadlines,
+                        std::uint64_t seed) {
+  return MakeServerAppFromTrace(MakeServerRequestTrace(config, seed), config, deadlines);
+}
+
+AppBundle MakeServerAppFromTrace(InputTrace trace, const ServerConfig& config,
+                                 DeadlineMonitor* deadlines) {
+  AppBundle bundle;
+  bundle.name = "server";
+  // Leave room past the last arrival for the queue to drain.
+  bundle.duration =
+      std::max(config.duration, trace.Duration()) + SimTime::Seconds(2);
+  bundle.tasks.push_back(
+      std::make_unique<ServerWorkload>(std::move(trace), config, deadlines));
+  return bundle;
+}
+
+}  // namespace dcs

@@ -1,0 +1,132 @@
+// Server-class open-loop workload.
+//
+// The paper only evaluates interval DVFS policies for single-user
+// interactive sessions; ROADMAP item 4 asks what happens when the deadline
+// is set by a request queue instead of a user.  This scenario models a
+// request-serving system: requests arrive on an *open loop* (arrivals do not
+// slow down when the server falls behind, unlike the closed interactive
+// workloads), each carries a service demand drawn from a distribution, and
+// each must complete by `arrival + SLO`.  Utilization is therefore set by
+// the offered load, not by the think-time of a user — exactly the regime
+// where race-to-idle and interval policies can disagree.
+//
+// Three arrival grammars, all driven by the seeded Rng so runs stay
+// byte-identical across sweep thread counts:
+//   poisson      memoryless arrivals at `rate_rps`
+//   bursty       2-state MMPP: calm/burst phases with exponential dwell
+//                times; the burst phase arrives `burst_rate_factor` times
+//                faster, overall mean held at `rate_rps`
+//   selfsimilar  superposition of Pareto on-off sources (heavy-tailed
+//                on/off periods, shape < 2), the classic construction for
+//                long-range-dependent traffic
+//
+// The generator bakes every arrival and its service demand into an
+// InputTrace of "service_us" events (time = arrival, magnitude = demand in
+// microseconds at the top clock step), so a scenario can be saved to CSV,
+// replayed, or substituted with a recorded production trace ("arrival"
+// events scale the configured mean demand instead).
+
+#ifndef SRC_WORKLOAD_SERVER_H_
+#define SRC_WORKLOAD_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "src/kernel/workload_api.h"
+#include "src/workload/deadline_monitor.h"
+#include "src/workload/input_trace.h"
+
+namespace dcs {
+
+enum class ArrivalProcess { kPoisson, kBursty, kSelfSimilar };
+
+// "poisson" | "bursty" | "selfsimilar"; throws std::invalid_argument on
+// anything else.
+ArrivalProcess ArrivalProcessFromName(const std::string& name);
+const char* ArrivalProcessName(ArrivalProcess process);
+
+struct ServerConfig {
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  // Mean offered load, requests per second (all three grammars hold this
+  // long-run average).
+  double rate_rps = 100.0;
+  // Length of the arrival window; the bundle drains the tail after it.
+  SimTime duration = SimTime::Seconds(40);
+  // Per-request deadline is arrival + slo.
+  SimTime slo = SimTime::Millis(100);
+  // Service demand: exponential with this mean (milliseconds of compute at
+  // 206.4 MHz), clamped to max_service_factor * mean so one pathological
+  // draw cannot wedge the queue.
+  double service_ms_at_top = 2.0;
+  double max_service_factor = 8.0;
+  // Request handling is assumed moderately memory-bound (protocol parsing
+  // plus payload assembly).
+  MemoryProfile profile{12.0, 4.0};
+
+  // -- bursty (MMPP) parameters --
+  double burst_rate_factor = 4.0;
+  SimTime calm_dwell_mean = SimTime::Seconds(2);
+  SimTime burst_dwell_mean = SimTime::Millis(500);
+
+  // -- selfsimilar parameters --
+  int onoff_sources = 8;
+  // Pareto shape for on/off period lengths; 1 < shape < 2 gives the
+  // infinite-variance periods that produce long-range dependence.
+  double pareto_shape = 1.5;
+  SimTime pareto_on_min = SimTime::Millis(200);
+  SimTime pareto_off_min = SimTime::Millis(400);
+};
+
+// Generates the open-loop request trace for `config`: one "service_us"
+// event per request, in arrival order.
+InputTrace MakeServerRequestTrace(const ServerConfig& config, std::uint64_t seed);
+
+// Single-worker FIFO request server.  Replays a request trace: arrivals
+// enter a queue, the worker serves head-of-line, and every completion is
+// reported via DeadlineMonitor::ReportRequest on stream "requests" (miss if
+// completion > arrival + slo; latency histogram in microseconds).  Accepts
+// "service_us" events (magnitude = demand in µs at the top step) and
+// "arrival" events (magnitude = multiplier on config.service_ms_at_top);
+// anything else throws std::invalid_argument up front.
+class ServerWorkload final : public Workload {
+ public:
+  ServerWorkload(InputTrace trace, const ServerConfig& config, DeadlineMonitor* deadlines);
+
+  const char* Name() const override { return "server"; }
+  Action Next(const WorkloadContext& ctx) override;
+  MemoryProfile Profile() const override { return config_.profile; }
+
+ private:
+  struct Request {
+    SimTime arrival;
+    double service_us;  // demand at the top clock step
+  };
+
+  InputTrace trace_;
+  ServerConfig config_;
+  DeadlineMonitor* deadlines_;
+  std::size_t next_arrival_ = 0;
+  std::deque<Request> queue_;
+  bool serving_ = false;
+  Request current_;
+  SimTime origin_;
+  bool primed_ = false;
+};
+
+struct AppBundle;
+
+// Default server scenario (Poisson, ServerConfig{} rates/SLO).
+AppBundle MakeServerApp(DeadlineMonitor* deadlines, std::uint64_t seed);
+// Custom scenario; the trace is generated from `config` and `seed`.
+AppBundle MakeServerApp(const ServerConfig& config, DeadlineMonitor* deadlines,
+                        std::uint64_t seed);
+// Replay of a recorded request trace (e.g. loaded via InputTrace::ReadCsv);
+// `config` still supplies the SLO, memory profile and mean demand for
+// "arrival" events.
+AppBundle MakeServerAppFromTrace(InputTrace trace, const ServerConfig& config,
+                                 DeadlineMonitor* deadlines);
+
+}  // namespace dcs
+
+#endif  // SRC_WORKLOAD_SERVER_H_

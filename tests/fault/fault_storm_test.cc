@@ -19,6 +19,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/core/governor_registry.h"
 #include "src/exp/experiment.h"
 #include "src/exp/sweep.h"
 #include "src/fault/fault_plan.h"
@@ -28,28 +29,6 @@
 namespace dcs {
 namespace {
 
-// Every governor spec the determinism suite exercises — the full registry
-// surface, not a convenience subset.
-constexpr const char* kGovernors[] = {
-    "none",
-    "fixed-206.4",
-    "fixed-132.7@1.23",
-    "PAST-peg-peg-93-98",
-    "PAST-peg-peg-93-98-vs",
-    "AVG9-one-one-50-70",
-    "WIN10-peg-peg-93-98",
-    "PAST-double-double-50-70",
-    "cycles4",
-    "satrate4",
-    "deadline",
-    "deadline-vs",
-    "ondemand",
-    "schedutil",
-    "flat-75",
-    "LS-peg-peg-93-98",
-    "CYCLE10-peg-peg-93-98",
-    "PEAK-peg-peg-93-98",
-};
 constexpr const char* kApps[] = {"mpeg", "web", "chess", "editor"};
 
 // One randomized fault spec per grid point, reproducible from the fixed
@@ -78,7 +57,8 @@ std::vector<ExperimentConfig> StormGrid() {
   Rng rng(0xfa111751u);
   std::vector<ExperimentConfig> configs;
   int i = 0;
-  for (const char* governor : kGovernors) {
+  // The full registry surface (AllGovernorSpecs), not a convenience subset.
+  for (const std::string& governor : AllGovernorSpecs()) {
     ExperimentConfig config;
     config.app = kApps[i % (sizeof(kApps) / sizeof(kApps[0]))];
     config.governor = governor;

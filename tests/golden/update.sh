@@ -20,14 +20,16 @@ build_dir="${1:-build}"
 golden_dir="$(cd "$(dirname "$0")" && pwd)"
 
 for bench in tab1_avg9_actions tab2_energy_summary fig9_utilization_vs_freq \
-             fig8_best_policy_trace; do
+             fig8_best_policy_trace server_slo; do
   binary="$build_dir/bench/$bench"
   if [ ! -x "$binary" ]; then
     echo "error: $binary not built (run: cmake --build $build_dir -j)" >&2
     exit 1
   fi
+  extra_args=""
+  [ "$bench" = server_slo ] && extra_args="--quick"
   echo "regenerating $bench.txt" >&2
-  "$binary" --threads=1 > "$golden_dir/$bench.txt"
+  "$binary" --threads=1 $extra_args > "$golden_dir/$bench.txt"
 done
 
 # Observability artifacts: commit the metrics JSON verbatim; the Chrome
@@ -38,12 +40,14 @@ trap 'rm -rf "$tmp_dir"' EXIT
 regen_artifacts() {
   bench="$1"
   artifact="$2"
+  shift 2
   echo "regenerating $artifact artifacts" >&2
-  "$build_dir/bench/$bench" --threads=1 \
+  "$build_dir/bench/$bench" --threads=1 "$@" \
       --trace-out="$tmp_dir/$artifact.trace.json" \
       --metrics-out="$golden_dir/$artifact.metrics.json" > /dev/null
   (cd "$tmp_dir" && sha256sum "$artifact.trace.json") >> "$golden_dir/obs_artifacts.sha256"
 }
 regen_artifacts fig8_best_policy_trace fig8_past_peg_peg
 regen_artifacts tab2_energy_summary tab2_energy_summary
+regen_artifacts server_slo server_slo_quick --quick
 echo "done — review with: git diff tests/golden/" >&2

@@ -30,15 +30,18 @@ TEST(SwitchCostAblationTest, ZeroCostSwitchingHasNoStall) {
 
 TEST(SwitchCostAblationTest, PastPegDegradesGracefullyWithExpensiveSwitches) {
   // PAST-peg-peg leaves slack (it pegs to the top on any busy quantum), so
-  // even very expensive switches only erode lateness margins — an emergent
-  // robustness of the paper's best policy.
+  // even very expensive switches only erode deadline margins — an emergent
+  // robustness of the paper's best policy.  worst_overrun measures how close
+  // completions get to the bare deadline; worst_lateness stays zero on both
+  // runs because nothing escapes the tolerance window.
   ExperimentConfig config = BaseMpeg("PAST-peg-peg-93-98");
   const ExperimentResult cheap = RunExperiment(config);
   config.itsy.clock_switch_stall = SimTime::Millis(10);
   const ExperimentResult expensive = RunExperiment(config);
   EXPECT_EQ(cheap.deadline_misses, 0);
   EXPECT_EQ(expensive.deadline_misses, 0);
-  EXPECT_GT(expensive.worst_lateness, cheap.worst_lateness);
+  EXPECT_EQ(expensive.worst_lateness, SimTime::Zero());
+  EXPECT_GT(expensive.worst_overrun, cheap.worst_overrun);
   EXPECT_GT(expensive.avg_utilization, cheap.avg_utilization + 0.05);
 }
 

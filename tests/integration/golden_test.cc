@@ -141,6 +141,15 @@ TEST(GoldenTest, Tab2WithExplicitNoFaults) {
   ExpectGolden("tab2_energy_summary", "--threads=2 --faults=none");
 }
 
+// The open-loop server sweep: the capture is taken with --threads=1; the
+// --threads=4 rerun proves the latency-percentile plumbing (histogram merge
+// order, queue drain, deadline accounting) is thread-count invariant too.
+TEST(GoldenTest, ServerSloQuick) { ExpectGolden("server_slo", "--quick --threads=1"); }
+
+TEST(GoldenTest, ServerSloQuickThreadInvariant) {
+  ExpectGolden("server_slo", "--quick --threads=4");
+}
+
 // ---------------------------------------------------------------------------
 // Artifact byte-identity: beyond stdout, the exported observability files
 // (--trace-out / --metrics-out) must be byte-for-byte reproducible.  The
@@ -218,6 +227,16 @@ TEST(GoldenTest, Tab2ArtifactsByteIdentical) {
 // Thread-count invariance extends to the artifacts, not just stdout.
 TEST(GoldenTest, Tab2ArtifactsThreadInvariant) {
   ExpectArtifactsGolden("tab2_energy_summary", "tab2_energy_summary", "--threads=2");
+}
+
+// The server sweep's --metrics-out carries the latency_us.requests histogram
+// (p50/p95/p99/p999); both thread counts must reproduce the committed JSON.
+TEST(GoldenTest, ServerSloArtifactsByteIdentical) {
+  ExpectArtifactsGolden("server_slo", "server_slo_quick", "--quick --threads=1");
+}
+
+TEST(GoldenTest, ServerSloArtifactsThreadInvariant) {
+  ExpectArtifactsGolden("server_slo", "server_slo_quick", "--quick --threads=4");
 }
 
 }  // namespace

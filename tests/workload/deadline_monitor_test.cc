@@ -33,8 +33,33 @@ TEST(DeadlineMonitorTest, ToleranceAbsorbsSmallLateness) {
   DeadlineMonitor monitor;
   monitor.Report("video", SimTime::Millis(100), SimTime::Millis(120), SimTime::Millis(30));
   EXPECT_EQ(monitor.TotalMissed(), 0);
-  // Lateness still recorded even though within tolerance.
+  // Miss counting and lateness share the deadline+tolerance threshold: a
+  // tolerated event accumulates no lateness.
+  EXPECT_EQ(monitor.Stats("video").worst_lateness, SimTime::Zero());
+  EXPECT_EQ(monitor.Stats("video").total_lateness, SimTime::Zero());
+}
+
+TEST(DeadlineMonitorTest, LatenessMeasuredPastTolerance) {
+  DeadlineMonitor monitor;
+  monitor.Report("video", SimTime::Millis(100), SimTime::Millis(150), SimTime::Millis(30));
+  EXPECT_EQ(monitor.TotalMissed(), 1);
+  // 150ms completion vs the 130ms tolerated deadline: 20ms past threshold.
   EXPECT_EQ(monitor.Stats("video").worst_lateness, SimTime::Millis(20));
+  EXPECT_EQ(monitor.Stats("video").total_lateness, SimTime::Millis(20));
+}
+
+TEST(DeadlineMonitorTest, OverrunTracksTheBareDeadline) {
+  DeadlineMonitor monitor;
+  // Tolerated event: no miss, no lateness, but a 20ms overrun past the bare
+  // deadline — the margin-erosion signal.
+  monitor.Report("video", SimTime::Millis(100), SimTime::Millis(120), SimTime::Millis(30));
+  EXPECT_EQ(monitor.TotalMissed(), 0);
+  EXPECT_EQ(monitor.Stats("video").worst_lateness, SimTime::Zero());
+  EXPECT_EQ(monitor.Stats("video").worst_overrun, SimTime::Millis(20));
+  // Early event leaves the overrun untouched.
+  monitor.Report("video", SimTime::Millis(100), SimTime::Millis(80), SimTime::Millis(30));
+  EXPECT_EQ(monitor.Stats("video").worst_overrun, SimTime::Millis(20));
+  EXPECT_EQ(monitor.WorstOverrun(), SimTime::Millis(20));
 }
 
 TEST(DeadlineMonitorTest, ExactlyAtToleranceBoundaryIsNotAMiss) {
@@ -85,6 +110,36 @@ TEST(DeadlineMonitorTest, UnknownStreamHasZeroStats) {
   EXPECT_EQ(stats.total, 0);
   EXPECT_EQ(stats.missed, 0);
   EXPECT_DOUBLE_EQ(stats.MissRate(), 0.0);
+}
+
+TEST(DeadlineMonitorTest, ReportRequestRecordsLatencyHistogram) {
+  DeadlineMonitor monitor;
+  // Arrival at 10ms, SLO 50ms, completion at 30ms: on time, 20ms latency.
+  monitor.ReportRequest("rpc", SimTime::Millis(10), SimTime::Millis(50), SimTime::Millis(30));
+  // Arrival at 100ms, completion at 180ms: 30ms past the SLO, 80ms latency.
+  monitor.ReportRequest("rpc", SimTime::Millis(100), SimTime::Millis(50), SimTime::Millis(180));
+  const auto stats = monitor.Stats("rpc");
+  EXPECT_EQ(stats.total, 2);
+  EXPECT_EQ(stats.missed, 1);
+  EXPECT_EQ(stats.worst_lateness, SimTime::Millis(30));
+  ASSERT_EQ(stats.latency_us.count(), 2u);
+  EXPECT_DOUBLE_EQ(stats.latency_us.min(), 20000.0);
+  EXPECT_DOUBLE_EQ(stats.latency_us.max(), 80000.0);
+  EXPECT_DOUBLE_EQ(stats.latency_us.mean(), 50000.0);
+}
+
+TEST(DeadlineMonitorTest, ReportRequestToleranceExtendsSlo) {
+  DeadlineMonitor monitor;
+  monitor.ReportRequest("rpc", SimTime::Zero(), SimTime::Millis(50), SimTime::Millis(60),
+                        SimTime::Millis(15));
+  EXPECT_EQ(monitor.TotalMissed(), 0);
+  EXPECT_EQ(monitor.Stats("rpc").worst_lateness, SimTime::Zero());
+}
+
+TEST(DeadlineMonitorTest, BareReportLeavesLatencyHistogramEmpty) {
+  DeadlineMonitor monitor;
+  monitor.Report("video", SimTime::Millis(100), SimTime::Millis(90));
+  EXPECT_EQ(monitor.Stats("video").latency_us.count(), 0u);
 }
 
 TEST(DeadlineMonitorTest, ClearResets) {
