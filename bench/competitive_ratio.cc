@@ -1,0 +1,276 @@
+// Competitive-ratio harness: every registered governor vs the offline
+// optimum, across the app x fault grid.
+//
+// Each run records its per-quantum full-speed work trace ("work_fs_us");
+// replaying that trace through the offline minimum-energy schedule
+// (RunOfflineOptimal) gives a lower bound in joules on ANY schedule that
+// executes the same work, so run_energy / optimal_energy >= 1.0 holds for
+// every governor by construction — this bench verifies it and exits
+// non-zero on a violation.  The deadline window D (how many quanta recorded
+// work may be deferred) is a post-processing axis: each run is scored
+// against D in {1, 5, 25} without re-running anything.
+//
+// How to read the tables: ratio 1.0 means the governor spent exactly the
+// lower bound (unreachable in practice — the bound may mix speeds
+// continuously and pays no switch costs); smaller is better; the gap
+// between a governor's ratio and the best ratio in its section is pure
+// policy inefficiency.  The final section aggregates per-governor geometric
+// means across the whole grid.
+//
+// Flags: the shared sweep/campaign set (--threads, --resume, ...), --quick
+// (small grid for CI), --report-out=FILE (atomic copy of the stdout report,
+// with trailing CRC).  Output is byte-identical across --threads.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/core/governor_registry.h"
+#include "src/exp/atomic_io.h"
+#include "src/exp/competitive.h"
+#include "src/exp/experiment.h"
+#include "src/exp/flags.h"
+#include "src/exp/obs_export.h"
+#include "src/exp/report.h"
+#include "src/exp/sweep.h"
+
+namespace dcs {
+namespace {
+
+constexpr double kRatioFloorTolerance = 1e-9;
+const std::vector<int> kDeadlineWindows = {1, 5, 25};
+
+struct Section {
+  std::string app;
+  std::string faults;  // "" = clean run
+
+  std::string Label() const {
+    return faults.empty() ? app : app + " + faults(" + faults + ")";
+  }
+};
+
+struct ScoredRun {
+  std::string governor;
+  ExperimentResult result;
+  std::map<int, CompetitiveScore> scores;  // keyed by deadline window
+  bool ok = true;                          // every window's ratio >= 1.0
+};
+
+bool IsIntervalSpec(const std::string& spec) {
+  return GovernorFamilyOf(spec).rfind("interval-", 0) == 0;
+}
+
+std::vector<Section> MakeSections(bool quick, const std::string& fault_override) {
+  const std::vector<std::string> apps =
+      quick ? std::vector<std::string>{"mpeg", "server"}
+            : std::vector<std::string>{"mpeg", "web", "chess", "editor", "server"};
+  std::vector<std::string> fault_axis{""};
+  if (!quick) {
+    fault_axis.push_back(fault_override.empty() ? "storm=0.35,seed=11" : fault_override);
+  } else if (!fault_override.empty()) {
+    fault_axis.push_back(fault_override);
+  }
+  std::vector<Section> sections;
+  for (const std::string& app : apps) {
+    for (const std::string& faults : fault_axis) {
+      sections.push_back({app, faults});
+    }
+  }
+  return sections;
+}
+
+ExperimentConfig MakeCell(const Section& section, const std::string& governor, bool quick,
+                          const SweepOptions& options) {
+  ExperimentConfig config;
+  config.app = section.app;
+  config.governor = governor;
+  config.seed = 7;
+  config.duration = quick ? SimTime::Seconds(3) : SimTime::Seconds(10);
+  if (section.app == "server") {
+    ServerConfig scenario;
+    scenario.duration = *config.duration;
+    config.server = scenario;
+  }
+  config.faults = section.faults;
+  config.capture_obs = options.WantsObsCapture();
+  return config;
+}
+
+std::string RatioCell(const ScoredRun& run, int window) {
+  return TextTable::Fixed(run.scores.at(window).ratio, 3);
+}
+
+// One section's table plus its verdict lines.
+void ReportSection(std::ostream& os, const Section& section, std::vector<ScoredRun>& runs) {
+  PrintHeading(os, "Competitive ratio — " + section.Label());
+  TextTable table({"governor", "work (s)", "energy (J)", "opt J (D=5)", "ratio D=1",
+                   "ratio D=5", "ratio D=25", "viol %", "verdict"});
+  for (const ScoredRun& run : runs) {
+    const auto& d5 = run.scores.at(5);
+    const double viol =
+        run.result.deadline_events > 0
+            ? static_cast<double>(run.result.deadline_misses) /
+                  static_cast<double>(run.result.deadline_events)
+            : 0.0;
+    table.AddRow({run.governor, TextTable::Fixed(d5.total_work_seconds, 2),
+                  TextTable::Fixed(d5.run_joules, 2), TextTable::Fixed(d5.optimal_joules, 2),
+                  RatioCell(run, 1), RatioCell(run, 5), RatioCell(run, 25),
+                  TextTable::Percent(viol), run.ok ? "ok" : "SUB-1.0!"});
+  }
+  table.Print(os);
+
+  // Best implementable policy in this section, by the D=5 ratio ("none" and
+  // the oracle-ish fixed points still count as baselines — the table shows
+  // them; the verdict names the winner outright).
+  const ScoredRun* best = nullptr;
+  for (const ScoredRun& run : runs) {
+    if (best == nullptr || run.scores.at(5).ratio < best->scores.at(5).ratio) {
+      best = &run;
+    }
+  }
+  if (best != nullptr) {
+    char line[160];
+    std::snprintf(line, sizeof(line), "Best ratio (D=5): %s at %.3f\n",
+                  best->governor.c_str(), best->scores.at(5).ratio);
+    os << line;
+  }
+
+  // The acceptance question for the feedback governor: does closing the loop
+  // beat every open-loop interval policy on this section?
+  const ScoredRun* pid = nullptr;
+  const ScoredRun* best_interval = nullptr;
+  for (const ScoredRun& run : runs) {
+    if (GovernorFamilyOf(run.governor) == "pid") {
+      if (pid == nullptr || run.scores.at(5).ratio < pid->scores.at(5).ratio) {
+        pid = &run;
+      }
+    } else if (IsIntervalSpec(run.governor)) {
+      if (best_interval == nullptr ||
+          run.scores.at(5).ratio < best_interval->scores.at(5).ratio) {
+        best_interval = &run;
+      }
+    }
+  }
+  if (pid != nullptr && best_interval != nullptr) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "Feedback vs interval (D=5): %s %.3f vs %s %.3f — feedback %s\n",
+                  pid->governor.c_str(), pid->scores.at(5).ratio,
+                  best_interval->governor.c_str(), best_interval->scores.at(5).ratio,
+                  pid->scores.at(5).ratio < best_interval->scores.at(5).ratio ? "wins"
+                                                                              : "loses");
+    os << line;
+  }
+}
+
+int Run(bool quick, const SweepOptions& options, const std::string& report_out) {
+  std::ostringstream report;
+  PrintHeading(report, "Competitive ratio — governors vs the offline optimum");
+
+  const std::vector<Section> sections = MakeSections(quick, options.faults);
+  const std::vector<std::string> governors = AllGovernorSpecs();
+
+  // One flat grid so a campaign journal (--resume) covers the whole bench.
+  std::vector<ExperimentConfig> configs;
+  configs.reserve(sections.size() * governors.size());
+  for (const Section& section : sections) {
+    for (const std::string& governor : governors) {
+      configs.push_back(MakeCell(section, governor, quick, options));
+    }
+  }
+  std::vector<ExperimentResult> results = RunSweep(configs, options);
+
+  const EnergyModel model = MakeItsyEnergyModel(ItsyConfig{}.power);
+  const double quantum_seconds = KernelConfig{}.quantum.ToSeconds();
+
+  int violations = 0;
+  std::map<std::string, std::map<int, double>> log_ratio_sums;  // governor -> D -> sum
+  std::map<std::string, double> worst_ratio;
+  std::size_t index = 0;
+  for (const Section& section : sections) {
+    std::vector<ScoredRun> runs;
+    runs.reserve(governors.size());
+    for (const std::string& governor : governors) {
+      ScoredRun run{governor, std::move(results[index++]), {}, true};
+      for (const int window : kDeadlineWindows) {
+        const CompetitiveScore score =
+            ScoreCompetitive(run.result, window, model, quantum_seconds);
+        if (score.ratio < 1.0 - kRatioFloorTolerance) {
+          run.ok = false;
+          ++violations;
+        }
+        StampCompetitiveMetrics(run.result, window, score);
+        log_ratio_sums[governor][window] += std::log(std::max(score.ratio, 1e-12));
+        auto [it, inserted] = worst_ratio.emplace(governor, score.ratio);
+        if (!inserted) {
+          it->second = std::max(it->second, score.ratio);
+        }
+        run.scores.emplace(window, score);
+      }
+      run.result.metrics.Gauge("ratio.ok").Set(run.ok ? 1.0 : 0.0);
+      runs.push_back(std::move(run));
+    }
+    ReportSection(report, section, runs);
+    for (ScoredRun& run : runs) {
+      results[index - governors.size() + (&run - runs.data())] = std::move(run.result);
+    }
+  }
+
+  // Cross-grid headline: per-governor geometric-mean ratio per window.
+  PrintHeading(report, "Per-governor summary (geometric mean across the grid)");
+  TextTable summary({"governor", "geomean D=1", "geomean D=5", "geomean D=25", "worst"});
+  const double section_count = static_cast<double>(sections.size());
+  for (const std::string& governor : governors) {
+    std::vector<std::string> row{governor};
+    for (const int window : kDeadlineWindows) {
+      row.push_back(TextTable::Fixed(
+          std::exp(log_ratio_sums[governor][window] / section_count), 3));
+    }
+    row.push_back(TextTable::Fixed(worst_ratio[governor], 3));
+    summary.AddRow(std::move(row));
+  }
+  summary.Print(report);
+  if (violations == 0) {
+    report << "All " << results.size() << " runs scored ratio >= 1.0 for every deadline "
+           << "window — the offline bound held.\n";
+  } else {
+    report << violations << " run/window combinations scored BELOW 1.0 — the offline "
+           << "bound is broken; see SUB-1.0! rows above.\n";
+  }
+
+  std::cout << report.str();
+  if (!report_out.empty()) {
+    std::string error;
+    AtomicWriteOptions write_options;
+    write_options.trailing_crc = true;
+    if (!AtomicWriteFile(report_out, report.str(), &error, write_options)) {
+      std::fprintf(stderr, "[report] %s\n", error.c_str());
+      return 2;
+    }
+  }
+  std::string obs_error;
+  if (!ExportObsArtifacts(options, results, &obs_error)) {
+    std::fprintf(stderr, "[obs] %s\n", obs_error.c_str());
+  }
+  return violations == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace dcs
+
+int main(int argc, char** argv) {
+  dcs::SweepOptions options;
+  bool quick = false;
+  std::string report_out;
+  dcs::FlagSet flags;
+  dcs::RegisterSweepFlags(flags, &options);
+  flags.Switch("quick", &quick);
+  flags.String("report-out", &report_out);
+  flags.Alias("out", "report-out");
+  flags.ParseOrExit(argc, argv);
+  return dcs::Run(quick, options, report_out);
+}

@@ -4,8 +4,10 @@
 #include <cctype>
 #include <cstdlib>
 
+#include "src/core/adaptive_governor.h"
 #include "src/core/cycle_count_governor.h"
 #include "src/core/deadline_governor.h"
+#include "src/core/feedback_governor.h"
 #include "src/core/fixed_policy.h"
 #include "src/core/govil_policies.h"
 #include "src/core/interval_governor.h"
@@ -216,6 +218,46 @@ std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* 
     }
     return std::make_unique<DeadlineGovernor>(config);
   }
+  if (lower.rfind("pid", 0) == 0) {
+    // "pid" | "pid-<kp>-<ki>-<kd>" | with optional "-vs" suffix.
+    FeedbackGovernorConfig config;
+    std::string body = lower.substr(3);
+    if (body.size() >= 3 && body.substr(body.size() - 3) == "-vs") {
+      config.voltage_scaling = true;
+      body = body.substr(0, body.size() - 3);
+    }
+    if (!body.empty()) {
+      bool ok = body[0] == '-';
+      std::vector<std::string> gains;
+      if (ok) {
+        gains = Split(body.substr(1), '-');
+        ok = gains.size() == 3 && ParseDouble(gains[0], &config.kp) &&
+             ParseDouble(gains[1], &config.ki) && ParseDouble(gains[2], &config.kd) &&
+             config.kp >= 0.0 && config.ki >= 0.0 && config.kd >= 0.0;
+      }
+      if (!ok) {
+        SetError(error, "bad gains in '" + spec + "' (e.g. pid-0.5-0.4-0.05)");
+        return nullptr;
+      }
+    }
+    return std::make_unique<FeedbackGovernor>(config);
+  }
+  if (lower.rfind("adaptive", 0) == 0) {
+    // "adaptive" | "adaptive-<eta>" | with optional "-vs" suffix.
+    AdaptiveGovernorConfig config;
+    std::string body = lower.substr(8);
+    if (body.size() >= 3 && body.substr(body.size() - 3) == "-vs") {
+      config.voltage_scaling = true;
+      body = body.substr(0, body.size() - 3);
+    }
+    if (!body.empty()) {
+      if (body[0] != '-' || !ParseDouble(body.substr(1), &config.eta) || config.eta <= 0.0) {
+        SetError(error, "bad learning rate in '" + spec + "' (e.g. adaptive-2.0)");
+        return nullptr;
+      }
+    }
+    return std::make_unique<AdaptiveGovernor>(config);
+  }
   return MakeInterval(spec, error);
 }
 
@@ -248,7 +290,93 @@ std::vector<std::string> AllGovernorSpecs() {
       "LS-peg-peg-93-98",
       "CYCLE10-peg-peg-93-98",
       "PEAK-peg-peg-93-98",
+      "pid-vs",
+      "adaptive-vs",
   };
+}
+
+std::vector<GovernorFamily> GovernorFamilies() {
+  return {
+      {"none", "none"},
+      {"fixed", "fixed-206.4"},
+      {"cycles", "cycles4"},
+      {"satrate", "satrate4"},
+      {"deadline", "deadline"},
+      {"ondemand", "ondemand"},
+      {"schedutil", "schedutil"},
+      {"flat", "flat-75"},
+      {"pid", "pid-vs"},
+      {"adaptive", "adaptive-vs"},
+      {"interval-past", "PAST-peg-peg-93-98"},
+      {"interval-avg", "AVG9-one-one-50-70"},
+      {"interval-win", "WIN10-peg-peg-93-98"},
+      {"interval-ls", "LS-peg-peg-93-98"},
+      {"interval-cycle", "CYCLE10-peg-peg-93-98"},
+      {"interval-peak", "PEAK-peg-peg-93-98"},
+  };
+}
+
+std::string GovernorFamilyOf(const std::string& spec) {
+  // Mirrors MakeGovernor's dispatch order exactly; a new constructor branch
+  // there needs a matching branch here (and a GovernorFamilies() row) or the
+  // registry-completeness test fails.
+  const std::string lower = Lower(spec);
+  if (lower.empty() || lower == "none") {
+    return "none";
+  }
+  if (lower == "ondemand") {
+    return "ondemand";
+  }
+  if (lower == "schedutil") {
+    return "schedutil";
+  }
+  if (lower.rfind("fixed-", 0) == 0) {
+    return "fixed";
+  }
+  if (lower.rfind("cycles", 0) == 0) {
+    return "cycles";
+  }
+  if (lower.rfind("flat-", 0) == 0) {
+    return "flat";
+  }
+  if (lower.rfind("satrate", 0) == 0) {
+    return "satrate";
+  }
+  if (lower.rfind("deadline", 0) == 0) {
+    return "deadline";
+  }
+  if (lower.rfind("pid", 0) == 0) {
+    return "pid";
+  }
+  if (lower.rfind("adaptive", 0) == 0) {
+    return "adaptive";
+  }
+  // Interval grammar: classify by the predictor token.
+  const std::vector<std::string> parts = Split(lower, '-');
+  if (parts.empty()) {
+    return "";
+  }
+  const std::string& pred = parts[0];
+  if (pred == "past") {
+    return "interval-past";
+  }
+  if (pred == "ls") {
+    return "interval-ls";
+  }
+  if (pred == "peak") {
+    return "interval-peak";
+  }
+  int n = 0;
+  if (pred.rfind("avg", 0) == 0 && ParseInt(pred.substr(3), &n)) {
+    return "interval-avg";
+  }
+  if (pred.rfind("win", 0) == 0 && ParseInt(pred.substr(3), &n)) {
+    return "interval-win";
+  }
+  if (pred.rfind("cycle", 0) == 0 && ParseInt(pred.substr(5), &n)) {
+    return "interval-cycle";
+  }
+  return "";
 }
 
 }  // namespace dcs

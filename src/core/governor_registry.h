@@ -12,6 +12,11 @@
 //        e.g. "PAST-peg-peg-93-98", "AVG9-one-one-50-70-vs"
 //   "cycles<window>"           the naive Figure 5 policy, e.g. "cycles4"
 //   "ondemand" | "schedutil"   modern baselines
+//   "pid[-<kp>-<ki>-<kd>][-vs]"  feedback governor on deadline slack +
+//                              utilization error, e.g. "pid-0.5-0.4-0.05-vs"
+//                              (default gains when omitted)
+//   "adaptive[-<eta>][-vs]"    multiplicative-weights learner over a
+//                              PAST/AVG/WIN expert pool, e.g. "adaptive-2.0"
 //   "none"                     no policy (returns nullptr with no error)
 
 #ifndef SRC_CORE_GOVERNOR_REGISTRY_H_
@@ -33,12 +38,28 @@ std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* 
 // Specs of the policies highlighted by the paper, for sweep benches.
 std::vector<std::string> PaperGovernorSpecs();
 
-// The full 18-governor slate: every policy family the registry can build —
+// The full 20-governor slate: every policy family the registry can build —
 // fixed points, the PAST/AVG/WIN/LS/CYCLE/PEAK interval variants, cycle- and
 // saturation-counters, the deadline pair, the Linux-style governors, flat
-// utilization, and "none".  Shared by the fault-storm suite and the server
-// SLO bench so "all governors" means the same thing everywhere.
+// utilization, the feedback (PID) and adaptive learners, and "none".  Shared
+// by the fault-storm suite, the server SLO bench and the competitive-ratio
+// harness so "all governors" means the same thing everywhere.
 std::vector<std::string> AllGovernorSpecs();
+
+// One entry per constructor family the registry's grammar can reach, with an
+// example spec that builds it.  The registry-completeness test cross-checks
+// this table against AllGovernorSpecs(): registering a new governor family
+// without representing it in the slate (or here) fails that test loudly.
+struct GovernorFamily {
+  std::string family;        // e.g. "interval-avg", "pid"
+  std::string example_spec;  // a spec MakeGovernor accepts for this family
+};
+std::vector<GovernorFamily> GovernorFamilies();
+
+// Classifies `spec` into the family its constructor branch belongs to
+// (syntactic dispatch only — the spec may still fail detailed validation in
+// MakeGovernor).  Returns "" for specs no branch claims.
+std::string GovernorFamilyOf(const std::string& spec);
 
 }  // namespace dcs
 

@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <deque>
 #include <numeric>
+#include <stdexcept>
+
+#include "src/hw/power_model.h"
 
 namespace dcs {
 namespace {
@@ -70,6 +74,267 @@ OracleResult RunWeiserPastOracle(std::span<const double> work, double min_speed)
     previous_pending = excess + std::clamp(work[i], 0.0, 1.0);
     return s;
   });
+}
+
+// --- Offline optimal ---------------------------------------------------------
+
+double EnergyModel::AboveIdleWatts(double speed) const {
+  if (speeds.empty()) {
+    return 0.0;
+  }
+  double s = std::clamp(speed, 0.0, speeds.back());
+  // Walk the hull segments from the implicit origin.
+  double x0 = 0.0;
+  double y0 = 0.0;
+  for (std::size_t i = 0; i < speeds.size(); ++i) {
+    if (s <= speeds[i] + kEps) {
+      const double dx = speeds[i] - x0;
+      if (dx <= kEps) {
+        return watts_above_idle[i];
+      }
+      return y0 + (watts_above_idle[i] - y0) * (s - x0) / dx;
+    }
+    x0 = speeds[i];
+    y0 = watts_above_idle[i];
+  }
+  return watts_above_idle.back();
+}
+
+EnergyModel MakeItsyEnergyModel(const PowerModelParams& params) {
+  const PowerModel pm(params);
+  // Peripheral assumption: display on, audio off — the app bundle never
+  // blanks the display, and audio (MPEG playback) only ever *adds* power, so
+  // this floor never overstates what a real run must spend.
+  const PeripheralState periph;
+
+  // Idle floor: the cheapest nap state over all steps and legal rails.  Busy
+  // and stall states draw strictly more under the calibrated parameters, so
+  // this is the least system power any instant of any schedule can draw.
+  EnergyModel model;
+  model.idle_watts = pm.SystemWatts(ExecState::kNap, 0,
+                                    VoltageVolts(CoreVoltage::kLow), periph);
+  for (int step = 0; step < kNumClockSteps; ++step) {
+    for (const CoreVoltage v : {CoreVoltage::kHigh, CoreVoltage::kLow}) {
+      if (!VoltageRegulator::StepAllowedAt(v, step)) {
+        continue;
+      }
+      model.idle_watts = std::min(
+          model.idle_watts, pm.SystemWatts(ExecState::kNap, step, VoltageVolts(v), periph));
+    }
+  }
+
+  // Achievable busy points: per step, the cheapest legal rail, above the
+  // idle floor.  Steps are already in ascending frequency order.
+  struct Pt {
+    double s;
+    double w;
+  };
+  std::vector<Pt> points;
+  points.push_back({0.0, 0.0});  // napping: zero work at the idle floor
+  const double top_mhz = ClockTable::FrequencyMhz(ClockTable::MaxStep());
+  for (int step = 0; step < kNumClockSteps; ++step) {
+    double busy = pm.SystemWatts(ExecState::kBusy, step, VoltageVolts(CoreVoltage::kHigh), periph);
+    if (VoltageRegulator::StepAllowedAt(CoreVoltage::kLow, step)) {
+      busy = std::min(busy, pm.SystemWatts(ExecState::kBusy, step,
+                                           VoltageVolts(CoreVoltage::kLow), periph));
+    }
+    points.push_back(
+        {ClockTable::FrequencyMhz(step) / top_mhz, std::max(0.0, busy - model.idle_watts)});
+  }
+
+  // Lower convex hull (Andrew's monotone chain, points sorted by speed).
+  // Vertices on or above a chord are dropped: time-sharing the chord's
+  // endpoint states beats running at the dominated point.
+  std::vector<Pt> hull;
+  for (const Pt& p : points) {
+    while (hull.size() >= 2) {
+      const Pt& a = hull[hull.size() - 2];
+      const Pt& b = hull[hull.size() - 1];
+      const double cross = (b.s - a.s) * (p.w - a.w) - (b.w - a.w) * (p.s - a.s);
+      if (cross <= 0.0) {
+        hull.pop_back();
+      } else {
+        break;
+      }
+    }
+    hull.push_back(p);
+  }
+  for (std::size_t i = 1; i < hull.size(); ++i) {  // skip the explicit origin
+    model.speeds.push_back(hull[i].s);
+    model.watts_above_idle.push_back(hull[i].w);
+  }
+  return model;
+}
+
+namespace {
+
+// Taut string through the corridor lower[k] <= C(k) <= upper[k], k = 0..n,
+// from (0, lower[0]) to (n, upper[n]) (callers pin lower[0] == upper[0] and
+// lower[n] == upper[n]).  Returns the string's knot points.  Funnel
+// algorithm: from the current apex we grow the greatest convex minorant of
+// upcoming ceiling vertices and the least concave majorant of upcoming floor
+// vertices; when the two first directions cross, the blocking boundary's
+// vertex becomes a knot and the apex advances to it.
+struct Knot {
+  int x;
+  double y;
+};
+
+double KnotSlope(const Knot& a, const Knot& b) {
+  return (b.y - a.y) / static_cast<double>(b.x - a.x);
+}
+
+std::vector<Knot> TautString(std::span<const double> lower, std::span<const double> upper) {
+  const int n = static_cast<int>(upper.size()) - 1;
+  std::vector<Knot> knots;
+  knots.push_back({0, upper[0]});
+  if (n <= 0) {
+    return knots;
+  }
+  Knot apex{0, upper[0]};
+  std::deque<Knot> up;  // convex minorant of ceiling vertices past the apex
+  std::deque<Knot> lo;  // concave majorant of floor vertices past the apex
+
+  const auto advance_apex = [&](Knot to) {
+    knots.push_back(to);
+    apex = to;
+  };
+
+  for (int k = 1; k <= n; ++k) {
+    // Ceiling vertex: convexify, then check whether the string is now pressed
+    // onto the floor (ceiling's first direction dips below the floor's).
+    const Knot uk{k, upper[static_cast<std::size_t>(k)]};
+    while (!up.empty()) {
+      const Knot& prev = up.size() >= 2 ? up[up.size() - 2] : apex;
+      if (KnotSlope(prev, up.back()) >= KnotSlope(up.back(), uk)) {
+        up.pop_back();
+      } else {
+        break;
+      }
+    }
+    up.push_back(uk);
+    while (!lo.empty() && KnotSlope(apex, up.front()) < KnotSlope(apex, lo.front())) {
+      advance_apex(lo.front());
+      lo.pop_front();
+      while (up.size() >= 2 && KnotSlope(apex, up.front()) >= KnotSlope(up.front(), up[1])) {
+        up.pop_front();
+      }
+    }
+
+    // Floor vertex: concavify, then check whether the string is pressed onto
+    // the ceiling.
+    const Knot lk{k, lower[static_cast<std::size_t>(k)]};
+    while (!lo.empty()) {
+      const Knot& prev = lo.size() >= 2 ? lo[lo.size() - 2] : apex;
+      if (KnotSlope(prev, lo.back()) <= KnotSlope(lo.back(), lk)) {
+        lo.pop_back();
+      } else {
+        break;
+      }
+    }
+    lo.push_back(lk);
+    while (!up.empty() && KnotSlope(apex, lo.front()) > KnotSlope(apex, up.front())) {
+      advance_apex(up.front());
+      up.pop_front();
+      while (lo.size() >= 2 && KnotSlope(apex, lo.front()) <= KnotSlope(lo.front(), lo[1])) {
+        lo.pop_front();
+      }
+    }
+  }
+
+  // Both boundaries end pinned at (n, upper[n]); the crossing checks above
+  // have advanced the apex until the straight run to the endpoint is taut
+  // (any surviving chain vertices are collinear with it).
+  if (knots.back().x != n) {
+    knots.push_back({n, upper[static_cast<std::size_t>(n)]});
+  }
+  return knots;
+}
+
+}  // namespace
+
+OfflineOptimalResult RunOfflineOptimal(std::span<const double> work, double interval_seconds,
+                                       int deadline_quanta, const EnergyModel& model) {
+  if (interval_seconds <= 0.0) {
+    throw std::invalid_argument("RunOfflineOptimal: interval_seconds must be positive");
+  }
+  if (deadline_quanta < 1) {
+    throw std::invalid_argument("RunOfflineOptimal: deadline_quanta must be >= 1");
+  }
+  if (model.speeds.empty() || model.speeds.size() != model.watts_above_idle.size()) {
+    throw std::invalid_argument("RunOfflineOptimal: energy model hull is empty or malformed");
+  }
+
+  OfflineOptimalResult result;
+  const std::size_t n = work.size();
+  if (n == 0) {
+    return result;
+  }
+
+  // Cumulative arrivals; entries clamped to what the top step can execute in
+  // one interval (tick jitter can stretch a quantum — never let the recorded
+  // trace demand more than full speed, which would poison the lower bound).
+  std::vector<double> cum(n + 1, 0.0);
+  for (std::size_t t = 0; t < n; ++t) {
+    cum[t + 1] = cum[t] + std::clamp(work[t], 0.0, interval_seconds);
+  }
+
+  // Corridor: by index k the schedule may have executed at most the work that
+  // has arrived (upper = cum[k]) and must have finished everything whose
+  // deadline window [t, t + D) has closed (lower = cum[k - D + 1]); the final
+  // index is pinned so all work completes within the trace.  The governor's
+  // own schedule C = cum is feasible for every D >= 1, so the minimum here
+  // never exceeds what the measured run actually did.
+  std::vector<double> lower(n + 1, 0.0);
+  for (std::size_t k = 0; k <= n; ++k) {
+    lower[k] = k >= static_cast<std::size_t>(deadline_quanta)
+                   ? cum[k - static_cast<std::size_t>(deadline_quanta) + 1]
+                   : 0.0;
+  }
+  lower[n] = cum[n];
+
+  const std::vector<Knot> knots = TautString(lower, cum);
+  result.work.assign(n, 0.0);
+  for (std::size_t i = 1; i < knots.size(); ++i) {
+    const Knot& a = knots[i - 1];
+    const Knot& b = knots[i];
+    if (b.x <= a.x) {
+      continue;
+    }
+    const double per_interval = std::clamp(KnotSlope(a, b), 0.0, interval_seconds);
+    for (int t = a.x; t < b.x; ++t) {
+      result.work[static_cast<std::size_t>(t)] = per_interval;
+    }
+  }
+
+  // Belt and braces: the taut string minimises every convex interval cost,
+  // but the recorded schedule itself is always feasible — if numerics ever
+  // made the solver come out above it, fall back so the caller's ratio >= 1
+  // guarantee holds by construction.
+  const auto above_idle = [&](const std::vector<double>& per_interval_work) {
+    double joules = 0.0;
+    for (const double c : per_interval_work) {
+      joules += interval_seconds * model.AboveIdleWatts(c / interval_seconds);
+    }
+    return joules;
+  };
+  result.above_idle_joules = above_idle(result.work);
+  std::vector<double> replicated(work.begin(), work.end());
+  for (double& c : replicated) {
+    c = std::clamp(c, 0.0, interval_seconds);
+  }
+  const double replicated_joules = above_idle(replicated);
+  if (replicated_joules < result.above_idle_joules) {
+    result.above_idle_joules = replicated_joules;
+    result.work = std::move(replicated);
+  }
+
+  result.energy_joules =
+      result.above_idle_joules + static_cast<double>(n) * interval_seconds * model.idle_watts;
+  for (const double c : result.work) {
+    result.peak_speed = std::max(result.peak_speed, c / interval_seconds);
+  }
+  return result;
 }
 
 }  // namespace dcs

@@ -28,6 +28,8 @@
 #include <span>
 #include <vector>
 
+#include "src/hw/power_model.h"
+
 namespace dcs {
 
 struct OracleResult {
@@ -62,6 +64,75 @@ OracleResult RunFutureOracle(std::span<const double> work, double min_speed);
 // finished the *previous* interval's work (arrivals plus carried excess) —
 // information a real kernel does not have, which is the paper's point.
 OracleResult RunWeiserPastOracle(std::span<const double> work, double min_speed);
+
+// ---------------------------------------------------------------------------
+// Offline optimal in physical units — the other side of the ledger.
+//
+// The Weiser oracles above replay abstract utilization traces under the ideal
+// quadratic energy model.  The competitive-ratio harness needs a harder
+// object: a *lower bound in joules* on what any schedule could have spent to
+// execute the work a real simulated run performed, so that
+// measured_energy / optimal_energy >= 1 holds for every governor by
+// construction.  Two pieces:
+//
+//  * EnergyModel — the busy power the hardware can reach at each relative
+//    speed, reduced to its lower convex hull over {(0, 0)} ∪ {(s_k, P_k −
+//    P_idle)} with P_k the system busy watts at step k under the best legal
+//    rail, and P_idle the cheapest nap state.  Mixing the hull's vertex
+//    states time-shares any point on a chord, so the hull is exactly the
+//    least above-idle energy rate achievable at a given average speed, and by
+//    Jensen's inequality no real schedule beats it.  (The hull from the
+//    origin is what makes "race to the most efficient step, then nap" come
+//    out optimal when static power dominates — the paper's own observation.)
+//
+//  * RunOfflineOptimal — a Yao–Demers–Shenker-style minimum-energy schedule
+//    (Li/Yao/Yuan compute the same object faster) for the per-interval work
+//    trace: work recorded in interval t may be rescheduled anywhere in
+//    [t, t + deadline_quanta).  With cumulative arrivals as the upper
+//    obstacle and the deadline-shifted staircase as the lower obstacle, the
+//    minimum of sum_t hull(c_t) over feasible cumulative profiles is the taut
+//    string pulled through that corridor — the unique path minimising every
+//    convex flow cost simultaneously, whose contact points are YDS's critical
+//    intervals.  deadline_quanta = 1 degenerates to run-in-place (FUTURE),
+//    deadline_quanta >= trace length to Weiser's single-speed OPT.
+// ---------------------------------------------------------------------------
+
+// Above-idle busy-power hull plus the idle floor.  Speeds are relative to
+// the top step (ascending, in (0, 1]); watts_above_idle are the hull's vertex
+// powers.  Vertices always start at the implicit origin (0 W at speed 0).
+struct EnergyModel {
+  std::vector<double> speeds;
+  std::vector<double> watts_above_idle;
+  double idle_watts = 0.0;
+
+  // Least achievable above-idle watts while averaging `speed` (piecewise
+  // linear hull evaluation; `speed` is clamped into [0, max vertex speed]).
+  double AboveIdleWatts(double speed) const;
+};
+
+// Builds the hull for the Itsy: system busy watts per clock step at the best
+// rail legal for that step, display on, audio off, above the cheapest nap
+// state.  `params` must match the ItsyConfig of the runs being judged.
+EnergyModel MakeItsyEnergyModel(const PowerModelParams& params = {});
+
+struct OfflineOptimalResult {
+  // Work executed per interval by the optimal schedule, full-speed seconds.
+  std::vector<double> work;
+  // Lower-bound energy: above_idle_joules + intervals * quantum * idle watts.
+  double energy_joules = 0.0;
+  double above_idle_joules = 0.0;
+  // Fastest average interval speed the schedule needs (diagnostics).
+  double peak_speed = 0.0;
+};
+
+// Computes the offline minimum-energy schedule for `work` (per-interval
+// full-speed-equivalent busy seconds, each entry clamped to
+// [0, interval_seconds]).  Work recorded in interval t must be executed
+// within [t, t + deadline_quanta); all of it must be done by the end of the
+// trace.  Throws std::invalid_argument on interval_seconds <= 0,
+// deadline_quanta < 1 or an empty model hull.
+OfflineOptimalResult RunOfflineOptimal(std::span<const double> work, double interval_seconds,
+                                       int deadline_quanta, const EnergyModel& model);
 
 }  // namespace dcs
 

@@ -1,0 +1,53 @@
+#include "src/exp/competitive.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace dcs {
+
+std::vector<double> WorkTraceFromResult(const ExperimentResult& result) {
+  const TraceSeries* series = result.sink.Find("work_fs_us");
+  if (series == nullptr) {
+    return {};
+  }
+  std::vector<double> work;
+  work.reserve(series->size());
+  for (const TracePoint& point : series->points()) {
+    work.push_back(std::max(0.0, point.value) * 1e-6);
+  }
+  return work;
+}
+
+CompetitiveScore ScoreCompetitive(const ExperimentResult& result, int deadline_quanta,
+                                  const EnergyModel& model, double quantum_seconds) {
+  CompetitiveScore score;
+  score.run_joules = result.exact_energy_joules;
+  const std::vector<double> work = WorkTraceFromResult(result);
+  if (work.empty()) {
+    return score;
+  }
+  const OfflineOptimalResult opt =
+      RunOfflineOptimal(work, quantum_seconds, deadline_quanta, model);
+  score.optimal_joules = opt.energy_joules;
+  score.opt_peak_speed = opt.peak_speed;
+  for (const double w : work) {
+    score.total_work_seconds += std::clamp(w, 0.0, quantum_seconds);
+  }
+  if (score.optimal_joules > 0.0) {
+    score.ratio = score.run_joules / score.optimal_joules;
+  }
+  return score;
+}
+
+void StampCompetitiveMetrics(ExperimentResult& result, int deadline_quanta,
+                             const CompetitiveScore& score) {
+  char name[48];
+  std::snprintf(name, sizeof(name), "ratio.d%d", deadline_quanta);
+  result.metrics.Gauge(name).Set(score.ratio);
+  std::snprintf(name, sizeof(name), "ratio.d%d.opt_joules", deadline_quanta);
+  result.metrics.Gauge(name).Set(score.optimal_joules);
+  std::snprintf(name, sizeof(name), "ratio.d%d.opt_peak_speed", deadline_quanta);
+  result.metrics.Gauge(name).Set(score.opt_peak_speed);
+}
+
+}  // namespace dcs

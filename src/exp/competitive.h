@@ -1,0 +1,53 @@
+// Competitive-ratio plumbing: scores a finished experiment against the
+// offline minimum-energy schedule for the work it actually executed.
+//
+// The kernel records "work_fs_us" — full-speed-equivalent busy microseconds
+// per quantum, excluding tick/yield/stall overhead (kernel.h).  Replaying
+// that trace through RunOfflineOptimal (oracle.h) yields a lower bound in
+// joules on any schedule that executes the same work under a deadline window
+// of D quanta; the run's power-tape ground truth divided by the bound is its
+// competitive ratio.  Because the run's own schedule is feasible for every
+// D >= 1 and the bound's energy rate under-approximates the hardware at
+// every speed, ratio >= 1.0 holds for every governor by construction — the
+// harness test enforces it.
+//
+// The deadline window is a pure post-processing axis: one run is scored
+// against several windows without re-running anything.
+
+#ifndef SRC_EXP_COMPETITIVE_H_
+#define SRC_EXP_COMPETITIVE_H_
+
+#include <vector>
+
+#include "src/core/oracle.h"
+#include "src/exp/experiment.h"
+
+namespace dcs {
+
+// Per-quantum full-speed work in seconds from the result's "work_fs_us"
+// series; empty if the run recorded no quanta.
+std::vector<double> WorkTraceFromResult(const ExperimentResult& result);
+
+struct CompetitiveScore {
+  double run_joules = 0.0;      // power-tape ground truth for the run
+  double optimal_joules = 0.0;  // offline lower bound for the same work
+  double ratio = 1.0;           // run / optimal (1.0 when the bound is 0)
+  double total_work_seconds = 0.0;
+  double opt_peak_speed = 0.0;  // fastest interval speed the bound needs
+};
+
+// Scores `result` against the offline optimum under a deadline window of
+// `deadline_quanta`.  `model` must be built from the same PowerModelParams
+// the run used, and `quantum_seconds` from the same KernelConfig.
+CompetitiveScore ScoreCompetitive(const ExperimentResult& result, int deadline_quanta,
+                                  const EnergyModel& model, double quantum_seconds);
+
+// Stamps a score into the result's metrics registry as gauges
+// ("ratio.d<D>", "ratio.d<D>.opt_joules", "ratio.d<D>.opt_peak_speed"), so
+// --metrics-out artifacts carry the ratios.
+void StampCompetitiveMetrics(ExperimentResult& result, int deadline_quanta,
+                             const CompetitiveScore& score);
+
+}  // namespace dcs
+
+#endif  // SRC_EXP_COMPETITIVE_H_

@@ -124,6 +124,8 @@ void Kernel::AccountSegment() {
   step_residency_[static_cast<std::size_t>(itsy_.step())] += elapsed;
   if (current_ != nullptr) {
     busy_in_quantum_ += elapsed;
+    work_in_quantum_us_ += elapsed.ToMicrosF() * ClockTable::FrequencyMhz(itsy_.step()) /
+                           ClockTable::FrequencyMhz(ClockTable::MaxStep());
     total_busy_ += elapsed;
     current_->AddCpuTime(elapsed);
     if (current_->action().kind == Action::Kind::kCompute) {
@@ -150,6 +152,7 @@ void Kernel::Tick() {
   utilization = std::clamp(utilization, 0.0, 1.0);
   last_utilization_ = utilization;
   sink_.Series("utilization").Append(quantum_start_, utilization);
+  sink_.Series("work_fs_us").Append(quantum_start_, work_in_quantum_us_);
   if (ctr_quanta_ != nullptr) {
     ctr_quanta_->Inc();
     hist_quantum_busy_us_->Observe(static_cast<double>(busy_in_quantum_.micros()));
@@ -164,6 +167,7 @@ void Kernel::Tick() {
   sample.quantum_index = quantum_index_;
 
   busy_in_quantum_ = SimTime::Zero();
+  work_in_quantum_us_ = 0.0;
   quantum_start_ = now;
   ++quantum_index_;
   if (faults_ != nullptr) {

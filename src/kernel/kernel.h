@@ -114,8 +114,12 @@ class Kernel {
   SchedLog& sched_log() { return sched_log_; }
 
   // Recorded series: "utilization" (one point per quantum, at quantum start),
-  // "freq_mhz" (one point per clock change) and "core_volts" (one point per
-  // rail transition).
+  // "work_fs_us" (one point per quantum: microseconds of full-speed-equivalent
+  // work executed, i.e. busy task-execution time scaled by step speed /
+  // top-step speed — the trace the offline-optimal replay consumes; tick
+  // overhead, yield costs and relock stalls are deliberately excluded so the
+  // trace never overstates executed work), "freq_mhz" (one point per clock
+  // change) and "core_volts" (one point per rail transition).
   TraceSink& sink() { return sink_; }
 
   // Binds the observability registry (non-owning; may be null to unbind).
@@ -214,6 +218,9 @@ class Kernel {
 
   SimTime quantum_start_;
   SimTime busy_in_quantum_;
+  // Full-speed-equivalent work executed this quantum, in microseconds (see
+  // the "work_fs_us" series note above).
+  double work_in_quantum_us_ = 0.0;
   std::uint64_t quantum_index_ = 0;
   double last_utilization_ = 0.0;
   SimTime total_busy_;

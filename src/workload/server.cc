@@ -53,15 +53,12 @@ std::vector<double> PoissonArrivalTimes(Rng& rng, const ServerConfig& config) {
 }
 
 // 2-state Markov-modulated Poisson process.  Dwell times are exponential;
-// the calm-state rate is solved so the long-run mean stays at rate_rps:
-//   f_calm * r_calm + f_burst * (factor * r_calm) = rate_rps
-// with f_* the stationary dwell fractions.
+// the calm-state rate comes from MmppCalmRateRps (declared in the header so
+// the property test can check the solve analytically).
 std::vector<double> BurstyArrivalTimes(Rng& rng, const ServerConfig& config) {
   const double calm_dwell = config.calm_dwell_mean.ToSeconds();
   const double burst_dwell = config.burst_dwell_mean.ToSeconds();
-  const double f_calm = calm_dwell / (calm_dwell + burst_dwell);
-  const double f_burst = 1.0 - f_calm;
-  const double r_calm = config.rate_rps / (f_calm + f_burst * config.burst_rate_factor);
+  const double r_calm = MmppCalmRateRps(config);
   const double r_burst = r_calm * config.burst_rate_factor;
 
   std::vector<double> arrivals;
@@ -142,6 +139,14 @@ const char* ArrivalProcessName(ArrivalProcess process) {
       return "selfsimilar";
   }
   return "?";
+}
+
+double MmppCalmRateRps(const ServerConfig& config) {
+  const double calm_dwell = config.calm_dwell_mean.ToSeconds();
+  const double burst_dwell = config.burst_dwell_mean.ToSeconds();
+  const double f_calm = calm_dwell / (calm_dwell + burst_dwell);
+  const double f_burst = 1.0 - f_calm;
+  return config.rate_rps / (f_calm + f_burst * config.burst_rate_factor);
 }
 
 InputTrace MakeServerRequestTrace(const ServerConfig& config, std::uint64_t seed) {

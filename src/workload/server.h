@@ -78,6 +78,13 @@ struct ServerConfig {
   SimTime pareto_off_min = SimTime::Millis(400);
 };
 
+// Calm-state arrival rate of the bursty (MMPP) grammar: solved from the
+// stationary dwell fractions so the long-run mean stays at rate_rps while
+// the burst state arrives burst_rate_factor times faster,
+//   f_calm * r_calm + f_burst * factor * r_calm = rate_rps.
+// Exposed so the arrival-rate property test can check the solve analytically.
+double MmppCalmRateRps(const ServerConfig& config);
+
 // Generates the open-loop request trace for `config`: one "service_us"
 // event per request, in arrival order.
 InputTrace MakeServerRequestTrace(const ServerConfig& config, std::uint64_t seed);

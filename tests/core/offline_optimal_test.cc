@@ -1,0 +1,156 @@
+// Unit tests for the offline-optimal energy bound: the Itsy energy hull
+// (MakeItsyEnergyModel / AboveIdleWatts) and hand-checkable cases of the
+// taut-string schedule (RunOfflineOptimal).  The randomized optimality
+// probes live in oracle_optimal_property_test.cc.
+
+#include "src/core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/hw/power_model.h"
+#include "src/hw/voltage_regulator.h"
+
+namespace dcs {
+namespace {
+
+constexpr double kQ = 0.01;
+
+TEST(EnergyModelTest, ItsyHullIsWellFormed) {
+  const EnergyModel model = MakeItsyEnergyModel();
+  EXPECT_GT(model.idle_watts, 0.0);
+  ASSERT_FALSE(model.speeds.empty());
+  ASSERT_EQ(model.speeds.size(), model.watts_above_idle.size());
+  // Vertices strictly increase in speed and cost, topping out at full speed.
+  for (std::size_t i = 0; i < model.speeds.size(); ++i) {
+    EXPECT_GT(model.speeds[i], 0.0);
+    EXPECT_GT(model.watts_above_idle[i], 0.0);
+    if (i > 0) {
+      EXPECT_GT(model.speeds[i], model.speeds[i - 1]);
+      EXPECT_GT(model.watts_above_idle[i], model.watts_above_idle[i - 1]);
+    }
+  }
+  EXPECT_DOUBLE_EQ(model.speeds.back(), 1.0);
+  // Convexity: marginal W per unit speed is non-decreasing along the hull
+  // (origin -> v0 -> v1 -> ...).
+  double prev_slope = model.watts_above_idle[0] / model.speeds[0];
+  for (std::size_t i = 1; i < model.speeds.size(); ++i) {
+    const double slope = (model.watts_above_idle[i] - model.watts_above_idle[i - 1]) /
+                         (model.speeds[i] - model.speeds[i - 1]);
+    EXPECT_GE(slope, prev_slope - 1e-12);
+    prev_slope = slope;
+  }
+}
+
+TEST(EnergyModelTest, AboveIdleWattsInterpolatesTheHull) {
+  const EnergyModel model = MakeItsyEnergyModel();
+  EXPECT_DOUBLE_EQ(model.AboveIdleWatts(0.0), 0.0);
+  // Exact at each vertex.
+  for (std::size_t i = 0; i < model.speeds.size(); ++i) {
+    EXPECT_NEAR(model.AboveIdleWatts(model.speeds[i]), model.watts_above_idle[i], 1e-12);
+  }
+  // Linear on the first segment (origin to the first vertex).
+  const double mid = 0.5 * model.speeds[0];
+  EXPECT_NEAR(model.AboveIdleWatts(mid), 0.5 * model.watts_above_idle[0], 1e-12);
+  // Monotone, and clamped above full speed.
+  double prev = 0.0;
+  for (double s = 0.0; s <= 1.2; s += 0.01) {
+    const double w = model.AboveIdleWatts(s);
+    EXPECT_GE(w, prev - 1e-12) << "speed " << s;
+    prev = w;
+  }
+  EXPECT_DOUBLE_EQ(model.AboveIdleWatts(1.5), model.watts_above_idle.back());
+  EXPECT_DOUBLE_EQ(model.AboveIdleWatts(-0.5), 0.0);
+}
+
+TEST(EnergyModelTest, HullNeverExceedsTheDiscreteBusyPoints) {
+  // The hull is a LOWER bound on the real table: at every step's relative
+  // speed, interpolated cost <= cheapest legal busy cost above idle.
+  const EnergyModel model = MakeItsyEnergyModel();
+  const PowerModelParams params;
+  const PowerModel power(params);
+  PeripheralState periph;  // display on, audio off — the bench convention
+  const double top = ClockTable::FrequencyMhz(ClockTable::MaxStep());
+  for (int step = 0; step < kNumClockSteps; ++step) {
+    double busy = power.SystemWatts(ExecState::kBusy, step,
+                                    VoltageVolts(CoreVoltage::kHigh), periph);
+    if (VoltageRegulator::StepAllowedAt(CoreVoltage::kLow, step)) {
+      busy = std::min(busy, power.SystemWatts(ExecState::kBusy, step,
+                                              VoltageVolts(CoreVoltage::kLow), periph));
+    }
+    const double speed = ClockTable::FrequencyMhz(step) / top;
+    EXPECT_LE(model.AboveIdleWatts(speed), busy - model.idle_watts + 1e-9)
+        << "step " << step;
+  }
+}
+
+TEST(OfflineOptimalTest, SmoothsAFullQuantumOverTheSlackWindow) {
+  // One pegged quantum then an idle one, D=2: the optimum halves the speed
+  // and runs flat across both.
+  const EnergyModel model = MakeItsyEnergyModel();
+  const std::vector<double> work{kQ, 0.0};
+  const OfflineOptimalResult res = RunOfflineOptimal(work, kQ, 2, model);
+  ASSERT_EQ(res.work.size(), 2u);
+  EXPECT_NEAR(res.work[0], kQ / 2, 1e-12);
+  EXPECT_NEAR(res.work[1], kQ / 2, 1e-12);
+  EXPECT_NEAR(res.peak_speed, 0.5, 1e-12);
+  EXPECT_LT(res.above_idle_joules,
+            kQ * model.AboveIdleWatts(1.0) - 1e-6);  // strictly beats run-in-place
+}
+
+TEST(OfflineOptimalTest, ArrivalCausalityForbidsSmoothingForward) {
+  // Work arriving in the second interval cannot be started in the first, no
+  // matter how much deadline slack exists.
+  const EnergyModel model = MakeItsyEnergyModel();
+  const std::vector<double> work{0.0, kQ};
+  const OfflineOptimalResult res = RunOfflineOptimal(work, kQ, 25, model);
+  ASSERT_EQ(res.work.size(), 2u);
+  EXPECT_NEAR(res.work[0], 0.0, 1e-12);
+  EXPECT_NEAR(res.work[1], kQ, 1e-12);
+}
+
+TEST(OfflineOptimalTest, ConstantLoadStaysConstant) {
+  const EnergyModel model = MakeItsyEnergyModel();
+  const std::vector<double> work(8, 0.4 * kQ);
+  const OfflineOptimalResult res = RunOfflineOptimal(work, kQ, 5, model);
+  for (const double w : res.work) {
+    EXPECT_NEAR(w, 0.4 * kQ, 1e-12);
+  }
+}
+
+TEST(OfflineOptimalTest, WiderWindowNeverCostsMore) {
+  // A larger D strictly enlarges the feasible set, so the optimum is
+  // monotone non-increasing in D.
+  const EnergyModel model = MakeItsyEnergyModel();
+  const std::vector<double> work{kQ, 0.2 * kQ, 0.0, 0.9 * kQ, 0.0, 0.0, 0.5 * kQ, 0.1 * kQ};
+  double prev = 1e300;
+  for (const int window : {1, 2, 5, 25}) {
+    const OfflineOptimalResult res = RunOfflineOptimal(work, kQ, window, model);
+    EXPECT_LE(res.above_idle_joules, prev + 1e-12) << "D=" << window;
+    prev = res.above_idle_joules;
+  }
+}
+
+TEST(OfflineOptimalTest, OverfullIntervalsAreClampedToTheQuantum) {
+  // Tick jitter can make a recorded interval claim more full-speed work than
+  // a quantum holds; the bound must clamp rather than demand speed > 1.
+  const EnergyModel model = MakeItsyEnergyModel();
+  const std::vector<double> work{1.7 * kQ, 0.0};
+  const OfflineOptimalResult res = RunOfflineOptimal(work, kQ, 1, model);
+  EXPECT_NEAR(res.work[0], kQ, 1e-12);
+  EXPECT_LE(res.peak_speed, 1.0 + 1e-12);
+}
+
+TEST(OfflineOptimalTest, DeterministicAcrossCalls) {
+  const EnergyModel model = MakeItsyEnergyModel();
+  const std::vector<double> work{0.3 * kQ, kQ, 0.0, 0.7 * kQ, 0.1 * kQ};
+  const OfflineOptimalResult a = RunOfflineOptimal(work, kQ, 3, model);
+  const OfflineOptimalResult b = RunOfflineOptimal(work, kQ, 3, model);
+  EXPECT_EQ(a.work, b.work);
+  EXPECT_EQ(a.energy_joules, b.energy_joules);
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,246 @@
+// Property suite for the offline-optimal schedule (RunOfflineOptimal).
+//
+// The solver claims: among all schedules that (a) never execute work before
+// it arrives, (b) finish each interval's work within D quanta, and (c) fit
+// inside a quantum, its schedule minimizes convex energy.  Random traces
+// probe that claim from four directions — the output is feasible, conserves
+// work, collapses to run-in-place at D=1, and no feasibility-preserving
+// perturbation (random mass moved between two intervals, the "±ε jitter
+// repaired to feasibility" probe) ever lowers the energy.
+
+#include "src/core/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace dcs {
+namespace {
+
+constexpr double kQ = 0.01;  // 10 ms quantum, matching the kernel default
+
+struct RandomCase {
+  std::vector<double> work;
+  int deadline_quanta = 1;
+};
+
+RandomCase DrawCase(Rng& rng) {
+  RandomCase c;
+  const int n = static_cast<int>(rng.UniformInt(1, 24));
+  c.deadline_quanta = static_cast<int>(rng.UniformInt(1, n + 4));
+  c.work.resize(static_cast<std::size_t>(n));
+  for (double& w : c.work) {
+    const double r = rng.NextDouble();
+    // Mix of idle intervals, saturated intervals, and partial load.
+    w = r < 0.2 ? 0.0 : r < 0.3 ? kQ : rng.NextDouble() * kQ;
+  }
+  return c;
+}
+
+std::vector<double> Cumulative(const std::vector<double>& per_interval) {
+  std::vector<double> cum(per_interval.size() + 1, 0.0);
+  for (std::size_t t = 0; t < per_interval.size(); ++t) {
+    cum[t + 1] = cum[t] + per_interval[t];
+  }
+  return cum;
+}
+
+double AboveIdleJoules(const EnergyModel& model, const std::vector<double>& work) {
+  double joules = 0.0;
+  for (const double w : work) {
+    joules += kQ * model.AboveIdleWatts(w / kQ);
+  }
+  return joules;
+}
+
+TEST(OracleOptimalPropertyTest, ScheduleIsFeasibleAndConservesWork) {
+  const EnergyModel model = MakeItsyEnergyModel();
+  Rng rng(0x0971);
+  for (int trial = 0; trial < 500; ++trial) {
+    const RandomCase c = DrawCase(rng);
+    const OfflineOptimalResult res = RunOfflineOptimal(c.work, kQ, c.deadline_quanta, model);
+    ASSERT_EQ(res.work.size(), c.work.size()) << "trial " << trial;
+
+    const std::vector<double> cum = Cumulative(c.work);
+    const std::vector<double> sched = Cumulative(res.work);
+    const std::size_t n = c.work.size();
+    for (std::size_t k = 0; k <= n; ++k) {
+      // Arrival causality: never ahead of the work that exists.
+      EXPECT_LE(sched[k], cum[k] + 1e-9) << "trial " << trial << " k " << k;
+      // Deadline: work from interval t is finished by t + D.
+      const double floor =
+          k >= static_cast<std::size_t>(c.deadline_quanta)
+              ? cum[k - static_cast<std::size_t>(c.deadline_quanta) + 1]
+              : 0.0;
+      EXPECT_GE(sched[k], floor - 1e-9) << "trial " << trial << " k " << k;
+    }
+    // All work done by the end, and every interval fits in its quantum.
+    EXPECT_NEAR(sched[n], cum[n], 1e-9) << "trial " << trial;
+    for (const double w : res.work) {
+      EXPECT_GE(w, -1e-12) << "trial " << trial;
+      EXPECT_LE(w, kQ + 1e-9) << "trial " << trial;
+    }
+    EXPECT_NEAR(res.peak_speed, *std::max_element(res.work.begin(), res.work.end()) / kQ,
+                1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(OracleOptimalPropertyTest, DeadlineOneCollapsesToRunInPlace) {
+  // D=1 leaves no slack: the only feasible schedule is the input itself.
+  const EnergyModel model = MakeItsyEnergyModel();
+  Rng rng(0x0972);
+  for (int trial = 0; trial < 200; ++trial) {
+    RandomCase c = DrawCase(rng);
+    const OfflineOptimalResult res = RunOfflineOptimal(c.work, kQ, 1, model);
+    for (std::size_t t = 0; t < c.work.size(); ++t) {
+      EXPECT_NEAR(res.work[t], c.work[t], 1e-9) << "trial " << trial << " t " << t;
+    }
+  }
+}
+
+TEST(OracleOptimalPropertyTest, EnergyDecomposesIntoIdleFloorPlusHullCost) {
+  const EnergyModel model = MakeItsyEnergyModel();
+  Rng rng(0x0973);
+  for (int trial = 0; trial < 200; ++trial) {
+    const RandomCase c = DrawCase(rng);
+    const OfflineOptimalResult res = RunOfflineOptimal(c.work, kQ, c.deadline_quanta, model);
+    EXPECT_NEAR(res.above_idle_joules, AboveIdleJoules(model, res.work), 1e-9);
+    EXPECT_NEAR(res.energy_joules,
+                res.above_idle_joules +
+                    static_cast<double>(c.work.size()) * kQ * model.idle_watts,
+                1e-9);
+  }
+}
+
+TEST(OracleOptimalPropertyTest, ReplicatingTheTraceNeverBeatsTheSolver) {
+  // The identity schedule (run each interval's work in place) is feasible
+  // for every D >= 1, so it upper-bounds the optimum.
+  const EnergyModel model = MakeItsyEnergyModel();
+  Rng rng(0x0974);
+  for (int trial = 0; trial < 300; ++trial) {
+    const RandomCase c = DrawCase(rng);
+    const OfflineOptimalResult res = RunOfflineOptimal(c.work, kQ, c.deadline_quanta, model);
+    EXPECT_LE(res.above_idle_joules, AboveIdleJoules(model, c.work) + 1e-9)
+        << "trial " << trial;
+  }
+}
+
+TEST(OracleOptimalPropertyTest, ConstantSpeedWinsWheneverItIsFeasible) {
+  // When the flat schedule (total work spread evenly) respects arrival
+  // causality, Jensen says nothing beats it — the solver must match or beat
+  // its energy.
+  const EnergyModel model = MakeItsyEnergyModel();
+  Rng rng(0x0975);
+  int exercised = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    const RandomCase c = DrawCase(rng);
+    const std::size_t n = c.work.size();
+    if (c.deadline_quanta < static_cast<int>(n)) {
+      continue;  // flat schedule could miss a deadline; not the case under test
+    }
+    const std::vector<double> cum = Cumulative(c.work);
+    const double flat = cum[n] / static_cast<double>(n);
+    bool feasible = true;
+    for (std::size_t k = 1; k <= n; ++k) {
+      if (static_cast<double>(k) * flat > cum[k] + 1e-12) {
+        feasible = false;
+        break;
+      }
+    }
+    if (!feasible) {
+      continue;
+    }
+    ++exercised;
+    const OfflineOptimalResult res = RunOfflineOptimal(c.work, kQ, c.deadline_quanta, model);
+    const std::vector<double> constant(n, flat);
+    EXPECT_LE(res.above_idle_joules, AboveIdleJoules(model, constant) + 1e-9)
+        << "trial " << trial;
+  }
+  EXPECT_GT(exercised, 20);  // the guard must not vacuously skip everything
+}
+
+TEST(OracleOptimalPropertyTest, FeasiblePerturbationsNeverLowerEnergy) {
+  // Local optimality probe: move a random amount of work between two
+  // intervals of the solver's schedule, capped so the cumulative profile
+  // stays inside the feasibility corridor, and check the energy never drops.
+  // Over enough trials this walks the whole neighbourhood of the returned
+  // schedule; a single counterexample disproves optimality.
+  const EnergyModel model = MakeItsyEnergyModel();
+  Rng rng(0x0976);
+  for (int trial = 0; trial < 400; ++trial) {
+    const RandomCase c = DrawCase(rng);
+    const std::size_t n = c.work.size();
+    if (n < 2) {
+      continue;
+    }
+    const OfflineOptimalResult res = RunOfflineOptimal(c.work, kQ, c.deadline_quanta, model);
+    const std::vector<double> cum = Cumulative(c.work);
+    const std::vector<double> sched = Cumulative(res.work);
+    std::vector<double> lower(n + 1, 0.0);
+    for (std::size_t k = 0; k <= n; ++k) {
+      lower[k] = k >= static_cast<std::size_t>(c.deadline_quanta)
+                     ? cum[k - static_cast<std::size_t>(c.deadline_quanta) + 1]
+                     : 0.0;
+    }
+    lower[n] = cum[n];
+    const double base = res.above_idle_joules;
+
+    for (int rep = 0; rep < 60; ++rep) {
+      std::size_t i = static_cast<std::size_t>(rng.UniformInt(0, static_cast<int>(n) - 1));
+      std::size_t j = static_cast<std::size_t>(rng.UniformInt(0, static_cast<int>(n) - 1));
+      if (i == j) {
+        continue;
+      }
+      if (i > j) {
+        std::swap(i, j);
+      }
+      // delta > 0 moves work earlier (from j to i), raising the cumulative
+      // profile over (i, j]; delta < 0 moves it later, lowering it.  Cap
+      // each direction by the quantum limits and the corridor slack.
+      double up_cap = std::min(kQ - res.work[i], res.work[j]);
+      double down_cap = std::min(res.work[i], kQ - res.work[j]);
+      for (std::size_t k = i + 1; k <= j; ++k) {
+        up_cap = std::min(up_cap, cum[k] - sched[k]);
+        down_cap = std::min(down_cap, sched[k] - lower[k]);
+      }
+      const double delta = rng.NextDouble() < 0.5 ? up_cap * rng.NextDouble()
+                                                  : -down_cap * rng.NextDouble();
+      if (std::fabs(delta) < 1e-15) {
+        continue;
+      }
+      std::vector<double> perturbed = res.work;
+      perturbed[i] += delta;
+      perturbed[j] -= delta;
+      EXPECT_GE(AboveIdleJoules(model, perturbed), base - 1e-10)
+          << "trial " << trial << " rep " << rep << " i " << i << " j " << j
+          << " delta " << delta;
+    }
+  }
+}
+
+TEST(OracleOptimalPropertyTest, InvalidArgumentsThrow) {
+  const EnergyModel model = MakeItsyEnergyModel();
+  const std::vector<double> work{0.001, 0.002};
+  EXPECT_THROW(RunOfflineOptimal(work, 0.0, 5, model), std::invalid_argument);
+  EXPECT_THROW(RunOfflineOptimal(work, -kQ, 5, model), std::invalid_argument);
+  EXPECT_THROW(RunOfflineOptimal(work, kQ, 0, model), std::invalid_argument);
+  EXPECT_THROW(RunOfflineOptimal(work, kQ, 5, EnergyModel{}), std::invalid_argument);
+}
+
+TEST(OracleOptimalPropertyTest, EmptyTraceCostsOnlyIdle) {
+  const EnergyModel model = MakeItsyEnergyModel();
+  const OfflineOptimalResult res = RunOfflineOptimal({}, kQ, 5, model);
+  EXPECT_TRUE(res.work.empty());
+  EXPECT_DOUBLE_EQ(res.above_idle_joules, 0.0);
+  EXPECT_DOUBLE_EQ(res.energy_joules, 0.0);
+  EXPECT_DOUBLE_EQ(res.peak_speed, 0.0);
+}
+
+}  // namespace
+}  // namespace dcs

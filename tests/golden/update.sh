@@ -20,14 +20,16 @@ build_dir="${1:-build}"
 golden_dir="$(cd "$(dirname "$0")" && pwd)"
 
 for bench in tab1_avg9_actions tab2_energy_summary fig9_utilization_vs_freq \
-             fig8_best_policy_trace server_slo; do
+             fig8_best_policy_trace server_slo competitive_ratio; do
   binary="$build_dir/bench/$bench"
   if [ ! -x "$binary" ]; then
     echo "error: $binary not built (run: cmake --build $build_dir -j)" >&2
     exit 1
   fi
   extra_args=""
-  [ "$bench" = server_slo ] && extra_args="--quick"
+  case "$bench" in
+    server_slo|competitive_ratio) extra_args="--quick" ;;
+  esac
   echo "regenerating $bench.txt" >&2
   "$binary" --threads=1 $extra_args > "$golden_dir/$bench.txt"
 done

@@ -150,6 +150,17 @@ TEST(GoldenTest, ServerSloQuickThreadInvariant) {
   ExpectGolden("server_slo", "--quick --threads=4");
 }
 
+// The competitive-ratio sweep: every governor scored against the offline
+// optimum on the quick grid.  A zero exit (enforced by RunAndCapture) means
+// every ratio held >= 1.0; the byte-compare pins the ratios themselves.
+TEST(GoldenTest, CompetitiveRatioQuick) {
+  ExpectGolden("competitive_ratio", "--quick --threads=1");
+}
+
+TEST(GoldenTest, CompetitiveRatioQuickThreadInvariant) {
+  ExpectGolden("competitive_ratio", "--quick --threads=4");
+}
+
 // ---------------------------------------------------------------------------
 // Artifact byte-identity: beyond stdout, the exported observability files
 // (--trace-out / --metrics-out) must be byte-for-byte reproducible.  The

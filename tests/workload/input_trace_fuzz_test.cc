@@ -1,0 +1,247 @@
+// Fuzz/robustness suite for the InputTrace CSV v2 parser.  A recorded trace
+// is an input to a deterministic experiment, so the parser's contract is
+// strict: any malformed document must raise std::invalid_argument naming the
+// offending line — never crash, never silently drop rows, never return a
+// half-parsed trace — and any document it does accept must round-trip
+// through WriteCsv/ReadCsv exactly.
+
+#include "src/workload/input_trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "src/sim/rng.h"
+
+namespace dcs {
+namespace {
+
+// Field-level building blocks the mutator assembles into rows.
+std::string RandomToken(Rng& rng, const std::string& alphabet, int max_len) {
+  std::string token;
+  const int length = static_cast<int>(rng.UniformInt(0, max_len));
+  for (int i = 0; i < length; ++i) {
+    token += alphabet[static_cast<std::size_t>(
+        rng.UniformInt(0, static_cast<std::int64_t>(alphabet.size()) - 1))];
+  }
+  return token;
+}
+
+std::string RandomKind(Rng& rng) {
+  // Printable salad including the CSV metacharacters the writer must quote.
+  return RandomToken(rng, "abcxyz,\"@ #.0189-+", 12);
+}
+
+std::string RandomNumberishField(Rng& rng) {
+  switch (rng.UniformInt(0, 6)) {
+    case 0:
+      return std::to_string(rng.UniformInt(0, 5'000'000));
+    case 1:
+      return std::to_string(rng.UniformInt(0, 5'000)) + "." +
+             std::to_string(rng.UniformInt(0, 999));
+    case 2:
+      return "-" + std::to_string(rng.UniformInt(0, 5'000));
+    case 3:
+      return RandomToken(rng, "0123456789.eE+-x", 10);
+    case 4:
+      return "";
+    case 5:
+      return "1e" + std::to_string(rng.UniformInt(-400, 400));
+    default:
+      return RandomToken(rng, "abc 0123456789", 8);
+  }
+}
+
+// One random document line: mostly structurally-plausible rows, sprinkled
+// with comments, blanks, and outright byte salad.
+std::string RandomLine(Rng& rng, std::int64_t* last_time_us) {
+  switch (rng.UniformInt(0, 9)) {
+    case 0:
+      return "# " + RandomToken(rng, "abc,\"123", 10);
+    case 1:
+      return "";
+    case 2:  // well-formed row with a non-decreasing time
+      *last_time_us += rng.UniformInt(0, 1000);
+      return std::to_string(*last_time_us) + "," + RandomKind(rng) + "," +
+             std::to_string(rng.UniformInt(-100, 100));
+    case 3:  // unterminated or malformed quoting
+      return std::to_string(*last_time_us) + ",\"" + RandomToken(rng, "abc\"", 6) + "," +
+             RandomNumberishField(rng);
+    case 4:  // wrong arity
+      return RandomNumberishField(rng) + "," + RandomKind(rng);
+    default:
+      return RandomNumberishField(rng) + "," + RandomKind(rng) + "," +
+             RandomNumberishField(rng) + RandomToken(rng, ",x", 4);
+  }
+}
+
+void ExpectExactRoundTrip(const InputTrace& trace, const std::string& context) {
+  std::stringstream ss;
+  trace.WriteCsv(ss);
+  const InputTrace reloaded = InputTrace::ReadCsv(ss);
+  ASSERT_EQ(reloaded.size(), trace.size()) << context;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(reloaded.events()[i], trace.events()[i]) << context << " event " << i;
+  }
+}
+
+TEST(InputTraceFuzzTest, MalformedDocumentsNeverCrashAndAcceptedOnesAreValid) {
+  Rng rng(0xC5F);
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::ostringstream doc;
+    if (rng.NextDouble() < 0.85) {
+      doc << "time_us,kind,magnitude\n";
+    } else {
+      doc << RandomToken(rng, "time_us,kind magnitude\"#", 24) << "\n";
+    }
+    std::int64_t last_time_us = 0;
+    const int rows = static_cast<int>(rng.UniformInt(0, 8));
+    for (int i = 0; i < rows; ++i) {
+      doc << RandomLine(rng, &last_time_us) << "\n";
+    }
+
+    std::istringstream is(doc.str());
+    InputTrace trace;
+    try {
+      trace = InputTrace::ReadCsv(is);
+    } catch (const std::invalid_argument&) {
+      continue;  // rejected cleanly — the only permitted failure mode
+    }
+    // Accepted: the trace must satisfy every documented invariant and
+    // round-trip exactly.
+    SimTime previous;
+    for (const InputEvent& event : trace.events()) {
+      EXPECT_GE(event.at, SimTime::Zero()) << "trial " << trial;
+      EXPECT_GE(event.at, previous) << "trial " << trial;
+      previous = event.at;
+    }
+    ExpectExactRoundTrip(trace, "trial " + std::to_string(trial));
+  }
+}
+
+TEST(InputTraceFuzzTest, ErrorsNameThePhysicalLineOfTheBadRow) {
+  // Pad the document with a random mix of comments, blanks, and valid rows,
+  // then plant one known-bad row: the exception must cite its 1-based
+  // physical line number (comments and blanks still count as lines).
+  Rng rng(0xBADC5F);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::ostringstream doc;
+    doc << "time_us,kind,magnitude\n";
+    int line = 1;
+    std::int64_t time_us = 0;
+    const int padding = static_cast<int>(rng.UniformInt(0, 10));
+    for (int i = 0; i < padding; ++i) {
+      switch (rng.UniformInt(0, 2)) {
+        case 0:
+          doc << "# comment\n";
+          break;
+        case 1:
+          doc << "\n";
+          break;
+        default:
+          time_us += rng.UniformInt(1, 500);
+          doc << time_us << ",tap,1.0\n";
+          break;
+      }
+      ++line;
+    }
+    const int bad_line = ++line;
+    switch (rng.UniformInt(0, 3)) {
+      case 0:
+        doc << "not,a\n";
+        break;
+      case 1:
+        doc << "-10,tap,1.0\n";
+        break;
+      case 2:
+        doc << time_us << ",tap,nope\n";
+        break;
+      default:
+        doc << time_us << ",\"open,1.0\n";
+        break;
+    }
+    std::istringstream is(doc.str());
+    try {
+      InputTrace::ReadCsv(is);
+      FAIL() << "expected std::invalid_argument at line " << bad_line << "\n" << doc.str();
+    } catch (const std::invalid_argument& e) {
+      const std::string needle = "line " + std::to_string(bad_line);
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "wanted '" << needle << "' in: " << e.what();
+    }
+  }
+}
+
+TEST(InputTraceFuzzTest, RandomValidTracesRoundTripExactly) {
+  // Property: Record -> WriteCsv -> ReadCsv is the identity for any trace
+  // the API can build — nanosecond times (including duplicates), kinds full
+  // of CSV metacharacters, and magnitudes across the double range.
+  Rng rng(0x707);
+  for (int trial = 0; trial < 200; ++trial) {
+    InputTrace trace;
+    std::int64_t ns = 0;
+    const int events = static_cast<int>(rng.UniformInt(0, 40));
+    for (int i = 0; i < events; ++i) {
+      ns += rng.UniformInt(0, 3'000'000);  // duplicates when the gap is 0
+      double magnitude;
+      switch (rng.UniformInt(0, 4)) {
+        case 0:
+          magnitude = rng.Uniform(-1e6, 1e6);
+          break;
+        case 1:
+          magnitude = rng.Uniform(0.0, 1.0) * 1e-300;  // subnormal territory
+          break;
+        case 2:
+          magnitude = rng.Uniform(-1.0, 1.0) * 1e300;
+          break;
+        case 3:
+          magnitude = 0.0;
+          break;
+        default:
+          magnitude = 1.0 / 3.0;
+          break;
+      }
+      trace.Record(SimTime::Nanos(ns), RandomKind(rng), magnitude);
+    }
+    ExpectExactRoundTrip(trace, "trial " + std::to_string(trial));
+  }
+}
+
+TEST(InputTraceFuzzTest, TruncatedDocumentsFailCleanly) {
+  // Chop a valid document at every byte offset: each prefix must either
+  // raise invalid_argument (the cut landed mid-row and left it malformed) or
+  // parse into a prefix of the original events.  The one lossy case is a cut
+  // inside the final magnitude ("1.5" cut to "1."), which still parses — so
+  // the last event is only held to its time and kind.
+  InputTrace trace;
+  trace.Record(SimTime::Millis(1), "tap", 1.5);
+  trace.Record(SimTime::Millis(2), "load,heavy", -2.0);
+  trace.Record(SimTime::Millis(3), "say \"hi\"", 0.25);
+  std::stringstream full;
+  trace.WriteCsv(full);
+  const std::string doc = full.str();
+  for (std::size_t cut = 0; cut <= doc.size(); ++cut) {
+    std::istringstream is(doc.substr(0, cut));
+    try {
+      const InputTrace parsed = InputTrace::ReadCsv(is);
+      ASSERT_LE(parsed.size(), trace.size()) << "cut " << cut;
+      for (std::size_t i = 0; i + 1 < parsed.size(); ++i) {
+        EXPECT_EQ(parsed.events()[i], trace.events()[i]) << "cut " << cut;
+      }
+      if (!parsed.empty()) {
+        const std::size_t last = parsed.size() - 1;
+        EXPECT_EQ(parsed.events()[last].at, trace.events()[last].at) << "cut " << cut;
+        EXPECT_EQ(parsed.events()[last].kind, trace.events()[last].kind) << "cut " << cut;
+      }
+    } catch (const std::invalid_argument&) {
+      // Fine: the cut landed mid-row.
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dcs
