@@ -24,16 +24,22 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "bench/bench_report.h"
+#include "src/core/governor_registry.h"
 #include "src/daq/daq.h"
 #include "src/exp/experiment.h"
 #include "src/exp/sweep.h"
+#include "src/hw/itsy.h"
 #include "src/hw/power_tape.h"
+#include "src/kernel/kernel.h"
+#include "src/sim/arena.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/rng.h"
+#include "src/sim/simulator.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -285,6 +291,90 @@ double DaqSampleTapeBoundSample(const PowerTape& tape, SimTime window_end) {
   return static_cast<double>(samples.size()) / elapsed / 1e6;
 }
 
+// The batched SoA pipeline through the span-returning entry point, with an
+// arena-bound sample buffer — exactly how a warmed sweep worker samples.
+// Reported as Msamples/s.
+double DaqBatchSampleSample(const PowerTape& tape, SimTime window_end, Arena& arena) {
+  arena.Reset();
+  Daq daq(DaqConfig{}, &arena);
+  const auto t0 = Clock::now();
+  const std::span<const double> samples = daq.SampleWindow(tape, SimTime::Zero(), window_end);
+  const double elapsed = SecondsSince(t0);
+  return static_cast<double>(samples.size()) / elapsed / 1e6;
+}
+
+// --- Arena -----------------------------------------------------------------
+
+// One warmed arena job cycle: a burst of mixed-size allocations (the shape a
+// per-job simulation stack produces) followed by the Reset() rewind.
+// Reported as Mallocs/s.
+double ArenaResetCycleSample(int cycles) {
+  constexpr int kAllocsPerCycle = 512;
+  Arena arena;
+  // Warm the block list so the measured cycles are pure bump/rewind.
+  for (int k = 0; k < kAllocsPerCycle; ++k) {
+    (void)arena.Allocate(static_cast<std::size_t>(16 + 48 * (k % 32)), 16);
+  }
+  arena.Reset();
+  std::uintptr_t sink = 0;
+  const auto t0 = Clock::now();
+  for (int c = 0; c < cycles; ++c) {
+    for (int k = 0; k < kAllocsPerCycle; ++k) {
+      sink ^= reinterpret_cast<std::uintptr_t>(
+          arena.Allocate(static_cast<std::size_t>(16 + 48 * (k % 32)), 16));
+    }
+    arena.Reset();
+  }
+  const double elapsed = SecondsSince(t0);
+  if (sink == 1) {
+    std::abort();
+  }
+  return static_cast<double>(cycles) * kAllocsPerCycle / elapsed / 1e6;
+}
+
+// --- Kernel tick path ------------------------------------------------------
+
+// A square-wave load alternating multi-quantum compute bursts with sleeps,
+// so the installed governor's utilization history swings through its
+// thresholds and it issues real speed requests: every tick pays the full
+// path — quantum accounting, policy dispatch, round-robin, event re-arm.
+class TickLoadWorkload final : public Workload {
+ public:
+  const char* Name() const override { return "tick_load"; }
+  Action Next(const WorkloadContext& ctx) override {
+    busy_ = !busy_;
+    if (busy_) {
+      return Action::Compute(6.0e6);  // ~29 ms at 206.4 MHz
+    }
+    return Action::SleepUntil(ctx.now + SimTime::Millis(14));
+  }
+
+ private:
+  bool busy_ = false;
+};
+
+// The kernel tick + governor-decision path in isolation, measured over a
+// long run of 10 ms quanta under a representative interval governor.
+// Reported as kticks/s.
+double KernelTickDispatchSample(int quanta) {
+  Simulator sim;
+  Itsy itsy(sim);
+  Kernel kernel(sim, itsy);
+  std::string error;
+  const GovernorHandle governor = MakeGovernorDispatch("AVG9-one-one-50-70", &error);
+  if (governor.governor == nullptr) {
+    std::abort();
+  }
+  kernel.InstallPolicy(governor.dispatch);
+  kernel.AddTask(std::make_unique<TickLoadWorkload>());
+  const SimTime duration = SimTime::Millis(static_cast<std::int64_t>(quanta) * 10);
+  const auto t0 = Clock::now();
+  kernel.Start();
+  sim.RunUntil(duration);
+  const double elapsed = SecondsSince(t0);
+  return static_cast<double>(kernel.quanta_elapsed()) / elapsed / 1e3;
+}
+
 // --- End-to-end workloads --------------------------------------------------
 
 double RunOneExperimentMs(const std::string& app, const std::string& governor,
@@ -341,6 +431,31 @@ double E2eSweepAvgnSample() {
   return SecondsSince(t0) * 1e3;
 }
 
+// server_slo: a six-governor slice of the open-loop server grid, 6 s arrival
+// window at 200 req/s, seed 7, single worker — the "full sweep" shape whose
+// per-job cost is dominated by kernel ticks and DAQ sampling.
+double E2eServerSloSample() {
+  ServerConfig scenario;
+  scenario.duration = SimTime::Seconds(6);
+  scenario.rate_rps = 200.0;
+  const char* governors[] = {"fixed-206.4",        "PAST-peg-peg-93-98", "AVG9-one-one-50-70",
+                             "deadline-vs",        "schedutil",          "adaptive-vs"};
+  std::vector<ExperimentConfig> configs;
+  for (const char* governor : governors) {
+    ExperimentConfig config;
+    config.app = "server";
+    config.server = scenario;
+    config.governor = governor;
+    config.seed = 7;
+    configs.push_back(config);
+  }
+  SweepOptions options;
+  options.threads = 1;
+  const auto t0 = Clock::now();
+  (void)RunSweep(configs, options);
+  return SecondsSince(t0) * 1e3;
+}
+
 // --- Driver ----------------------------------------------------------------
 
 int Main(int argc, char** argv) {
@@ -386,10 +501,22 @@ int Main(int argc, char** argv) {
   RunBench(report, options, "daq.sample_tape_bound", "micro", "Msamples/s", true, [&] {
     return DaqSampleTapeBoundSample(tape, SimTime::FromSecondsF(tape_span_s));
   });
+  Arena daq_arena;
+  RunBench(report, options, "daq.batch_sample", "micro", "Msamples/s", true, [&] {
+    return DaqBatchSampleSample(tape, SimTime::FromSecondsF(tape_span_s), daq_arena);
+  });
+
+  RunBench(report, options, "arena.reset_cycle", "micro", "Mallocs/s", true,
+           [&] { return ArenaResetCycleSample(options.quick ? 2'000 : 10'000); });
+
+  const int tick_quanta = options.quick ? 20'000 : 50'000;
+  RunBench(report, options, "kernel.tick_dispatch", "micro", "kticks/s", true,
+           [&] { return KernelTickDispatchSample(tick_quanta); });
 
   RunBench(report, options, "e2e.fig8_ms", "e2e", "ms", false, E2eFig8Sample);
   RunBench(report, options, "e2e.tab2_ms", "e2e", "ms", false, E2eTab2Sample);
   RunBench(report, options, "e2e.sweep_avgn_ms", "e2e", "ms", false, E2eSweepAvgnSample);
+  RunBench(report, options, "e2e.server_slo_ms", "e2e", "ms", false, E2eServerSloSample);
 
   if (options.out.empty()) {
     report.WriteJson(std::cout);

@@ -90,7 +90,17 @@ std::unique_ptr<UtilizationPredictor> MakePredictor(const std::string& token) {
   return nullptr;
 }
 
-std::unique_ptr<ClockPolicy> MakeFixed(const std::string& spec, std::string* error) {
+// Wraps a freshly built concrete governor in a GovernorHandle, capturing its
+// static dispatch thunk while the concrete type is still visible.
+template <typename P>
+GovernorHandle Handle(std::unique_ptr<P> policy) {
+  GovernorHandle handle;
+  handle.dispatch = PolicyDispatch::For<P>(policy.get());
+  handle.governor = std::move(policy);
+  return handle;
+}
+
+std::unique_ptr<FixedPolicy> MakeFixed(const std::string& spec, std::string* error) {
   // "fixed-<mhz>" or "fixed-<mhz>@1.23".
   std::string body = spec.substr(6);
   CoreVoltage voltage = CoreVoltage::kHigh;
@@ -118,7 +128,7 @@ std::unique_ptr<ClockPolicy> MakeFixed(const std::string& spec, std::string* err
   return std::make_unique<FixedPolicy>(step, voltage);
 }
 
-std::unique_ptr<ClockPolicy> MakeInterval(const std::string& spec, std::string* error) {
+std::unique_ptr<IntervalGovernor> MakeInterval(const std::string& spec, std::string* error) {
   std::vector<std::string> parts = Split(spec, '-');
   bool voltage_scaling = false;
   if (!parts.empty() && Lower(parts.back()) == "vs") {
@@ -157,47 +167,52 @@ std::unique_ptr<ClockPolicy> MakeInterval(const std::string& spec, std::string* 
 }  // namespace
 
 std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* error) {
+  return MakeGovernorDispatch(spec, error).governor;
+}
+
+GovernorHandle MakeGovernorDispatch(const std::string& spec, std::string* error) {
   SetError(error, "");
   const std::string lower = Lower(spec);
   if (lower.empty() || lower == "none") {
-    return nullptr;
+    return {};
   }
   if (lower == "ondemand") {
-    return std::make_unique<OndemandGovernor>();
+    return Handle(std::make_unique<OndemandGovernor>());
   }
   if (lower == "schedutil") {
-    return std::make_unique<SchedutilGovernor>();
+    return Handle(std::make_unique<SchedutilGovernor>());
   }
   if (lower.rfind("fixed-", 0) == 0) {
-    return MakeFixed(lower, error);
+    auto fixed = MakeFixed(lower, error);
+    return fixed != nullptr ? Handle(std::move(fixed)) : GovernorHandle{};
   }
   if (lower.rfind("cycles", 0) == 0) {
     int window = 0;
     if (!ParseInt(lower.substr(6), &window) || window < 1) {
       SetError(error, "bad window in '" + spec + "' (e.g. cycles4)");
-      return nullptr;
+      return {};
     }
-    return std::make_unique<CycleCountGovernor>(window);
+    return Handle(std::make_unique<CycleCountGovernor>(window));
   }
   if (lower.rfind("flat-", 0) == 0) {
     double target = 0.0;
     if (!ParseDouble(lower.substr(5), &target) || target <= 0.0 || target > 100.0) {
       SetError(error, "bad target in '" + spec + "' (e.g. flat-75)");
-      return nullptr;
+      return {};
     }
     FlatGovernorConfig config;
     config.target = target / 100.0;
-    return std::make_unique<FlatGovernor>(config);
+    return Handle(std::make_unique<FlatGovernor>(config));
   }
   if (lower.rfind("satrate", 0) == 0) {
     int window = 0;
     if (!ParseInt(lower.substr(7), &window) || window < 1) {
       SetError(error, "bad window in '" + spec + "' (e.g. satrate4)");
-      return nullptr;
+      return {};
     }
     RateGovernorConfig config;
     config.window = window;
-    return std::make_unique<SaturationAwareGovernor>(config);
+    return Handle(std::make_unique<SaturationAwareGovernor>(config));
   }
   if (lower.rfind("deadline", 0) == 0) {
     // "deadline" | "deadline-<cap%>" | with optional "-vs" suffix.
@@ -212,11 +227,11 @@ std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* 
       if (body[0] != '-' || !ParseDouble(body.substr(1), &cap) || cap <= 0.0 ||
           cap > 100.0) {
         SetError(error, "bad density cap in '" + spec + "' (e.g. deadline-85)");
-        return nullptr;
+        return {};
       }
       config.density_cap = cap / 100.0;
     }
-    return std::make_unique<DeadlineGovernor>(config);
+    return Handle(std::make_unique<DeadlineGovernor>(config));
   }
   if (lower.rfind("pid", 0) == 0) {
     // "pid" | "pid-<kp>-<ki>-<kd>" | with optional "-vs" suffix.
@@ -237,10 +252,10 @@ std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* 
       }
       if (!ok) {
         SetError(error, "bad gains in '" + spec + "' (e.g. pid-0.5-0.4-0.05)");
-        return nullptr;
+        return {};
       }
     }
-    return std::make_unique<FeedbackGovernor>(config);
+    return Handle(std::make_unique<FeedbackGovernor>(config));
   }
   if (lower.rfind("adaptive", 0) == 0) {
     // "adaptive" | "adaptive-<eta>" | with optional "-vs" suffix.
@@ -253,12 +268,13 @@ std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* 
     if (!body.empty()) {
       if (body[0] != '-' || !ParseDouble(body.substr(1), &config.eta) || config.eta <= 0.0) {
         SetError(error, "bad learning rate in '" + spec + "' (e.g. adaptive-2.0)");
-        return nullptr;
+        return {};
       }
     }
-    return std::make_unique<AdaptiveGovernor>(config);
+    return Handle(std::make_unique<AdaptiveGovernor>(config));
   }
-  return MakeInterval(spec, error);
+  auto interval = MakeInterval(spec, error);
+  return interval != nullptr ? Handle(std::move(interval)) : GovernorHandle{};
 }
 
 std::vector<std::string> PaperGovernorSpecs() {

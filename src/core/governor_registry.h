@@ -35,6 +35,21 @@ namespace dcs {
 // nullptr with an empty error (meaning: run without a policy).
 std::unique_ptr<ClockPolicy> MakeGovernor(const std::string& spec, std::string* error = nullptr);
 
+// A governor plus its static dispatch record.  The registry is the one place
+// that still knows each spec's concrete type, so it is where the devirtualised
+// OnQuantum thunk (PolicyDispatch::For<Concrete>) gets built; the kernel then
+// ticks through a plain function pointer instead of the vtable.  `dispatch`
+// is non-owning: it aliases `governor` and is valid only while it lives.
+struct GovernorHandle {
+  std::unique_ptr<ClockPolicy> governor;
+  PolicyDispatch dispatch;
+};
+
+// Like MakeGovernor, but also returns the static dispatch record for the
+// concrete type the spec resolved to.  Failure and "none" behave as in
+// MakeGovernor (null governor, null dispatch.policy).
+GovernorHandle MakeGovernorDispatch(const std::string& spec, std::string* error = nullptr);
+
 // Specs of the policies highlighted by the paper, for sweep benches.
 std::vector<std::string> PaperGovernorSpecs();
 

@@ -1,6 +1,7 @@
 #include "src/core/oracle.h"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <deque>
 #include <numeric>
@@ -110,17 +111,30 @@ EnergyModel MakeItsyEnergyModel(const PowerModelParams& params) {
   // Idle floor: the cheapest nap state over all steps and legal rails.  Busy
   // and stall states draw strictly more under the calibrated parameters, so
   // this is the least system power any instant of any schedule can draw.
+  // Gathered into parallel arrays and batched through the power model
+  // (SystemWattsBatch is per-element bit-identical to SystemWatts), then
+  // min-reduced in the original visit order.
   EnergyModel model;
-  model.idle_watts = pm.SystemWatts(ExecState::kNap, 0,
-                                    VoltageVolts(CoreVoltage::kLow), periph);
+  std::array<int, 2 * kNumClockSteps + 1> nap_steps;
+  std::array<double, 2 * kNumClockSteps + 1> nap_volts;
+  std::size_t nap_n = 0;
+  nap_steps[nap_n] = 0;
+  nap_volts[nap_n++] = VoltageVolts(CoreVoltage::kLow);
   for (int step = 0; step < kNumClockSteps; ++step) {
     for (const CoreVoltage v : {CoreVoltage::kHigh, CoreVoltage::kLow}) {
       if (!VoltageRegulator::StepAllowedAt(v, step)) {
         continue;
       }
-      model.idle_watts = std::min(
-          model.idle_watts, pm.SystemWatts(ExecState::kNap, step, VoltageVolts(v), periph));
+      nap_steps[nap_n] = step;
+      nap_volts[nap_n++] = VoltageVolts(v);
     }
+  }
+  std::array<double, 2 * kNumClockSteps + 1> nap_watts;
+  pm.SystemWattsBatch(ExecState::kNap, nap_steps.data(), nap_volts.data(), nap_n, periph,
+                      nap_watts.data());
+  model.idle_watts = nap_watts[0];
+  for (std::size_t i = 1; i < nap_n; ++i) {
+    model.idle_watts = std::min(model.idle_watts, nap_watts[i]);
   }
 
   // Achievable busy points: per step, the cheapest legal rail, above the
@@ -132,11 +146,24 @@ EnergyModel MakeItsyEnergyModel(const PowerModelParams& params) {
   std::vector<Pt> points;
   points.push_back({0.0, 0.0});  // napping: zero work at the idle floor
   const double top_mhz = ClockTable::FrequencyMhz(ClockTable::MaxStep());
+  std::array<int, kNumClockSteps> busy_steps;
+  std::array<double, kNumClockSteps> rail_high;
+  std::array<double, kNumClockSteps> rail_low;
   for (int step = 0; step < kNumClockSteps; ++step) {
-    double busy = pm.SystemWatts(ExecState::kBusy, step, VoltageVolts(CoreVoltage::kHigh), periph);
+    busy_steps[static_cast<std::size_t>(step)] = step;
+    rail_high[static_cast<std::size_t>(step)] = VoltageVolts(CoreVoltage::kHigh);
+    rail_low[static_cast<std::size_t>(step)] = VoltageVolts(CoreVoltage::kLow);
+  }
+  std::array<double, kNumClockSteps> busy_high;
+  std::array<double, kNumClockSteps> busy_low;
+  pm.SystemWattsBatch(ExecState::kBusy, busy_steps.data(), rail_high.data(), kNumClockSteps,
+                      periph, busy_high.data());
+  pm.SystemWattsBatch(ExecState::kBusy, busy_steps.data(), rail_low.data(), kNumClockSteps,
+                      periph, busy_low.data());
+  for (int step = 0; step < kNumClockSteps; ++step) {
+    double busy = busy_high[static_cast<std::size_t>(step)];
     if (VoltageRegulator::StepAllowedAt(CoreVoltage::kLow, step)) {
-      busy = std::min(busy, pm.SystemWatts(ExecState::kBusy, step,
-                                           VoltageVolts(CoreVoltage::kLow), periph));
+      busy = std::min(busy, busy_low[static_cast<std::size_t>(step)]);
     }
     points.push_back(
         {ClockTable::FrequencyMhz(step) / top_mhz, std::max(0.0, busy - model.idle_watts)});

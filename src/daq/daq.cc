@@ -1,5 +1,6 @@
 #include "src/daq/daq.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "src/fault/fault_injector.h"
@@ -20,7 +21,10 @@ double Quantise(double volts, double lsb, double lo, double hi) {
 
 }  // namespace
 
-Daq::Daq(const DaqConfig& config) : config_(config), rng_(config.seed) {
+Daq::Daq(const DaqConfig& config, Arena* arena)
+    : config_(config), rng_(config.seed),
+      samples_(ArenaAllocator<double>(arena)),
+      dropped_(ArenaAllocator<std::size_t>(arena)) {
   const double steps = std::pow(2.0, config_.adc_bits);
   // Shunt channel is bipolar (+/- range); supply channel unipolar.
   shunt_lsb_ = 2.0 * config_.shunt_range_volts / steps;
@@ -50,16 +54,33 @@ double Daq::ReadPower(double watts, double sigma_shunt, double sigma_supply) {
   return measured_amps * supply_v;
 }
 
-std::vector<double> Daq::SamplePowerWatts(const PowerTape& tape, SimTime begin,
+std::span<const double> Daq::SampleWindow(const PowerTape& tape, SimTime begin,
                                           SimTime end) {
-  std::vector<double> samples;
+  samples_.clear();
   if (end <= begin) {
-    return samples;
+    return {};
   }
   const double period_s = 1.0 / config_.sample_hz;
   const std::int64_t count = static_cast<std::int64_t>(
       std::floor((end - begin).ToSeconds() / period_s));
-  samples.reserve(static_cast<std::size_t>(count));
+  samples_.reserve(static_cast<std::size_t>(count));
+  if (config_.reference_sampling) {
+    SampleScalar(tape, begin, count, period_s);
+  } else {
+    SampleBatched(tape, begin, count, period_s);
+    ApplyDrops();
+  }
+  return {samples_.data(), samples_.size()};
+}
+
+std::vector<double> Daq::SamplePowerWatts(const PowerTape& tape, SimTime begin,
+                                          SimTime end) {
+  const std::span<const double> window = SampleWindow(tape, begin, end);
+  return std::vector<double>(window.begin(), window.end());
+}
+
+void Daq::SampleScalar(const PowerTape& tape, SimTime begin, std::int64_t count,
+                       double period_s) {
   // Sample times are non-decreasing, so a tape cursor makes each lookup
   // amortised O(1) instead of a fresh binary search per sample.  The noise
   // sigmas are loop-invariant; hoisting them keeps the per-sample additions
@@ -72,38 +93,189 @@ std::vector<double> Daq::SamplePowerWatts(const PowerTape& tape, SimTime begin,
     // checks and never materialise the dropped-index bookkeeping.
     for (std::int64_t i = 0; i < count; ++i) {
       const SimTime t = begin + SimTime::FromSecondsF(i * period_s);
-      samples.push_back(ReadPower(cursor.WattsAt(t), sigma_shunt, sigma_supply));
+      samples_.push_back(ReadPower(cursor.WattsAt(t), sigma_shunt, sigma_supply));
     }
-    return samples;
+    return;
   }
-  std::vector<std::size_t> dropped;
+  dropped_.clear();
   for (std::int64_t i = 0; i < count; ++i) {
     const SimTime t = begin + SimTime::FromSecondsF(i * period_s);
     // The reading is always taken (the ADC ran; its noise stream must not
     // shift) — a drop loses the value on the way to the host.
     const double reading = ReadPower(cursor.WattsAt(t), sigma_shunt, sigma_supply);
     if (faults_->DropSample()) {
-      dropped.push_back(samples.size());
-      samples.push_back(0.0);
+      dropped_.push_back(samples_.size());
+      samples_.push_back(0.0);
     } else {
-      samples.push_back(reading);
+      samples_.push_back(reading);
     }
   }
-  if (!dropped.empty()) {
-    dropped_samples_ += dropped.size();
-    InterpolateDropped(&samples, dropped);
+  if (!dropped_.empty()) {
+    dropped_samples_ += dropped_.size();
+    InterpolateDropped(samples_.data(), samples_.size(), dropped_.data(),
+                       dropped_.size());
   }
-  return samples;
 }
 
-void Daq::InterpolateDropped(std::vector<double>* samples,
-                             const std::vector<std::size_t>& dropped) {
-  const std::size_t n = samples->size();
-  for (std::size_t d = 0; d < dropped.size();) {
+void Daq::SampleBatched(const PowerTape& tape, SimTime begin, std::int64_t count,
+                        double period_s) {
+  // Structure-of-arrays pipeline.  Every pass below either (a) performs,
+  // per element, exactly the operations the scalar pipeline performs in
+  // exactly the same order — divide/multiply/sqrt/round/clamp, all
+  // correctly rounded per IEEE-754, so reordering *across* elements cannot
+  // change any bit — or (b) is a serial pass whose cross-element order
+  // matters (the RNG stream, the cursor walk) and is kept in stream order.
+  // The only libm calls, log and cos, stay scalar calls into the same glibc
+  // the reference path uses; their loops are split out so everything around
+  // them vectorizes.
+  PowerTape::Cursor cursor(tape);
+  const double sigma_shunt = config_.noise_lsb * shunt_lsb_;
+  const double sigma_supply = config_.noise_lsb * supply_lsb_;
+  const bool shunt_noise = sigma_shunt != 0.0;
+  const bool supply_noise = sigma_supply != 0.0;
+  const double supply_volts = config_.supply_volts;
+  const double shunt_ohms = config_.shunt_ohms;
+  const double shunt_lo = -config_.shunt_range_volts;
+  const double shunt_hi = config_.shunt_range_volts;
+  const double supply_hi = config_.supply_range_volts;
+  const double shunt_lsb = shunt_lsb_;
+  const double supply_lsb = supply_lsb_;
+
+  SimTime* const times = scratch_.times.data();
+  double* const supply = scratch_.supply.data();
+  double* const u1 = scratch_.u1.data();
+  double* const u2 = scratch_.u2.data();
+  double* const u3 = scratch_.u3.data();
+  double* const u4 = scratch_.u4.data();
+
+  // The batches compute straight into the output vector (reserved to `count`
+  // by SampleWindow), so finished values are never copied out of scratch.
+  samples_.resize(static_cast<std::size_t>(count));
+  double* const out = samples_.data();
+
+  for (std::int64_t base = 0; base < count; base += kBatch) {
+    const int n = static_cast<int>(std::min<std::int64_t>(kBatch, count - base));
+    double* const vals = out + base;
+    // Pass 1 (serial): timestamps, then the cursor gather in time order.
+    for (int i = 0; i < n; ++i) {
+      times[i] = begin + SimTime::FromSecondsF((base + i) * period_s);
+    }
+    cursor.GatherWatts(times, static_cast<std::size_t>(n), vals);
+    // Pass 2 (vectorizable): true watts -> raw shunt volts.
+    for (int i = 0; i < n; ++i) {
+      vals[i] = (vals[i] / supply_volts) * shunt_ohms;
+    }
+    // Pass 3 (serial): uniform draws in the scalar pipeline's exact stream
+    // order — per sample, shunt pair then supply pair, skipping a channel's
+    // pair entirely when its noise is disabled.
+    if (shunt_noise || supply_noise) {
+      for (int i = 0; i < n; ++i) {
+        if (shunt_noise) {
+          u1[i] = rng_.NextDouble();
+          u2[i] = rng_.NextDouble();
+        }
+        if (supply_noise) {
+          u3[i] = rng_.NextDouble();
+          u4[i] = rng_.NextDouble();
+        }
+      }
+    }
+    // Pass 4: Gaussian shunt noise, term-for-term the Rng::Gaussian
+    // expression (clamp, log, sqrt, cos, multiply-add) with log/cos in
+    // their own scalar loops.
+    if (shunt_noise) {
+      for (int i = 0; i < n; ++i) {
+        double u = u1[i];
+        if (u < 1e-300) {
+          u = 1e-300;
+        }
+        u1[i] = std::log(u);
+      }
+      for (int i = 0; i < n; ++i) {
+        u1[i] = std::sqrt(-2.0 * u1[i]);
+      }
+      for (int i = 0; i < n; ++i) {
+        u2[i] = std::cos(2.0 * M_PI * u2[i]);
+      }
+      for (int i = 0; i < n; ++i) {
+        vals[i] += 0.0 + sigma_shunt * u1[i] * u2[i];
+      }
+    }
+    // Pass 5 (vectorizable): shunt-channel ADC quantisation.
+    for (int i = 0; i < n; ++i) {
+      double v = vals[i];
+      if (v < shunt_lo) {
+        v = shunt_lo;
+      }
+      if (v > shunt_hi) {
+        v = shunt_hi;
+      }
+      vals[i] = std::round(v / shunt_lsb) * shunt_lsb;
+    }
+    // Pass 6: supply channel — constant rail, optional noise, quantisation.
+    for (int i = 0; i < n; ++i) {
+      supply[i] = supply_volts;
+    }
+    if (supply_noise) {
+      for (int i = 0; i < n; ++i) {
+        double u = u3[i];
+        if (u < 1e-300) {
+          u = 1e-300;
+        }
+        u3[i] = std::log(u);
+      }
+      for (int i = 0; i < n; ++i) {
+        u3[i] = std::sqrt(-2.0 * u3[i]);
+      }
+      for (int i = 0; i < n; ++i) {
+        u4[i] = std::cos(2.0 * M_PI * u4[i]);
+      }
+      for (int i = 0; i < n; ++i) {
+        supply[i] += 0.0 + sigma_supply * u3[i] * u4[i];
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      double v = supply[i];
+      if (v < 0.0) {
+        v = 0.0;
+      }
+      if (v > supply_hi) {
+        v = supply_hi;
+      }
+      supply[i] = std::round(v / supply_lsb) * supply_lsb;
+    }
+    // Pass 7 (vectorizable): measured current x measured rail -> power.
+    for (int i = 0; i < n; ++i) {
+      vals[i] = (vals[i] / shunt_ohms) * supply[i];
+    }
+  }
+}
+
+void Daq::ApplyDrops() {
+  if (faults_ == nullptr) {
+    return;
+  }
+  dropped_.clear();
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (faults_->DropSample()) {
+      dropped_.push_back(i);
+      samples_[i] = 0.0;
+    }
+  }
+  if (!dropped_.empty()) {
+    dropped_samples_ += dropped_.size();
+    InterpolateDropped(samples_.data(), samples_.size(), dropped_.data(),
+                       dropped_.size());
+  }
+}
+
+void Daq::InterpolateDropped(double* samples, std::size_t n,
+                             const std::size_t* dropped, std::size_t dropped_n) {
+  for (std::size_t d = 0; d < dropped_n;) {
     // Maximal run of consecutive dropped indices [a, b].
     const std::size_t a = dropped[d];
     std::size_t e = d;
-    while (e + 1 < dropped.size() && dropped[e + 1] == dropped[e] + 1) {
+    while (e + 1 < dropped_n && dropped[e + 1] == dropped[e] + 1) {
       ++e;
     }
     const std::size_t b = dropped[e];
@@ -112,12 +284,11 @@ void Daq::InterpolateDropped(std::vector<double>* samples,
     for (std::size_t i = a; i <= b; ++i) {
       if (has_left && has_right) {
         const double frac = static_cast<double>(i - a + 1) / static_cast<double>(b - a + 2);
-        (*samples)[i] =
-            (*samples)[a - 1] + ((*samples)[b + 1] - (*samples)[a - 1]) * frac;
+        samples[i] = samples[a - 1] + (samples[b + 1] - samples[a - 1]) * frac;
       } else if (has_left) {
-        (*samples)[i] = (*samples)[a - 1];
+        samples[i] = samples[a - 1];
       } else if (has_right) {
-        (*samples)[i] = (*samples)[b + 1];
+        samples[i] = samples[b + 1];
       }
       // A window with every sample dropped stays zero: there is nothing to
       // reconstruct from.
@@ -147,7 +318,7 @@ double Daq::AverageWatts(std::span<const double> samples) const {
 }
 
 double Daq::MeasureEnergyJoules(const PowerTape& tape, SimTime begin, SimTime end) {
-  return EnergyJoules(SamplePowerWatts(tape, begin, end));
+  return EnergyJoules(SampleWindow(tape, begin, end));
 }
 
 void GpioTrigger::Attach(Gpio& gpio) {

@@ -15,6 +15,7 @@
 #ifndef SRC_DAQ_DAQ_H_
 #define SRC_DAQ_DAQ_H_
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -23,6 +24,7 @@
 
 #include "src/hw/gpio.h"
 #include "src/hw/power_tape.h"
+#include "src/sim/arena.h"
 #include "src/sim/rng.h"
 #include "src/sim/time.h"
 
@@ -41,11 +43,18 @@ struct DaqConfig {
   // Additive Gaussian noise on each channel, in LSBs.
   double noise_lsb = 1.0;
   std::uint64_t seed = 0x0DA05EEDULL;
+  // When true, sampling runs the original one-reading-at-a-time scalar
+  // pipeline instead of the batched structure-of-arrays pipeline.  The two
+  // are bitwise-identical (enforced by tests/hotpath/daq_soa_property_test);
+  // the scalar path is retained as the differential reference.
+  bool reference_sampling = false;
 };
 
 class Daq {
  public:
-  explicit Daq(const DaqConfig& config = {});
+  // `arena`, when bound, backs the internal sample buffer so steady-state
+  // sampling performs no heap allocation; it must outlive the Daq.
+  explicit Daq(const DaqConfig& config = {}, Arena* arena = nullptr);
 
   const DaqConfig& config() const { return config_; }
   SimTime SamplePeriod() const { return SimTime::FromSecondsF(1.0 / config_.sample_hz); }
@@ -57,6 +66,21 @@ class Daq {
   // linear interpolation between their surviving neighbours (edge runs copy
   // the nearest survivor); without a bound injector the drop bookkeeping is
   // never materialised.
+  //
+  // The default pipeline is batched: per 2048-sample block, timestamps,
+  // cursor watts and the ADC channel values each live in a contiguous array,
+  // and every pass that IEEE-754 guarantees to round identically per element
+  // (divide, multiply, sqrt, round, clamp) is a tight vectorizable loop.
+  // The Gaussian draws and their log/cos stay scalar, in exact stream
+  // order, so the result is bit-for-bit the scalar pipeline's (goldens are
+  // the spec; see tests/hotpath/daq_soa_property_test.cc).
+  //
+  // Returns a view into an internal buffer that remains valid until the
+  // next SampleWindow/SamplePowerWatts/MeasureEnergyJoules call.
+  std::span<const double> SampleWindow(const PowerTape& tape, SimTime begin, SimTime end);
+
+  // Compatibility wrapper around SampleWindow: same samples, copied into a
+  // fresh heap vector.
   std::vector<double> SamplePowerWatts(const PowerTape& tape, SimTime begin, SimTime end);
 
   // Binds the fault injector (non-owning; null unbinds).  Unbound, sampling
@@ -74,13 +98,30 @@ class Daq {
   double MeasureEnergyJoules(const PowerTape& tape, SimTime begin, SimTime end);
 
  private:
+  // SoA block size: big enough to amortise loop overhead and fill vector
+  // lanes, small enough that the scratch arrays stay cache-resident.
+  static constexpr int kBatch = 2048;
+
   // One power reading of true power `watts` through the ADC pipeline, with
   // per-channel noise sigmas (hoisted by the caller; zero skips the draw).
   double ReadPower(double watts, double sigma_shunt, double sigma_supply);
 
+  // The retained scalar reference pipeline: the original per-sample loop,
+  // including the interleaved fault-drop decisions.  Appends to samples_.
+  void SampleScalar(const PowerTape& tape, SimTime begin, std::int64_t count,
+                    double period_s);
+  // The batched SoA pipeline (no drop handling; see ApplyDrops).
+  void SampleBatched(const PowerTape& tape, SimTime begin, std::int64_t count,
+                     double period_s);
+  // Drop overlay for the batched path.  The injector's drop stream is
+  // isolated from the DAQ noise stream, so deciding drops after the batch
+  // (instead of interleaved per sample) reads both streams in the same
+  // per-stream order and yields identical values.
+  void ApplyDrops();
+
   // Reconstructs the samples at `dropped` (sorted indices) in place.
-  static void InterpolateDropped(std::vector<double>* samples,
-                                 const std::vector<std::size_t>& dropped);
+  static void InterpolateDropped(double* samples, std::size_t n,
+                                 const std::size_t* dropped, std::size_t dropped_n);
 
   DaqConfig config_;
   Rng rng_;
@@ -88,6 +129,20 @@ class Daq {
   double supply_lsb_;
   FaultInjector* faults_ = nullptr;
   std::uint64_t dropped_samples_ = 0;
+
+  // Sample window output (reused across calls; arena-backed when bound).
+  ArenaVector<double> samples_;
+  ArenaVector<std::size_t> dropped_;
+  // Per-block SoA scratch.  Fixed arrays: sampling never allocates for them.
+  // The watts column lives directly in samples_ (batches write in place),
+  // so only the channel temporaries need scratch.
+  struct Scratch {
+    std::array<SimTime, kBatch> times;
+    std::array<double, kBatch> supply;  // supply channel volts
+    std::array<double, kBatch> u1, u2;  // shunt-channel uniform draws / noise temps
+    std::array<double, kBatch> u3, u4;  // supply-channel uniform draws / noise temps
+  };
+  Scratch scratch_;
 };
 
 // Latches a measurement window from GPIO edges, as the paper's trigger wire

@@ -13,6 +13,7 @@
 
 #include "src/exp/atomic_io.h"
 #include "src/obs/metrics.h"
+#include "src/sim/arena.h"
 #include "src/sim/simulator.h"
 
 namespace dcs {
@@ -65,6 +66,14 @@ SweepJobResult CampaignRunner::RunJobWithWatchdog(const ExperimentConfig& config
         }
       });
     }
+
+    // Worker-local arena, reused across every job and retry this thread
+    // runs (campaign workers are long-lived sweep threads).  Reset before
+    // the run, not after, so a thrown attempt — whose arena-bound state has
+    // already unwound — still recycles its blocks.
+    static thread_local Arena arena;
+    arena.Reset();
+    job.arena = &arena;
 
     bool permanent = false;
     slot = SweepJobResult{};

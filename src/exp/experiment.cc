@@ -28,14 +28,14 @@ ExperimentResult RunExperiment(const ExperimentConfig& config) {
 
 ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
                                DeadlineMonitor& deadlines) {
-  Simulator sim;
+  Simulator sim(config.arena);
   sim.BindCancel(config.cancel);
-  Itsy itsy(sim, config.itsy);
+  Itsy itsy(sim, config.itsy, config.arena);
   KernelConfig kernel_config = config.kernel;
   // The experiment seed drives every stochastic element: per-task workload
   // jitter (via the kernel's forked RNG streams) and the DAQ noise below.
   kernel_config.rng_seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
-  Kernel kernel(sim, itsy, kernel_config);
+  Kernel kernel(sim, itsy, kernel_config, config.arena);
 
   // Bind the observability registry before the policy is installed so
   // governors can pick up their instruments in OnInstall.
@@ -44,14 +44,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
   itsy.BindMetrics(&metrics);
 
   std::string error;
-  std::unique_ptr<ClockPolicy> governor = MakeGovernor(config.governor, &error);
-  if (governor == nullptr && !error.empty()) {
+  GovernorHandle governor = MakeGovernorDispatch(config.governor, &error);
+  if (governor.governor == nullptr && !error.empty()) {
     // An assert would vanish under NDEBUG and the run would silently proceed
     // without a policy; throwing lets the sweep engine fail just this job.
     throw std::invalid_argument("invalid governor spec '" + config.governor + "': " + error);
   }
-  if (governor != nullptr) {
-    kernel.InstallPolicy(governor.get());
+  if (governor.governor != nullptr) {
+    if (config.legacy_policy_dispatch) {
+      kernel.InstallPolicy(governor.governor.get());
+    } else {
+      kernel.InstallPolicy(governor.dispatch);
+    }
   }
 
   FaultPlan fault_plan;
@@ -64,18 +68,21 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
   // sim.events_* metrics — untouched.
   std::optional<FaultInjector> injector;
   std::optional<InvariantChecker> checker;
+  // Re-arms the checker sweep every quantum.  Queued events hold copies that
+  // re-arm through the reference to this local — which outlives the
+  // simulation loop below — rather than through a self-referential
+  // shared_ptr, whose ownership cycle leaked one closure per faulted run.
+  std::function<void()> check_tick;
   if (fault_plan.Active()) {
     injector.emplace(fault_plan, config.seed);
     itsy.BindFaults(&*injector);
     kernel.BindFaults(&*injector);
     checker.emplace(sim, itsy, kernel);
-    // Re-arm a checker sweep every quantum for the whole run.
-    auto check_tick = std::make_shared<std::function<void()>>();
-    *check_tick = [&sim, &checker, check_tick, quantum = kernel_config.quantum] {
+    check_tick = [&sim, &check_tick, &checker, quantum = kernel_config.quantum] {
       checker->Check();
-      sim.After(quantum, *check_tick);
+      sim.After(quantum, check_tick);
     };
-    sim.After(kernel_config.quantum, *check_tick);
+    sim.After(kernel_config.quantum, check_tick);
   }
 
   for (auto& task : bundle.tasks) {
@@ -89,6 +96,11 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
   trigger.Attach(itsy.gpio());
   itsy.gpio().Toggle(kTriggerPin, sim.Now());
 
+  // Pre-size the per-quantum trace series so the tick path never reallocates.
+  if (kernel_config.quantum.nanos() > 0) {
+    kernel.ReserveTraces(
+        static_cast<std::size_t>(duration.nanos() / kernel_config.quantum.nanos()));
+  }
   kernel.Start();
   sim.RunUntil(duration);
   if (sim.CancelRequested()) {
@@ -102,18 +114,18 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
 
   ExperimentResult result;
   result.app = bundle.name;
-  result.governor = governor != nullptr ? governor->Name() : "none";
+  result.governor = governor.governor != nullptr ? governor.governor->Name() : "none";
   result.duration = duration;
 
   assert(trigger.windows().size() == 1);
   const auto [begin, end] = trigger.windows().front();
   DaqConfig daq_config = config.daq;
   daq_config.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
-  Daq daq(daq_config);
+  Daq daq(daq_config, config.arena);
   if (injector) {
     daq.BindFaults(&*injector);
   }
-  const std::vector<double> samples = daq.SamplePowerWatts(itsy.tape(), begin, end);
+  const std::span<const double> samples = daq.SampleWindow(itsy.tape(), begin, end);
   result.energy_joules = daq.EnergyJoules(samples);
   result.exact_energy_joules = itsy.tape().EnergyJoules(begin, end);
   result.average_watts = daq.AverageWatts(samples);

@@ -55,6 +55,18 @@ struct ExperimentConfig {
   // config fingerprint, since it changes how a job is run, not what it
   // computes.
   const std::atomic<bool>* cancel = nullptr;
+  // Per-run bump arena for transient simulation state (non-owning; may be
+  // null).  Sweep workers bind their arena here and Reset() it between
+  // jobs, making the steady-state job cycle allocation-free.  Like `cancel`,
+  // this changes how a job runs, not what it computes: results are
+  // byte-identical with or without an arena, and the field is excluded from
+  // the config fingerprint.
+  Arena* arena = nullptr;
+  // Use the legacy virtual-call policy dispatch instead of the static
+  // dispatch thunk built by the governor registry.  The two paths are
+  // byte-identical (tests/hotpath/dispatch_equivalence_test.cc); the flag
+  // exists so the differential suite can drive both through RunExperiment.
+  bool legacy_policy_dispatch = false;
 };
 
 // Raw per-run capture for trace export and energy attribution, filled only

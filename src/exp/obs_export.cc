@@ -70,7 +70,7 @@ void AppendGovernorMarkers(ChromeTraceWriter& writer, int chrome_pid, const Trac
 }
 
 void AppendPowerCounter(ChromeTraceWriter& writer, int chrome_pid, const ObsCapture& obs) {
-  const std::vector<PowerTape::Segment>& segments = obs.power.segments();
+  const PowerTape::SegmentVector& segments = obs.power.segments();
   if (segments.empty()) {
     return;
   }

@@ -2,6 +2,7 @@
 
 #include "src/exp/campaign.h"
 #include "src/exp/flags.h"
+#include "src/sim/arena.h"
 
 #include <atomic>
 #include <chrono>
@@ -69,6 +70,11 @@ std::vector<SweepJobResult> SweepRunner::Run(const std::vector<ExperimentConfig>
   };
 
   auto worker = [&] {
+    // One bump arena per worker, reused across its jobs: block allocation
+    // happens on the first job, after which the per-job simulation state
+    // (event queue, sched log, power tape, DAQ samples) recycles the same
+    // memory — the steady-state job cycle is allocation-free.
+    Arena arena;
     for (;;) {
       const int i = next_job.fetch_add(1, std::memory_order_relaxed);
       if (i >= job_count) {
@@ -79,7 +85,13 @@ std::vector<SweepJobResult> SweepRunner::Run(const std::vector<ExperimentConfig>
         if (hooks.execute) {
           slot = hooks.execute(configs[static_cast<std::size_t>(i)], i);
         } else {
-          slot.result = RunExperiment(configs[static_cast<std::size_t>(i)]);
+          ExperimentConfig job = configs[static_cast<std::size_t>(i)];
+          job.arena = &arena;
+          // Rewind before (not after) the run: a job that threw has already
+          // unwound its arena-bound state, so the next job can still recycle
+          // the blocks it touched.
+          arena.Reset();
+          slot.result = RunExperiment(job);
         }
       } catch (const std::exception& e) {
         slot.error = e.what();

@@ -6,9 +6,9 @@
 
 namespace dcs {
 
-Itsy::Itsy(Simulator& sim, const ItsyConfig& config)
+Itsy::Itsy(Simulator& sim, const ItsyConfig& config, Arena* arena)
     : sim_(sim), power_model_(config.power),
-      cpu_(config.initial_step, config.clock_switch_stall) {
+      cpu_(config.initial_step, config.clock_switch_stall), tape_(arena) {
   if (config.initial_voltage == CoreVoltage::kLow) {
     regulator_.Request(CoreVoltage::kLow, sim_.Now());
   }

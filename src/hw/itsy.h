@@ -35,7 +35,10 @@ struct ItsyConfig {
 
 class Itsy {
  public:
-  Itsy(Simulator& sim, const ItsyConfig& config = {});
+  // `arena`, when bound, backs the power tape's per-run segment storage; it
+  // must outlive the Itsy.  ObsCapture copies of the tape are heap-backed
+  // regardless (see ArenaAllocator).
+  Itsy(Simulator& sim, const ItsyConfig& config = {}, Arena* arena = nullptr);
   Itsy(const Itsy&) = delete;
   Itsy& operator=(const Itsy&) = delete;
 

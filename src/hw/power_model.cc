@@ -29,4 +29,46 @@ double PowerModel::SystemWatts(ExecState state, int step, double volts,
   return watts;
 }
 
+void PowerModel::SystemWattsBatch(ExecState state, const int* steps, const double* volts,
+                                  std::size_t n, const PeripheralState& peripherals,
+                                  double* out) const {
+  // Processor term.  Each case mirrors ProcessorWatts exactly — same
+  // operations in the same association, so every lane rounds identically to
+  // the scalar call.
+  switch (state) {
+    case ExecState::kBusy:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v2f = volts[i] * volts[i] * ClockTable::FrequencyMhz(steps[i]);
+        out[i] = (params_.core_dynamic_mw_per_v2mhz * v2f + params_.core_static_busy_mw) * 1e-3;
+      }
+      break;
+    case ExecState::kNap:
+      for (std::size_t i = 0; i < n; ++i) {
+        const double v2f = volts[i] * volts[i] * ClockTable::FrequencyMhz(steps[i]);
+        out[i] = params_.nap_mw_per_v2mhz * v2f * 1e-3;
+      }
+      break;
+    case ExecState::kStalled:
+      for (std::size_t i = 0; i < n; ++i) {
+        out[i] = params_.stall_mw * 1e-3;
+      }
+      break;
+  }
+  // System terms, added in SystemWatts's order (peripheral rail, bus clock,
+  // audio) so the summation rounds the same way.
+  const double periph_watts = (peripherals.display_on ? params_.peripherals_mw
+                                                      : params_.peripherals_display_off_mw) *
+                              1e-3;
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] += periph_watts;
+    out[i] += params_.peripherals_bus_mw_per_mhz * ClockTable::FrequencyMhz(steps[i]) * 1e-3;
+  }
+  if (peripherals.audio_on) {
+    const double audio_watts = params_.audio_mw * 1e-3;
+    for (std::size_t i = 0; i < n; ++i) {
+      out[i] += audio_watts;
+    }
+  }
+}
+
 }  // namespace dcs

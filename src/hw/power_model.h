@@ -21,6 +21,8 @@
 #ifndef SRC_HW_POWER_MODEL_H_
 #define SRC_HW_POWER_MODEL_H_
 
+#include <cstddef>
+
 #include "src/hw/clock_table.h"
 #include "src/hw/voltage_regulator.h"
 
@@ -76,6 +78,17 @@ class PowerModel {
   // Whole-system power in watts.
   double SystemWatts(ExecState state, int step, double volts,
                      const PeripheralState& peripherals) const;
+
+  // Batched SystemWatts over parallel arrays: out[i] = SystemWatts(state,
+  // steps[i], volts[i], peripherals).  Each element evaluates the exact
+  // scalar expression (same operations, same association, so the same
+  // IEEE-754 result bit for bit); the state and peripheral selects are
+  // hoisted out of the loop so the per-element body is a tight polynomial
+  // the auto-vectoriser can chew on.  Used by the oracle's energy-model
+  // table construction (src/core/oracle.cc).
+  void SystemWattsBatch(ExecState state, const int* steps, const double* volts,
+                        std::size_t n, const PeripheralState& peripherals,
+                        double* out) const;
 
  private:
   PowerModelParams params_;

@@ -87,25 +87,4 @@ double PowerTape::AverageWatts(SimTime begin, SimTime end) const {
   return EnergyJoules(begin, end) / (end - begin).ToSeconds();
 }
 
-double PowerTape::Cursor::WattsAt(SimTime t) {
-  const std::vector<Segment>& segs = tape_->segments();
-  if (segs.empty() || t < segs.front().start) {
-    return 0.0;
-  }
-  if (index_ >= segs.size()) {
-    index_ = segs.size() - 1;
-  }
-  if (t < segs[index_].start) {
-    // Query time went backwards: re-sync with a binary search.
-    auto it = std::upper_bound(segs.begin(), segs.end(), t,
-                               [](SimTime x, const Segment& s) { return x < s.start; });
-    index_ = static_cast<std::size_t>(it - segs.begin()) - 1;
-    return segs[index_].watts;
-  }
-  while (index_ + 1 < segs.size() && segs[index_ + 1].start <= t) {
-    ++index_;
-  }
-  return segs[index_].watts;
-}
-
 }  // namespace dcs

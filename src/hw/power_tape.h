@@ -18,9 +18,11 @@
 #ifndef SRC_HW_POWER_TAPE_H_
 #define SRC_HW_POWER_TAPE_H_
 
+#include <algorithm>
 #include <cstddef>
 #include <vector>
 
+#include "src/sim/arena.h"
 #include "src/sim/time.h"
 
 // Feature probe for call sites (bench harness) that want the sequential
@@ -35,6 +37,15 @@ class PowerTape {
     SimTime start;
     double watts = 0.0;
   };
+  using SegmentVector = ArenaVector<Segment>;
+
+  // Heap-backed tape (the default).  Binding an Arena routes segment and
+  // prefix storage through it; copies of an arena-backed tape (ObsCapture)
+  // are heap-backed automatically (see ArenaAllocator).
+  PowerTape() = default;
+  explicit PowerTape(Arena* arena)
+      : segments_(ArenaAllocator<Segment>(arena)),
+        prefix_(ArenaAllocator<double>(arena)) {}
 
   // Declares that from `now` onward the system draws `watts`.  Consecutive
   // equal-power segments are merged; `now` must be >= the last segment start.
@@ -50,7 +61,7 @@ class PowerTape {
   // Mean power over [begin, end).
   double AverageWatts(SimTime begin, SimTime end) const;
 
-  const std::vector<Segment>& segments() const { return segments_; }
+  const SegmentVector& segments() const { return segments_; }
   bool empty() const { return segments_.empty(); }
 
   // Sequential reader: remembers the segment the previous lookup landed in,
@@ -63,7 +74,58 @@ class PowerTape {
    public:
     explicit Cursor(const PowerTape& tape) : tape_(&tape) {}
 
-    double WattsAt(SimTime t);
+    double WattsAt(SimTime t) {
+      const SegmentVector& segs = tape_->segments();
+      if (segs.empty() || t < segs.front().start) {
+        return 0.0;
+      }
+      if (index_ >= segs.size()) {
+        index_ = segs.size() - 1;
+      }
+      if (t < segs[index_].start) {
+        // Query time went backwards: re-sync with a binary search.
+        auto it = std::upper_bound(
+            segs.begin(), segs.end(), t,
+            [](SimTime x, const Segment& s) { return x < s.start; });
+        index_ = static_cast<std::size_t>(it - segs.begin()) - 1;
+        return segs[index_].watts;
+      }
+      while (index_ + 1 < segs.size() && segs[index_ + 1].start <= t) {
+        ++index_;
+      }
+      return segs[index_].watts;
+    }
+
+    // Batched sequential gather: out[i] = WattsAt(times[i]) for `n`
+    // non-decreasing query times, one amortised-O(1) advance per element.
+    // The SoA companion to WattsAt — the DAQ fills a contiguous timestamp
+    // array and reads a contiguous watts array back.
+    void GatherWatts(const SimTime* times, std::size_t n, double* out) {
+      const SegmentVector& segs = tape_->segments();
+      const std::size_t count = segs.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        const SimTime t = times[i];
+        if (count == 0 || t < segs.front().start) {
+          out[i] = 0.0;
+          continue;
+        }
+        if (index_ >= count) {
+          index_ = count - 1;
+        }
+        if (t < segs[index_].start) {
+          auto it = std::upper_bound(
+              segs.begin(), segs.end(), t,
+              [](SimTime x, const Segment& s) { return x < s.start; });
+          index_ = static_cast<std::size_t>(it - segs.begin()) - 1;
+          out[i] = segs[index_].watts;
+          continue;
+        }
+        while (index_ + 1 < count && segs[index_ + 1].start <= t) {
+          ++index_;
+        }
+        out[i] = segs[index_].watts;
+      }
+    }
 
    private:
     const PowerTape* tape_;
@@ -71,10 +133,10 @@ class PowerTape {
   };
 
  private:
-  std::vector<Segment> segments_;
+  SegmentVector segments_;
   // prefix_[i]: joules accumulated from segments_[0].start to
   // segments_[i].start (so prefix_[0] == 0).  Always segments_.size() long.
-  std::vector<double> prefix_;
+  ArenaVector<double> prefix_;
 };
 
 }  // namespace dcs

@@ -18,9 +18,20 @@ constexpr std::int64_t kTimerGranularityNs = 271;  // 1e9 / 3.6864e6 ~= 271.3
 
 }  // namespace
 
-Kernel::Kernel(Simulator& sim, Itsy& itsy, const KernelConfig& config)
-    : sim_(sim), itsy_(itsy), config_(config), sched_log_(config.sched_log_capacity),
+Kernel::Kernel(Simulator& sim, Itsy& itsy, const KernelConfig& config, Arena* arena)
+    : sim_(sim), itsy_(itsy), config_(config),
+      run_queue_(arena), sched_log_(config.sched_log_capacity, arena),
       rng_(config.rng_seed) {}
+
+void Kernel::ReserveTraces(std::size_t quanta) {
+  // All four per-run series: utilization/work get one point per quantum,
+  // freq/volts at most one per quantum (policies decide at tick boundaries)
+  // plus the Start() seed point.
+  sink_.Series("utilization").Reserve(quanta + 1);
+  sink_.Series("work_fs_us").Reserve(quanta + 1);
+  sink_.Series("freq_mhz").Reserve(quanta + 2);
+  sink_.Series("core_volts").Reserve(quanta + 2);
+}
 
 void Kernel::BindMetrics(MetricsRegistry* metrics) {
   metrics_ = metrics;
@@ -62,8 +73,12 @@ void Kernel::Start() {
   start_time_ = sim_.Now();
   quantum_start_ = start_time_;
   segment_start_ = start_time_;
-  sink_.Series("freq_mhz").Append(start_time_, itsy_.frequency_mhz());
-  sink_.Series("core_volts").Append(start_time_, VoltageVolts(itsy_.voltage()));
+  series_utilization_ = &sink_.Series("utilization");
+  series_work_fs_us_ = &sink_.Series("work_fs_us");
+  series_freq_mhz_ = &sink_.Series("freq_mhz");
+  series_core_volts_ = &sink_.Series("core_volts");
+  series_freq_mhz_->Append(start_time_, itsy_.frequency_mhz());
+  series_core_volts_->Append(start_time_, VoltageVolts(itsy_.voltage()));
   sim_.After(config_.quantum, [this] { Tick(); });
   Dispatch();
 }
@@ -151,8 +166,8 @@ void Kernel::Tick() {
   double utilization = busy_in_quantum_.ToSeconds() / quantum_seconds;
   utilization = std::clamp(utilization, 0.0, 1.0);
   last_utilization_ = utilization;
-  sink_.Series("utilization").Append(quantum_start_, utilization);
-  sink_.Series("work_fs_us").Append(quantum_start_, work_in_quantum_us_);
+  series_utilization_->Append(quantum_start_, utilization);
+  series_work_fs_us_->Append(quantum_start_, work_in_quantum_us_);
   if (ctr_quanta_ != nullptr) {
     ctr_quanta_->Inc();
     hist_quantum_busy_us_->Observe(static_cast<double>(busy_in_quantum_.micros()));
@@ -184,7 +199,9 @@ void Kernel::Tick() {
   SimTime dispatch_at = now + config_.tick_overhead;
   if (policy_ != nullptr) {
     const int step_before = itsy_.step();
-    const std::optional<SpeedRequest> request = policy_->OnQuantum(sample);
+    // Static dispatch: the thunk was built from the policy's concrete type
+    // at install time (see PolicyDispatch in policy.h).
+    const std::optional<SpeedRequest> request = policy_on_quantum_(policy_, sample);
     if (request.has_value() && !request->Empty()) {
       dispatch_at = ApplyRequest(*request, dispatch_at);
     }
@@ -248,11 +265,11 @@ SimTime Kernel::RetryTransition(SimTime dispatch_at) {
       retry_due_quantum_ = quantum_index_ + (std::uint64_t{1} << retry_attempts_);
     }
   } else {
-    sink_.Series("freq_mhz").Append(sim_.Now(), itsy_.frequency_mhz());
+    series_freq_mhz_->Append(sim_.Now(), itsy_.frequency_mhz());
     retry_step_.reset();
   }
   if (itsy_.voltage_transitions() != transitions_before) {
-    sink_.Series("core_volts").Append(sim_.Now(), VoltageVolts(itsy_.voltage()));
+    series_core_volts_->Append(sim_.Now(), VoltageVolts(itsy_.voltage()));
   }
   return dispatch_at;
 }
@@ -278,7 +295,7 @@ SimTime Kernel::ApplyRequest(const SpeedRequest& request, SimTime earliest_dispa
       retry_attempts_ = 0;
       retry_due_quantum_ = quantum_index_ + 1;
     } else if (itsy_.step() != old_step) {
-      sink_.Series("freq_mhz").Append(sim_.Now(), itsy_.frequency_mhz());
+      series_freq_mhz_->Append(sim_.Now(), itsy_.frequency_mhz());
       earliest_dispatch = std::max(earliest_dispatch, stall_end);
     }
   }
@@ -286,7 +303,7 @@ SimTime Kernel::ApplyRequest(const SpeedRequest& request, SimTime earliest_dispa
     itsy_.SetVoltage(CoreVoltage::kLow);
   }
   if (itsy_.voltage_transitions() != transitions_before) {
-    sink_.Series("core_volts").Append(sim_.Now(), VoltageVolts(itsy_.voltage()));
+    series_core_volts_->Append(sim_.Now(), VoltageVolts(itsy_.voltage()));
   }
   return earliest_dispatch;
 }

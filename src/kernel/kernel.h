@@ -62,7 +62,10 @@ class Kernel {
   // initial attempt), with exponential backoff in quanta.
   static constexpr int kMaxTransitionRetries = 3;
 
-  Kernel(Simulator& sim, Itsy& itsy, const KernelConfig& config = {});
+  // `arena`, when bound, backs the kernel's per-run transient state (sched
+  // log ring, run queue); it must outlive the kernel.
+  Kernel(Simulator& sim, Itsy& itsy, const KernelConfig& config = {},
+         Arena* arena = nullptr);
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
@@ -71,14 +74,23 @@ class Kernel {
   // pid (1, 2, ...).
   Pid AddTask(std::unique_ptr<Workload> workload);
 
-  // Installs / removes the clock-scaling policy module (non-owning).
+  // Installs / removes the clock-scaling policy module (non-owning).  The
+  // pointer overload uses legacy vtable dispatch; registry call sites pass a
+  // PolicyDispatch so the per-quantum call is static (see policy.h).
   void InstallPolicy(ClockPolicy* policy) {
-    policy_ = policy;
+    InstallPolicy(PolicyDispatch::Virtual(policy));
+  }
+  void InstallPolicy(const PolicyDispatch& dispatch) {
+    policy_ = dispatch.policy;
+    policy_on_quantum_ = dispatch.on_quantum;
     if (policy_ != nullptr) {
       policy_->OnInstall(*this);
     }
   }
-  void RemovePolicy() { policy_ = nullptr; }
+  void RemovePolicy() {
+    policy_ = nullptr;
+    policy_on_quantum_ = nullptr;
+  }
   ClockPolicy* policy() const { return policy_; }
 
   // Schedules the first clock interrupt and dispatches.  Call once.
@@ -121,6 +133,11 @@ class Kernel {
   // trace never overstates executed work), "freq_mhz" (one point per clock
   // change) and "core_volts" (one point per rail transition).
   TraceSink& sink() { return sink_; }
+
+  // Pre-sizes the recorded series for an expected number of quanta so the
+  // per-tick Appends never reallocate mid-run.  Capacity only; call before
+  // Start().
+  void ReserveTraces(std::size_t quanta);
 
   // Binds the observability registry (non-owning; may be null to unbind).
   // Instrument handles are resolved once here, so the scheduling hot paths
@@ -183,6 +200,7 @@ class Kernel {
   Task* current_ = nullptr;
 
   ClockPolicy* policy_ = nullptr;
+  PolicyQuantumFn policy_on_quantum_ = nullptr;
   FaultInjector* faults_ = nullptr;
   // Memory-latency multiplier for the current quantum (1.0 = no spike).
   double mem_spike_factor_ = 1.0;
@@ -193,6 +211,12 @@ class Kernel {
   std::uint64_t transition_retries_ = 0;
   SchedLog sched_log_;
   TraceSink sink_;
+  // The per-tick series, resolved once (map nodes are stable) so the tick
+  // path never does a map lookup.
+  TraceSeries* series_utilization_ = nullptr;
+  TraceSeries* series_work_fs_us_ = nullptr;
+  TraceSeries* series_freq_mhz_ = nullptr;
+  TraceSeries* series_core_volts_ = nullptr;
   Rng rng_;
 
   // Observability instruments (all null until BindMetrics).

@@ -7,11 +7,18 @@
 #include <deque>
 
 #include "src/kernel/task.h"
+#include "src/sim/arena.h"
 
 namespace dcs {
 
 class RunQueue {
  public:
+  using PidDeque = std::deque<Pid, ArenaAllocator<Pid>>;
+
+  // Heap-backed by default; arena-bound when the owning kernel is.
+  RunQueue() = default;
+  explicit RunQueue(Arena* arena) : queue_(ArenaAllocator<Pid>(arena)) {}
+
   bool Empty() const { return queue_.empty(); }
   std::size_t Size() const { return queue_.size(); }
 
@@ -28,10 +35,10 @@ class RunQueue {
   bool Contains(Pid pid) const;
 
   // Front-to-back dispatch order (read-only; used by the invariant checker).
-  const std::deque<Pid>& pids() const { return queue_; }
+  const PidDeque& pids() const { return queue_; }
 
  private:
-  std::deque<Pid> queue_;
+  PidDeque queue_;
 };
 
 }  // namespace dcs

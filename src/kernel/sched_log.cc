@@ -2,14 +2,20 @@
 
 namespace dcs {
 
-SchedLog::SchedLog(std::size_t capacity) : buffer_(capacity) {}
+SchedLog::SchedLog(std::size_t capacity, Arena* arena)
+    : buffer_(ArenaAllocator<SchedLogEntry>(arena)), capacity_(capacity) {}
 
 void SchedLog::Record(SimTime at, Pid pid, int clock_step) {
-  if (!enabled_ || buffer_.empty()) {
+  if (!enabled_ || capacity_ == 0) {
     return;
   }
-  buffer_[next_] = SchedLogEntry{at.micros(), pid, clock_step};
-  next_ = (next_ + 1) % buffer_.size();
+  const SchedLogEntry entry{at.micros(), pid, clock_step};
+  if (buffer_.size() < capacity_) {
+    buffer_.push_back(entry);
+  } else {
+    buffer_[next_] = entry;
+  }
+  next_ = (next_ + 1) % capacity_;
   ++total_;
 }
 
@@ -18,13 +24,13 @@ std::vector<SchedLogEntry> SchedLog::Snapshot() const {
   if (total_ == 0) {
     return out;
   }
-  if (total_ <= buffer_.size()) {
+  if (total_ <= capacity_) {
     out.assign(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(total_));
     return out;
   }
-  out.reserve(buffer_.size());
-  for (std::size_t i = 0; i < buffer_.size(); ++i) {
-    out.push_back(buffer_[(next_ + i) % buffer_.size()]);
+  out.reserve(capacity_);
+  for (std::size_t i = 0; i < capacity_; ++i) {
+    out.push_back(buffer_[(next_ + i) % capacity_]);
   }
   return out;
 }

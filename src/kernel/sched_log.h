@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "src/kernel/task.h"
+#include "src/sim/arena.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -26,8 +27,10 @@ struct SchedLogEntry {
 
 class SchedLog {
  public:
-  // `capacity` bounds kernel memory; older entries are overwritten.
-  explicit SchedLog(std::size_t capacity = 1 << 18);
+  // `capacity` bounds kernel memory; older entries are overwritten.  The
+  // backing store grows lazily up to `capacity` (short runs never pay for
+  // the full ring) and is routed through `arena` when one is bound.
+  explicit SchedLog(std::size_t capacity = 1 << 18, Arena* arena = nullptr);
 
   void set_enabled(bool on) { enabled_ = on; }
   bool enabled() const { return enabled_; }
@@ -39,14 +42,15 @@ class SchedLog {
 
   // Total records attempted, including ones that were overwritten.
   std::uint64_t total_recorded() const { return total_; }
-  std::size_t capacity() const { return buffer_.size(); }
-  bool Wrapped() const { return total_ > buffer_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  bool Wrapped() const { return total_ > capacity_; }
 
   void Clear();
 
  private:
-  std::vector<SchedLogEntry> buffer_;
-  std::size_t next_ = 0;
+  ArenaVector<SchedLogEntry> buffer_;  // grows to at most capacity_
+  std::size_t capacity_ = 0;
+  std::size_t next_ = 0;  // always total_ % capacity_
   std::uint64_t total_ = 0;
   bool enabled_ = true;
 };

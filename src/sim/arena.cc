@@ -1,0 +1,40 @@
+#include "src/sim/arena.h"
+
+#include <algorithm>
+
+namespace dcs {
+
+void* Arena::AllocateSlow(std::size_t bytes, std::size_t align) {
+  // Advance through retained blocks (their tails may be large enough), then
+  // grow geometrically.  Each skipped tail is wasted until the next Reset();
+  // geometric growth keeps that waste bounded by a constant factor.
+  if (block_ < blocks_.size()) {
+    ++block_;
+  }
+  for (; block_ < blocks_.size(); ++block_) {
+    Block& b = blocks_[block_];
+    const std::size_t offset = AlignedOffset(b, 0, align);
+    if (offset <= b.size && bytes <= b.size - offset) {
+      offset_ = offset + bytes;
+      allocated_ += bytes;
+      return b.data.get() + offset;
+    }
+  }
+  // Need a fresh block.  Oversized requests get a block of their own; the
+  // doubling schedule resumes from whichever is larger.
+  const std::size_t size = std::max(next_block_bytes_, bytes + align);
+  Block block;
+  block.data = std::make_unique<std::byte[]>(size);
+  block.size = size;
+  blocks_.push_back(std::move(block));
+  block_ = blocks_.size() - 1;
+  next_block_bytes_ = size * 2;
+
+  Block& b = blocks_[block_];
+  const std::size_t offset = AlignedOffset(b, 0, align);
+  offset_ = offset + bytes;
+  allocated_ += bytes;
+  return b.data.get() + offset;
+}
+
+}  // namespace dcs

@@ -35,6 +35,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/sim/arena.h"
 #include "src/sim/inline_function.h"
 #include "src/sim/time.h"
 
@@ -52,7 +53,14 @@ using EventFn = InlineFunction<void(), 48>;
 
 class EventQueue {
  public:
+  // Heap-backed by default; binding an Arena routes the slot pool, heap and
+  // staging storage through it so a reused queue allocates nothing in
+  // steady state.
   EventQueue() = default;
+  explicit EventQueue(Arena* arena)
+      : slots_(ArenaAllocator<Slot>(arena)),
+        heap_(ArenaAllocator<HeapEntry>(arena)),
+        staging_(ArenaAllocator<HeapEntry>(arena)) {}
 
   // Non-copyable: callbacks frequently capture raw pointers to simulator
   // state, so an accidental copy would double-fire events.
@@ -210,10 +218,10 @@ class EventQueue {
   // Rebuilds the heap without orphans once they outnumber live entries 2:1.
   void MaybeCompact();
 
-  std::vector<Slot> slots_;
-  std::vector<HeapEntry> heap_;
+  ArenaVector<Slot> slots_;
+  ArenaVector<HeapEntry> heap_;
   // Pushes since the last Pop/NextTime, not yet heap-ordered.
-  std::vector<HeapEntry> staging_;
+  ArenaVector<HeapEntry> staging_;
   std::uint32_t free_head_ = kNoSlot;
   std::uint64_t next_seq_ = 0;
   std::size_t live_count_ = 0;

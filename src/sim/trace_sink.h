@@ -37,6 +37,11 @@ class TraceSeries {
   // Appends a sample; `at` must be >= the previous sample's time.
   void Append(SimTime at, double value);
 
+  // Pre-sizes the backing store (capacity only, no semantic effect).  Hot
+  // recording loops reserve their expected sample count up front so Append
+  // never reallocates mid-run.
+  void Reserve(std::size_t points) { points_.reserve(points); }
+
   // Value as of time `at` under sample-and-hold semantics (the value of the
   // most recent sample at or before `at`).  Returns `fallback` before the
   // first sample — unlike TimeWeightedMean, which extends the first point's

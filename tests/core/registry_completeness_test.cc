@@ -69,6 +69,32 @@ TEST(RegistryCompletenessTest, EveryFamilyIsRepresentedInTheSlate) {
   }
 }
 
+TEST(RegistryCompletenessTest, EverySlateSpecBuildsAStaticDispatchHandle) {
+  // The kernel ticks governors through the registry-built PolicyDispatch
+  // thunk (not the vtable), so every constructible spec must come with a
+  // dispatch record that aliases its governor; a branch that forgets to wrap
+  // its concrete type would tick as a silent no-op.
+  for (const std::string& spec : AllGovernorSpecs()) {
+    std::string error;
+    GovernorHandle handle = MakeGovernorDispatch(spec, &error);
+    if (spec == "none") {
+      EXPECT_EQ(handle.governor, nullptr);
+      EXPECT_EQ(handle.dispatch.policy, nullptr);
+      EXPECT_EQ(handle.dispatch.on_quantum, nullptr);
+      EXPECT_TRUE(error.empty()) << spec << ": " << error;
+      continue;
+    }
+    ASSERT_NE(handle.governor, nullptr) << spec << ": " << error;
+    EXPECT_EQ(handle.dispatch.policy, handle.governor.get())
+        << spec << ": dispatch must alias the governor it was built from";
+    EXPECT_NE(handle.dispatch.on_quantum, nullptr) << spec;
+  }
+  // MakeGovernor stays the thin wrapper: same construction, no dispatch.
+  std::string error;
+  EXPECT_EQ(MakeGovernorDispatch("warpdrive", &error).governor, nullptr);
+  EXPECT_FALSE(error.empty());
+}
+
 TEST(RegistryCompletenessTest, UnknownSpecsClassifyAsUnknown) {
   EXPECT_EQ(GovernorFamilyOf("warpdrive"), "");
   EXPECT_EQ(GovernorFamilyOf("FOO-one-one-50-70"), "");

@@ -14,6 +14,12 @@
 # The benches write progress to stderr only, and every number in their stdout
 # derives from simulated state, so the captures are byte-identical for any
 # --threads value (golden_test.cc re-runs them with --threads=2 to prove it).
+#
+# Perf PRs: goldens are the spec.  A change that only optimises the hot path
+# (vectorised sampling, dispatch mechanics, allocators) must leave every file
+# in this directory byte-identical — running this script must produce an
+# empty `git diff tests/golden/`.  If an "optimisation" changes a golden, it
+# changed observable behaviour: fix the optimisation, do not regenerate.
 set -eu
 
 build_dir="${1:-build}"

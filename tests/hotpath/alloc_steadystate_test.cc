@@ -1,0 +1,122 @@
+// Allocation steady-state harness: after the first job warms a worker's
+// arena, subsequent jobs must not touch the global heap on the simulation
+// hot path.  Two layers:
+//
+//  1. A strict zero-allocation check over the core stack (Simulator, Itsy,
+//     Kernel, Daq) built directly against an arena: from kernel start
+//     through the run and the DAQ sampling pass, jobs after the first
+//     perform literally zero heap allocations.
+//  2. A sweep-level check through the production SweepRunner path: per-job
+//     heap allocations drop after the first job and are *identical* between
+//     later jobs (the remaining allocations are result bookkeeping, which
+//     identical configs repeat exactly).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/core/governor_registry.h"
+#include "src/daq/daq.h"
+#include "src/exp/experiment.h"
+#include "src/exp/sweep.h"
+#include "src/hw/itsy.h"
+#include "src/kernel/kernel.h"
+#include "src/sim/arena.h"
+#include "src/sim/simulator.h"
+#include "tests/support/alloc_counter.h"
+
+namespace dcs {
+namespace {
+
+TEST(AllocSteadyStateTest, WarmCoreStackRunsHeapFree) {
+  if (!testing::AllocCounterAvailable()) {
+    GTEST_SKIP() << "alloc counter unavailable under sanitizers";
+  }
+
+  Arena arena;
+  // Governor built once and reinstalled per job, as a long-lived worker
+  // would; the dispatch record comes from the registry like production.
+  GovernorHandle governor = MakeGovernorDispatch("PAST-peg-peg-93-98");
+  ASSERT_NE(governor.governor, nullptr);
+
+  const SimTime duration = SimTime::Seconds(1);
+  std::uint64_t delta[3] = {0, 0, 0};
+  for (int job = 0; job < 3; ++job) {
+    arena.Reset();
+    governor.governor->Reset();
+
+    // Per-job setup (object construction, trace reservation) may allocate;
+    // the zero-allocation contract covers the run itself.
+    Simulator sim(&arena);
+    ItsyConfig itsy_config;
+    Itsy itsy(sim, itsy_config, &arena);
+    KernelConfig kernel_config;
+    Kernel kernel(sim, itsy, kernel_config, &arena);
+    kernel.InstallPolicy(governor.dispatch);
+    kernel.ReserveTraces(
+        static_cast<std::size_t>(duration.nanos() / kernel_config.quantum.nanos()));
+    Daq daq(DaqConfig{}, &arena);
+
+    const std::uint64_t before = testing::ThreadAllocCount();
+    kernel.Start();
+    sim.RunUntil(duration);
+    itsy.SyncBattery();
+    const std::span<const double> samples =
+        daq.SampleWindow(itsy.tape(), SimTime::Nanos(0), duration);
+    const double joules = daq.EnergyJoules(samples);
+    delta[job] = testing::ThreadAllocCount() - before;
+
+    EXPECT_GT(kernel.quanta_elapsed(), 0u) << "job " << job << " never ticked";
+    EXPECT_GT(joules, 0.0) << "job " << job << " measured no energy";
+  }
+
+  // Job 0 may allocate (arena blocks come from the heap); warmed jobs not.
+  EXPECT_EQ(delta[1], 0u) << "second job allocated on the hot path";
+  EXPECT_EQ(delta[2], 0u) << "third job allocated on the hot path";
+}
+
+TEST(AllocSteadyStateTest, SweepWorkerReachesAllocationSteadyState) {
+  if (!testing::AllocCounterAvailable()) {
+    GTEST_SKIP() << "alloc counter unavailable under sanitizers";
+  }
+
+  ExperimentConfig config;
+  config.app = "mpeg";
+  config.governor = "PAST-peg-peg-93-98";
+  config.seed = 5;
+  config.duration = SimTime::Seconds(1);
+  const std::vector<ExperimentConfig> grid(3, config);
+
+  SweepOptions options;
+  options.threads = 1;  // jobs run on this thread, so the counters see them
+  SweepRunner runner(options);
+
+  std::vector<std::uint64_t> counts;
+  counts.reserve(8);
+  SweepJobHooks hooks;
+  hooks.on_result = [&](int, const SweepJobResult&) {
+    counts.push_back(testing::ThreadAllocCount());
+  };
+
+  const std::uint64_t base = testing::ThreadAllocCount();
+  const std::vector<SweepJobResult> results = runner.Run(grid, hooks);
+  ASSERT_EQ(results.size(), 3u);
+  for (const SweepJobResult& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+  ASSERT_EQ(counts.size(), 3u);
+
+  const std::uint64_t first = counts[0] - base;
+  const std::uint64_t second = counts[1] - counts[0];
+  const std::uint64_t third = counts[2] - counts[1];
+  // The first job warms the arena (its blocks are heap allocations) and
+  // whatever lazy one-time state the stack keeps; later jobs only pay the
+  // result-bookkeeping allocations, which identical configs repeat exactly.
+  EXPECT_LT(second, first) << "arena warm-up did not reduce per-job allocations";
+  EXPECT_EQ(third, second) << "steady-state jobs differ in allocation count";
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,129 @@
+// The per-run bump arena: alignment, block reuse across Reset(), geometric
+// growth, and the allocator's escape-to-heap semantics that the whole
+// arena-binding scheme (experiment/sweep) depends on.
+
+#include "src/sim/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "tests/support/alloc_counter.h"
+
+namespace dcs {
+namespace {
+
+TEST(ArenaTest, AllocationsAreAlignedAndDisjoint) {
+  Arena arena;
+  void* a = arena.Allocate(24, 8);
+  void* b = arena.Allocate(1, 1);
+  void* c = arena.Allocate(64, 64);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(a) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(c) % 64, 0u);
+  // Writing each region in full must not trample the others.
+  std::memset(a, 0xAA, 24);
+  std::memset(b, 0xBB, 1);
+  std::memset(c, 0xCC, 64);
+  EXPECT_EQ(static_cast<unsigned char*>(a)[23], 0xAA);
+  EXPECT_EQ(static_cast<unsigned char*>(b)[0], 0xBB);
+  EXPECT_EQ(static_cast<unsigned char*>(c)[63], 0xCC);
+  EXPECT_GE(arena.allocated_bytes(), 24u + 1u + 64u);
+}
+
+TEST(ArenaTest, ResetRetainsBlocksAndReusesStorage) {
+  Arena arena(/*first_block_bytes=*/256);
+  void* first = arena.Allocate(128, 16);
+  const std::size_t blocks_after_warmup = arena.blocks();
+  ASSERT_GE(blocks_after_warmup, 1u);
+
+  arena.Reset();
+  EXPECT_EQ(arena.allocated_bytes(), 0u);
+  EXPECT_EQ(arena.blocks(), blocks_after_warmup) << "Reset must retain blocks";
+
+  // Same request after Reset lands on the same storage: the whole point.
+  void* again = arena.Allocate(128, 16);
+  EXPECT_EQ(first, again);
+  EXPECT_EQ(arena.blocks(), blocks_after_warmup);
+  EXPECT_EQ(arena.resets(), 1u);
+}
+
+TEST(ArenaTest, SteadyStateCycleIsHeapAllocationFree) {
+  if (!testing::AllocCounterAvailable()) {
+    GTEST_SKIP() << "alloc counter unavailable under sanitizers";
+  }
+  Arena arena(/*first_block_bytes=*/1024);
+  // Warm-up cycle allocates blocks from the heap.
+  for (int i = 0; i < 8; ++i) {
+    arena.Allocate(512, 16);
+  }
+  arena.Reset();
+  const std::uint64_t before = testing::ThreadAllocCount();
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    for (int i = 0; i < 8; ++i) {
+      arena.Allocate(512, 16);
+    }
+    arena.Reset();
+  }
+  EXPECT_EQ(testing::ThreadAllocCount(), before)
+      << "warmed arena cycles must not touch the heap";
+}
+
+TEST(ArenaTest, GrowsGeometricallyAndServesOversizedRequests) {
+  Arena arena(/*first_block_bytes=*/64);
+  arena.Allocate(64, 8);
+  // An oversized request gets its own block rather than failing.
+  void* big = arena.Allocate(1 << 20, 32);
+  ASSERT_NE(big, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(big) % 32, 0u);
+  EXPECT_GE(arena.capacity_bytes(), (std::size_t{1} << 20) + 64u);
+  // Growth is geometric: a long run of small allocations needs few blocks.
+  Arena small(/*first_block_bytes=*/64);
+  for (int i = 0; i < 10000; ++i) {
+    small.Allocate(64, 8);
+  }
+  EXPECT_LE(small.blocks(), 20u);
+}
+
+TEST(ArenaVectorTest, BindsToArenaAndCopiesEscapeToHeap) {
+  Arena arena;
+  ArenaVector<int> v{ArenaAllocator<int>(&arena)};
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(i);
+  }
+  EXPECT_EQ(v.get_allocator().arena(), &arena);
+  EXPECT_GT(arena.allocated_bytes(), 0u);
+
+  // Copy construction must select a heap allocator: copies escape jobs.
+  ArenaVector<int> copy = v;
+  EXPECT_EQ(copy.get_allocator().arena(), nullptr);
+  EXPECT_EQ(copy.size(), v.size());
+  EXPECT_EQ(copy[999], 999);
+
+  // Copy assignment into a default (heap) vector must stay heap-backed:
+  // allocators compare unequal and do not propagate on copy assignment.
+  ArenaVector<int> assigned;
+  assigned = v;
+  EXPECT_EQ(assigned.get_allocator().arena(), nullptr);
+  EXPECT_EQ(assigned[500], 500);
+}
+
+TEST(ArenaVectorTest, HeapModeAllocatorBehavesLikeStdAllocator) {
+  ArenaVector<double> v;  // default allocator: heap mode
+  EXPECT_EQ(v.get_allocator().arena(), nullptr);
+  for (int i = 0; i < 100; ++i) {
+    v.push_back(i * 0.5);
+  }
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v[42], 21.0);
+  EXPECT_TRUE(ArenaAllocator<double>() == ArenaAllocator<double>());
+  Arena arena;
+  EXPECT_TRUE(ArenaAllocator<double>(&arena) != ArenaAllocator<double>());
+}
+
+}  // namespace
+}  // namespace dcs

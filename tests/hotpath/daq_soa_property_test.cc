@@ -1,0 +1,197 @@
+// SoA-vs-scalar differential property suite for the DAQ.
+//
+// The batched sampling pipeline (Daq::SampleBatched) restructures the
+// per-sample loop into contiguous-array passes for the auto-vectoriser; its
+// contract is *bitwise* equality with the retained scalar reference
+// (DaqConfig::reference_sampling).  This suite hammers that contract across
+// randomized power tapes, every noise/rate/resolution combination the
+// experiments use, window edge cases, and fault-injected sample drops.
+
+#include "src/daq/daq.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/fault/fault_injector.h"
+#include "src/fault/fault_plan.h"
+#include "src/hw/power_tape.h"
+#include "src/sim/arena.h"
+#include "src/sim/rng.h"
+#include "src/sim/time.h"
+
+namespace dcs {
+namespace {
+
+// A tape with `segments` random power levels at randomly jittered times.
+PowerTape RandomTape(std::uint64_t seed, int segments) {
+  Rng rng(seed);
+  PowerTape tape;
+  SimTime t = SimTime::Micros(rng.UniformInt(0, 500));
+  for (int i = 0; i < segments; ++i) {
+    tape.Set(t, rng.Uniform(0.0, 3.0));
+    t = t + SimTime::Micros(rng.UniformInt(1, 4000));
+  }
+  return tape;
+}
+
+// Runs both pipelines over the same window and asserts bitwise equality.
+void ExpectBitwiseEqual(const DaqConfig& config, const PowerTape& tape, SimTime begin,
+                        SimTime end, const std::string& label) {
+  DaqConfig scalar_config = config;
+  scalar_config.reference_sampling = true;
+  DaqConfig batched_config = config;
+  batched_config.reference_sampling = false;
+
+  Daq scalar(scalar_config);
+  Daq batched(batched_config);
+  const std::span<const double> a = scalar.SampleWindow(tape, begin, end);
+  const std::span<const double> b = batched.SampleWindow(tape, begin, end);
+
+  ASSERT_EQ(a.size(), b.size()) << label;
+  if (!a.empty()) {
+    // memcmp, not ==: the contract is bit-for-bit, not merely value-equal.
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0)
+        << label << ": batched pipeline diverged from the scalar reference";
+  }
+}
+
+TEST(DaqSoaPropertyTest, BatchedMatchesScalarAcrossConfigGrid) {
+  const double noise_grid[] = {0.0, 0.5, 1.0, 3.0};
+  const double rate_grid[] = {1000.0, 5000.0, 44100.0};
+  const int bits_grid[] = {8, 12, 16};
+  int case_index = 0;
+  for (const double noise : noise_grid) {
+    for (const double rate : rate_grid) {
+      for (const int bits : bits_grid) {
+        DaqConfig config;
+        config.noise_lsb = noise;
+        config.sample_hz = rate;
+        config.adc_bits = bits;
+        config.seed = 0x0DA05EEDULL + static_cast<std::uint64_t>(case_index);
+        const PowerTape tape =
+            RandomTape(1000 + static_cast<std::uint64_t>(case_index), 200);
+        ExpectBitwiseEqual(config, tape, SimTime::Millis(1), SimTime::Millis(400),
+                           "noise=" + std::to_string(noise) + " hz=" + std::to_string(rate) +
+                               " bits=" + std::to_string(bits));
+        ++case_index;
+      }
+    }
+  }
+}
+
+TEST(DaqSoaPropertyTest, BatchedMatchesScalarOnRandomTapes) {
+  for (std::uint64_t trial = 0; trial < 32; ++trial) {
+    Rng rng(0xC0FFEE00 + trial);
+    DaqConfig config;
+    config.sample_hz = rng.Uniform(500.0, 20000.0);
+    config.noise_lsb = rng.Uniform(0.0, 4.0);
+    config.adc_bits = static_cast<int>(rng.UniformInt(6, 16));
+    config.seed = rng.Next();
+    const PowerTape tape = RandomTape(rng.Next(), static_cast<int>(rng.UniformInt(1, 400)));
+    const SimTime begin = SimTime::Micros(rng.UniformInt(0, 2000));
+    const SimTime end = begin + SimTime::Micros(rng.UniformInt(1, 300000));
+    ExpectBitwiseEqual(config, tape, begin, end, "trial " + std::to_string(trial));
+  }
+}
+
+TEST(DaqSoaPropertyTest, WindowEdgeCases) {
+  const PowerTape tape = RandomTape(7, 50);
+  DaqConfig config;
+  // Empty window.
+  ExpectBitwiseEqual(config, tape, SimTime::Millis(5), SimTime::Millis(5), "empty");
+  // Window entirely before the first segment (cursor returns 0.0).
+  ExpectBitwiseEqual(config, tape, SimTime::Nanos(0), SimTime::Micros(400), "pre-tape");
+  // Window extending far past the last segment.
+  ExpectBitwiseEqual(config, tape, SimTime::Millis(10), SimTime::Seconds(2), "post-tape");
+  // Exactly one sample; exactly one batch; one past a batch boundary.
+  const double period_us = 200.0;  // 5 kHz
+  ExpectBitwiseEqual(config, tape, SimTime::Millis(1),
+                     SimTime::Millis(1) + SimTime::FromMicrosF(period_us * 1.5), "1 sample");
+  ExpectBitwiseEqual(config, tape, SimTime::Millis(1),
+                     SimTime::Millis(1) + SimTime::FromMicrosF(period_us * 2048), "1 batch");
+  ExpectBitwiseEqual(config, tape, SimTime::Millis(1),
+                     SimTime::Millis(1) + SimTime::FromMicrosF(period_us * 2049.5),
+                     "batch + 1");
+  // Zero-noise and zero-range (sigma==0 on one channel only) variants.
+  DaqConfig no_shunt_noise;
+  no_shunt_noise.shunt_range_volts = 0.0;
+  ExpectBitwiseEqual(no_shunt_noise, tape, SimTime::Millis(1), SimTime::Millis(200),
+                     "shunt sigma 0");
+  DaqConfig no_supply_noise;
+  no_supply_noise.supply_range_volts = 0.0;
+  ExpectBitwiseEqual(no_supply_noise, tape, SimTime::Millis(1), SimTime::Millis(200),
+                     "supply sigma 0");
+}
+
+TEST(DaqSoaPropertyTest, BatchedMatchesScalarUnderFaultDrops) {
+  for (const char* spec : {"daq-drop=0.05", "daq-drop=0.5", "storm=0.3"}) {
+    FaultPlan plan;
+    std::string error;
+    ASSERT_TRUE(FaultPlan::Parse(spec, &plan, &error)) << spec << ": " << error;
+
+    const PowerTape tape = RandomTape(21, 300);
+    DaqConfig config;
+    config.reference_sampling = true;
+    Daq scalar(config);
+    config.reference_sampling = false;
+    Daq batched(config);
+
+    // Each pipeline gets its own injector at the same seed: the drop stream
+    // is isolated per fault class, so both see identical drop decisions.
+    FaultInjector scalar_faults(plan, /*seed=*/11);
+    FaultInjector batched_faults(plan, /*seed=*/11);
+    scalar.BindFaults(&scalar_faults);
+    batched.BindFaults(&batched_faults);
+
+    const std::span<const double> a =
+        scalar.SampleWindow(tape, SimTime::Millis(1), SimTime::Millis(500));
+    const std::span<const double> b =
+        batched.SampleWindow(tape, SimTime::Millis(1), SimTime::Millis(500));
+    ASSERT_EQ(a.size(), b.size()) << spec;
+    ASSERT_FALSE(a.empty()) << spec;
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(double)), 0) << spec;
+    EXPECT_EQ(scalar.dropped_samples(), batched.dropped_samples()) << spec;
+    if (std::string(spec) == "daq-drop=0.5") {
+      EXPECT_GT(batched.dropped_samples(), 0u) << "drop plan never triggered";
+    }
+  }
+}
+
+TEST(DaqSoaPropertyTest, WrapperAndArenaBindingPreserveSamples) {
+  const PowerTape tape = RandomTape(33, 100);
+  const SimTime begin = SimTime::Millis(2);
+  const SimTime end = SimTime::Millis(300);
+
+  DaqConfig config;
+  Daq window_daq(config);
+  const std::span<const double> window = window_daq.SampleWindow(tape, begin, end);
+  const std::vector<double> window_copy(window.begin(), window.end());
+
+  // SamplePowerWatts is the compatibility wrapper over the same pipeline.
+  Daq wrapper_daq(config);
+  const std::vector<double> wrapped = wrapper_daq.SamplePowerWatts(tape, begin, end);
+  ASSERT_EQ(wrapped.size(), window_copy.size());
+  EXPECT_EQ(std::memcmp(wrapped.data(), window_copy.data(),
+                        wrapped.size() * sizeof(double)),
+            0);
+
+  // Arena-backed sampling is byte-identical to heap-backed sampling.
+  Arena arena;
+  Daq arena_daq(config, &arena);
+  const std::span<const double> arena_samples = arena_daq.SampleWindow(tape, begin, end);
+  ASSERT_EQ(arena_samples.size(), window_copy.size());
+  EXPECT_EQ(std::memcmp(arena_samples.data(), window_copy.data(),
+                        arena_samples.size() * sizeof(double)),
+            0);
+
+  // MeasureEnergyJoules integrates the same samples.
+  Daq energy_daq(config);
+  EXPECT_EQ(energy_daq.MeasureEnergyJoules(tape, begin, end),
+            window_daq.EnergyJoules(window_copy));
+}
+
+}  // namespace
+}  // namespace dcs

@@ -1,0 +1,125 @@
+#include "tests/support/alloc_counter.h"
+
+#include <cstdlib>
+#include <new>
+
+// Sanitizers interpose on malloc/free and operator new themselves; replacing
+// the global operators underneath them corrupts their bookkeeping.  Detect
+// every spelling (GCC defines __SANITIZE_*, Clang exposes __has_feature).
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define DCS_ALLOC_COUNTER_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define DCS_ALLOC_COUNTER_DISABLED 1
+#endif
+#endif
+
+namespace {
+
+// Plain PODs with constant initialization: safe to touch from the very first
+// allocation, before any dynamic initializer has run.
+thread_local std::uint64_t tl_allocs = 0;
+thread_local std::uint64_t tl_deallocs = 0;
+
+}  // namespace
+
+namespace dcs::testing {
+
+bool AllocCounterAvailable() {
+#if defined(DCS_ALLOC_COUNTER_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::uint64_t ThreadAllocCount() { return tl_allocs; }
+std::uint64_t ThreadDeallocCount() { return tl_deallocs; }
+
+}  // namespace dcs::testing
+
+#if !defined(DCS_ALLOC_COUNTER_DISABLED)
+
+namespace {
+
+void* CountedAlloc(std::size_t size) {
+  ++tl_allocs;
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  ++tl_allocs;
+  if (align < sizeof(void*)) {
+    align = sizeof(void*);
+  }
+  void* p = nullptr;
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) {
+    return nullptr;
+  }
+  return p;
+}
+
+void CountedFree(void* p) noexcept {
+  if (p != nullptr) {
+    ++tl_deallocs;
+    std::free(p);
+  }
+}
+
+}  // namespace
+
+// Throwing forms.
+void* operator new(std::size_t size) {
+  void* p = CountedAlloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ::operator new(size, align);
+}
+
+// Nothrow forms.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return CountedAlloc(size);
+}
+void* operator new(std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align, const std::nothrow_t&) noexcept {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+// Deletes (plain, sized, aligned, nothrow) — all funnel into free.
+void operator delete(void* p) noexcept { CountedFree(p); }
+void operator delete[](void* p) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { CountedFree(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { CountedFree(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { CountedFree(p); }
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+void operator delete[](void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  CountedFree(p);
+}
+
+#endif  // !DCS_ALLOC_COUNTER_DISABLED

@@ -1,0 +1,33 @@
+// Per-thread heap-allocation counting for the hotpath suite.
+//
+// Linking tests/support/alloc_counter.cc into a test binary replaces the
+// global operator new/delete family with counting forwarders to malloc/free.
+// The counters are thread-local, so a test measures exactly the allocations
+// its own thread performs — sweep workers, gtest internals on other threads,
+// and background machinery never pollute a measurement.
+//
+// Under ASan/TSan/MSan the sanitizer runtime owns the allocator and
+// intercepting operator new would fight it, so the overrides compile away;
+// tests must check AllocCounterAvailable() and GTEST_SKIP() when false.
+
+#ifndef TESTS_SUPPORT_ALLOC_COUNTER_H_
+#define TESTS_SUPPORT_ALLOC_COUNTER_H_
+
+#include <cstdint>
+
+namespace dcs::testing {
+
+// True when the counting operator new/delete overrides are compiled in
+// (i.e. not building under a sanitizer).
+bool AllocCounterAvailable();
+
+// Number of heap allocations (all operator new forms) performed by the
+// calling thread since it started.  Monotone; measure deltas.
+std::uint64_t ThreadAllocCount();
+
+// Number of heap deallocations performed by the calling thread.
+std::uint64_t ThreadDeallocCount();
+
+}  // namespace dcs::testing
+
+#endif  // TESTS_SUPPORT_ALLOC_COUNTER_H_
