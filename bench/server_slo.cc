@@ -4,12 +4,22 @@
 //
 // The grid crosses offered load (arrival rate) x SLO x every governor the
 // registry can build (AllGovernorSpecs), on the open-loop server workload
-// (src/workload/server.h).  Each cell reports energy, SLO violations, and
-// the response-time percentiles (log-bucketed, so p50/p95/p99 are bucket
-// upper bounds — within a factor of two).  A second section compares the
-// three arrival grammars (poisson / bursty / selfsimilar) at fixed load,
-// since interval policies react to utilization history and burstiness is
-// exactly what breaks history-based prediction.
+// (src/workload/server.h).  Each cell reports energy, SLO violations,
+// rejection rate (the overload-control axis — zero without an admission
+// gate), and the response-time percentiles (log-bucketed, so p50/p95/p99
+// are bucket upper bounds — within a factor of two).  A second section
+// compares the three arrival grammars (poisson / bursty / selfsimilar) at
+// fixed load, since interval policies react to utilization history and
+// burstiness is exactly what breaks history-based prediction.
+//
+// The overload sections then cross the admission policies (none / static-u
+// / feedback, src/workload/admission.h) with the governor slate at
+// 320 req/s — the load where PR 6 found the deadline governor posting
+// 99.4% violations open-loop — asking whether an admission gate rescues
+// it: bounded rejection, met SLOs for what is admitted.  A final
+// brownout-shedding table drives value-classed request streams through a
+// brownout fault storm on a battery-backed Itsy, showing degraded mode
+// shedding the lowest-value class first.
 //
 // "Race-to-idle" here is fixed-206.4: run flat out, idle the remainder.
 
@@ -49,9 +59,18 @@ ExperimentConfig MakeCell(const ServerConfig& scenario, const std::string& gover
 }
 
 // Percentile cell: bucket upper bound in ms ("<=16.4" style would overstate
-// precision; the log-bucket bound is already a ceiling).
+// precision; the log-bucket bound is already a ceiling).  A stream that
+// admitted zero requests has no distribution — render "-" instead of a
+// misleading 0.0.
 std::string QuantileMs(const LogHistogram& h, double q) {
+  if (h.count() == 0) {
+    return "-";
+  }
   return TextTable::Fixed(h.ApproxQuantile(q) / 1000.0, 1);
+}
+
+std::string ViolPct(const DeadlineMonitor::StreamStats& stats) {
+  return stats.total == 0 ? "-" : TextTable::Percent(stats.MissRate());
 }
 
 const DeadlineMonitor::StreamStats& RequestStats(const ExperimentResult& result) {
@@ -59,6 +78,7 @@ const DeadlineMonitor::StreamStats& RequestStats(const ExperimentResult& result)
   const auto it = result.streams.find("requests");
   return it == result.streams.end() ? kEmpty : it->second;
 }
+
 
 // One rate x SLO section over the full governor slate.  Returns the results
 // for artifact export.
@@ -81,8 +101,8 @@ std::vector<ExperimentResult> SweepRateSlo(double rate_rps, SimTime slo, bool qu
   }
   std::vector<ExperimentResult> results = RunSweep(configs, options);
 
-  TextTable table({"governor", "requests", "violations", "viol %", "p50 ms", "p95 ms",
-                   "p99 ms", "energy (J)", "avg util"});
+  TextTable table({"governor", "requests", "rejected", "rej %", "violations", "viol %",
+                   "p50 ms", "p95 ms", "p99 ms", "energy (J)", "avg util"});
   double race_energy = 0.0;
   for (std::size_t i = 0; i < results.size(); ++i) {
     const ExperimentResult& result = results[i];
@@ -90,8 +110,9 @@ std::vector<ExperimentResult> SweepRateSlo(double rate_rps, SimTime slo, bool qu
     if (governors[i] == kRaceToIdle) {
       race_energy = result.energy_joules;
     }
-    table.AddRow({governors[i], std::to_string(stats.total), std::to_string(stats.missed),
-                  TextTable::Percent(stats.MissRate()), QuantileMs(stats.latency_us, 0.50),
+    table.AddRow({governors[i], std::to_string(stats.total), std::to_string(stats.rejected),
+                  TextTable::Percent(stats.RejectRate()), std::to_string(stats.missed),
+                  ViolPct(stats), QuantileMs(stats.latency_us, 0.50),
                   QuantileMs(stats.latency_us, 0.95), QuantileMs(stats.latency_us, 0.99),
                   TextTable::Fixed(result.energy_joules, 2),
                   TextTable::Percent(result.avg_utilization)});
@@ -158,6 +179,113 @@ std::vector<ExperimentResult> SweepArrivalGrammars(bool quick, const SweepOption
   return results;
 }
 
+// Overload & admission: the 320 req/s cliff crossed with the admission
+// policies.  The question: does a schedulability gate rescue the deadline
+// governor — violations among *admitted* requests under 5% instead of the
+// open-loop 99%, with the refused load reported as a first-class axis?
+std::vector<ExperimentResult> SweepAdmission(bool quick, const SweepOptions& options) {
+  PrintHeading(std::cout, "Overload & admission — 320 req/s, SLO 50 ms");
+  const std::vector<AdmissionPolicy> policies = {
+      AdmissionPolicy::kNone, AdmissionPolicy::kStaticU, AdmissionPolicy::kFeedback};
+  // Quick mode keeps a representative slice (race-to-idle, the paper's
+  // interval pair, and the deadline/feedback governors the gate interacts
+  // with most); the full run crosses the whole slate.
+  const std::vector<std::string> governors =
+      quick ? std::vector<std::string>{kRaceToIdle, "PAST-peg-peg-93-98", "AVG9-one-one-50-70",
+                                       "deadline", "deadline-vs", "pid-vs"}
+            : AllGovernorSpecs();
+
+  std::vector<ExperimentConfig> configs;
+  for (const AdmissionPolicy policy : policies) {
+    ServerConfig scenario = BaseScenario(quick);
+    scenario.rate_rps = 320.0;
+    scenario.slo = SimTime::Millis(50);
+    scenario.admission.policy = policy;
+    for (const std::string& governor : governors) {
+      configs.push_back(MakeCell(scenario, governor, options));
+    }
+  }
+  std::vector<ExperimentResult> results = RunSweep(configs, options);
+
+  TextTable table({"admission", "governor", "offered", "admitted", "rejected", "rej %",
+                   "adm viol", "viol %", "p99 ms", "energy (J)"});
+  double none_viol = -1.0;
+  double feedback_viol = -1.0;
+  double feedback_rej = 0.0;
+  std::size_t i = 0;
+  for (const AdmissionPolicy policy : policies) {
+    for (const std::string& governor : governors) {
+      const ExperimentResult& result = results[i++];
+      const auto& stats = RequestStats(result);
+      table.AddRow({AdmissionPolicyName(policy), governor,
+                    std::to_string(stats.total + stats.rejected), std::to_string(stats.total),
+                    std::to_string(stats.rejected), TextTable::Percent(stats.RejectRate()),
+                    std::to_string(stats.missed), ViolPct(stats),
+                    QuantileMs(stats.latency_us, 0.99),
+                    TextTable::Fixed(result.energy_joules, 2)});
+      if (governor == "deadline-vs") {
+        if (policy == AdmissionPolicy::kNone) {
+          none_viol = stats.MissRate();
+        } else if (policy == AdmissionPolicy::kFeedback) {
+          feedback_viol = stats.MissRate();
+          feedback_rej = stats.RejectRate();
+        }
+      }
+    }
+  }
+  table.Print(std::cout);
+  if (none_viol >= 0.0 && feedback_viol >= 0.0) {
+    std::printf("Admission rescue (deadline-vs at 320 req/s): admitted-violation %.1f%% "
+                "open-loop -> %.1f%% under feedback admission, shedding %.1f%% of offered "
+                "load.\n",
+                none_viol * 100.0, feedback_viol * 100.0, feedback_rej * 100.0);
+  }
+  return results;
+}
+
+// Degraded-mode shedding: value-classed streams on a battery-backed Itsy
+// under a brownout storm.  The gate sheds bronze (lowest value) first; gold
+// keeps flowing.  The tiny battery sags past the shed threshold mid-run, so
+// the table shows both brownout-event and battery-sag shedding.
+std::vector<ExperimentResult> SweepBrownoutShedding(bool quick, const SweepOptions& options) {
+  PrintHeading(std::cout, "Brownout shedding — value-classed streams (160 req/s)");
+  ServerConfig scenario = BaseScenario(quick);
+  scenario.rate_rps = 160.0;
+  scenario.slo = SimTime::Millis(50);
+  scenario.admission.policy = AdmissionPolicy::kFeedback;
+  scenario.streams = {{"gold", 3.0, 1.0}, {"silver", 2.0, 2.0}, {"bronze", 1.0, 3.0}};
+
+  const std::vector<std::string> governors = {"PAST-peg-peg-93-98-vs", "deadline-vs"};
+  std::vector<ExperimentConfig> configs;
+  for (const std::string& governor : governors) {
+    ExperimentConfig config = MakeCell(scenario, governor, options);
+    // A battery small enough to sag inside the measurement window, plus a
+    // brownout-heavy storm on the rail settles the -vs governors perform.
+    BatteryParams battery;
+    battery.peukert_capacity = battery.peukert_capacity / 2000.0;
+    config.itsy.battery = battery;
+    config.faults = "brownout=1,seed=13";
+    configs.push_back(config);
+  }
+  std::vector<ExperimentResult> results = RunSweep(configs, options);
+
+  TextTable table({"governor", "stream", "offered", "admitted", "rejected", "shed", "rej %",
+                   "viol %", "p99 ms"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    for (const char* stream : {"gold", "silver", "bronze"}) {
+      const auto it = results[i].streams.find(stream);
+      const DeadlineMonitor::StreamStats stats =
+          it == results[i].streams.end() ? DeadlineMonitor::StreamStats{} : it->second;
+      table.AddRow({governors[i], stream, std::to_string(stats.total + stats.rejected),
+                    std::to_string(stats.total), std::to_string(stats.rejected),
+                    std::to_string(stats.shed), TextTable::Percent(stats.RejectRate()),
+                    ViolPct(stats), QuantileMs(stats.latency_us, 0.99)});
+    }
+  }
+  table.Print(std::cout);
+  return results;
+}
+
 }  // namespace
 }  // namespace dcs
 
@@ -184,6 +312,12 @@ int main(int argc, char** argv) {
     }
   }
   for (dcs::ExperimentResult& result : dcs::SweepArrivalGrammars(quick, options)) {
+    all_results.push_back(std::move(result));
+  }
+  for (dcs::ExperimentResult& result : dcs::SweepAdmission(quick, options)) {
+    all_results.push_back(std::move(result));
+  }
+  for (dcs::ExperimentResult& result : dcs::SweepBrownoutShedding(quick, options)) {
     all_results.push_back(std::move(result));
   }
   std::string obs_error;

@@ -167,6 +167,34 @@ ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
     if (stats.latency_us.count() > 0) {
       metrics.Histogram("latency_us." + stream).MergeFrom(stats.latency_us);
     }
+    // Admission-gate outcomes, per stream.  Only touched when the gate
+    // actually rejected something, so admission-free runs (every pre-existing
+    // bench) render byte-identical metrics reports.
+    if (stats.rejected > 0) {
+      metrics.Gauge("admission.reject_pct." + stream).Set(stats.RejectRate() * 100.0);
+      if (stats.shed > 0) {
+        metrics.Gauge("admission.shed_pct." + stream)
+            .Set(static_cast<double>(stats.shed) /
+                 static_cast<double>(stats.total + stats.rejected) * 100.0);
+      }
+    }
+  }
+  const std::int64_t total_rejected = deadlines.TotalRejected();
+  if (total_rejected > 0) {
+    metrics.Counter("exp.rejected_requests").Inc(static_cast<std::uint64_t>(total_rejected));
+    metrics.Counter("exp.shed_requests").Inc(static_cast<std::uint64_t>(deadlines.TotalShed()));
+    // Energy-ledger attribution of the rejected work: it consumed zero
+    // joules (conservation over executed work is untouched), so what the
+    // gate bought is the *avoided* burn — the rejected full-speed-equivalent
+    // microseconds priced at busy top-step/1.5 V processor power.
+    const MetricsGauge* rejected_work = metrics.FindGauge("admission.rejected_work_fs_us");
+    if (rejected_work != nullptr) {
+      const double watts = itsy.power_model().ProcessorWatts(
+          ExecState::kBusy, ClockTable::MaxStep(),
+          VoltageVolts(CoreVoltage::kHigh));
+      metrics.Gauge("admission.rejected_energy_est_joules")
+          .Set(rejected_work->value() * 1e-6 * watts);
+    }
   }
 
   // Experiment- and simulator-level readings into the registry (simulated

@@ -166,6 +166,26 @@ std::uint64_t ConfigFingerprint(const ExperimentConfig& c) {
     h.F64(s.pareto_shape);
     h.Time(s.pareto_on_min);
     h.Time(s.pareto_off_min);
+    h.U64(s.streams.size());
+    for (const ServerStreamClass& cls : s.streams) {
+      h.Str(cls.name);
+      h.F64(cls.value);
+      h.F64(cls.weight);
+    }
+    const AdmissionConfig& a = s.admission;
+    h.I32(static_cast<std::int32_t>(a.policy));
+    h.F64(a.utilization_bound);
+    h.F64(a.target_violation_rate);
+    h.F64(a.decrease_factor);
+    h.F64(a.increase_step);
+    h.F64(a.min_bound);
+    h.F64(a.max_bound);
+    h.I32(a.feedback_window);
+    h.F64(a.demand_ewma_weight);
+    h.F64(a.speed_ewma_weight);
+    h.F64(a.battery_shed_dod);
+    h.Time(a.brownout_shed_hold);
+    h.F64(a.degraded_bound_factor);
   }
 
   const ItsyConfig& i = c.itsy;
@@ -372,6 +392,8 @@ void SerializeResult(const ExperimentResult& r, ByteWriter* out) {
     out->Time(stats.worst_lateness);
     out->Time(stats.total_lateness);
     out->Time(stats.worst_overrun);
+    out->I64(stats.rejected);
+    out->I64(stats.shed);
     SerializeHistogram(stats.latency_us, out);
   }
   SerializeSink(r.sink, out);
@@ -431,6 +453,8 @@ bool DeserializeResult(ByteReader* in, ExperimentResult* r) {
     stats.worst_lateness = in->Time();
     stats.total_lateness = in->Time();
     stats.worst_overrun = in->Time();
+    stats.rejected = in->I64();
+    stats.shed = in->I64();
     if (!DeserializeHistogram(in, &stats.latency_us)) {
       return false;
     }

@@ -130,7 +130,9 @@ inline constexpr std::uint32_t kJournalMagic = 0x4A534344u;  // "DCSJ"
 // v2: per-stream latency histograms in StreamStats; server app in the config
 // fingerprint.  Version-mismatched segments are ignored wholesale, so a v1
 // journal forces a fresh run instead of replaying shape-incompatible records.
-inline constexpr std::uint32_t kJournalVersion = 2;
+// v3: admission-control counters (StreamStats::rejected/shed) and the
+// server scenario's stream classes + admission policy in the fingerprint.
+inline constexpr std::uint32_t kJournalVersion = 3;
 
 struct JournalHeader {
   std::uint32_t version = kJournalVersion;

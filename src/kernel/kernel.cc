@@ -218,6 +218,24 @@ void Kernel::Tick() {
     dispatch_at = RetryTransition(dispatch_at);
   }
 
+  if (supply_observer_ != nullptr) {
+    // Publish what the platform is supplying for the quantum now starting.
+    // SyncBattery() only integrates pending drain; it appends no tape
+    // segment, so reading the depth of discharge here perturbs nothing.
+    SupplySample supply;
+    supply.at = sample.quantum_start;
+    supply.utilization = utilization;
+    supply.step = itsy_.step();
+    supply.max_step = itsy_.voltage() == CoreVoltage::kLow ? kMaxStepAtLowVoltage
+                                                           : ClockTable::MaxStep();
+    supply.brownouts = itsy_.brownouts();
+    if (itsy_.battery() != nullptr) {
+      itsy_.SyncBattery();
+      supply.battery_dod = itsy_.battery()->DepthOfDischarge();
+    }
+    supply_observer_->OnQuantum(supply);
+  }
+
   // Prepay the overhead (and any relock stall) as busy time: the CPU is not
   // in the idle loop, which is exactly how the paper's accounting saw it.
   const SimTime gap = dispatch_at - now;

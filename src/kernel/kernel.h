@@ -150,6 +150,15 @@ class Kernel {
   // Start().
   void BindFaults(FaultInjector* faults) { faults_ = faults; }
 
+  // Binds a per-quantum supply observer (non-owning; null unbinds).  The
+  // observer runs in the clock interrupt after the policy has applied its
+  // request, seeing the step chosen for the quantum now starting, the
+  // rail-limited step ceiling, and brownout/battery distress — the feedback
+  // signal the admission controller consumes (src/workload/admission.h).
+  // Unbound, the tick path is byte-identical to the pre-observer kernel.
+  void BindSupplyObserver(SupplyObserver* observer) { supply_observer_ = observer; }
+  SupplyObserver* supply_observer() const { return supply_observer_; }
+
   // Read-only views for the invariant checker.
   const RunQueue& run_queue() const { return run_queue_; }
   const Task* current_task() const { return current_; }
@@ -202,6 +211,7 @@ class Kernel {
   ClockPolicy* policy_ = nullptr;
   PolicyQuantumFn policy_on_quantum_ = nullptr;
   FaultInjector* faults_ = nullptr;
+  SupplyObserver* supply_observer_ = nullptr;
   // Memory-latency multiplier for the current quantum (1.0 = no spike).
   double mem_spike_factor_ = 1.0;
   // Bounded-backoff retry state for a transition the hardware failed.

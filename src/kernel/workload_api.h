@@ -89,6 +89,37 @@ struct WorkloadContext {
   Kernel* kernel = nullptr;
 };
 
+// Per-quantum snapshot of what the platform actually supplied, published by
+// the kernel from the clock interrupt (after the policy has run) to a bound
+// SupplyObserver.  This is the feedback signal the admission controller
+// consumes: the step the governor chose, the ceiling the rail currently
+// allows, and the brownout/battery distress state.  Everything here derives
+// from simulated state, so observers stay byte-identical across sweep
+// thread counts.
+struct SupplySample {
+  // Start of the quantum that just ended.
+  SimTime at;
+  // Busy fraction of that quantum, clamped to [0, 1].
+  double utilization = 0.0;
+  // Clock step in effect for the quantum now starting (post-policy).
+  int step = 0;
+  // Highest step the current core rail allows (drops to
+  // kMaxStepAtLowVoltage while the regulator targets 1.23 V).
+  int max_step = 0;
+  // Cumulative brownout-forced step-downs so far.
+  int brownouts = 0;
+  // Battery depth of discharge in [0, 1]; 0 when no battery is configured.
+  double battery_dod = 0.0;
+};
+
+// Consumer of per-quantum supply samples (see Kernel::BindSupplyObserver).
+// The callback runs on the tick path and must not allocate.
+class SupplyObserver {
+ public:
+  virtual ~SupplyObserver() = default;
+  virtual void OnQuantum(const SupplySample& sample) = 0;
+};
+
 // A generative application model.  Implementations live in src/workload.
 class Workload {
  public:

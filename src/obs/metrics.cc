@@ -9,6 +9,12 @@ double LogHistogram::ApproxQuantile(double q) const {
   if (count_ == 0) {
     return 0.0;
   }
+  // A NaN quantile slips through std::clamp unchanged, and casting it to an
+  // integer rank below is UB; empty-stream callers that compute q from a
+  // zero denominator must degrade to p0, not garbage.
+  if (std::isnan(q)) {
+    q = 0.0;
+  }
   q = std::clamp(q, 0.0, 1.0);
   const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
   std::uint64_t seen = 0;

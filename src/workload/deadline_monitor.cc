@@ -30,6 +30,14 @@ void DeadlineMonitor::ReportRequest(const std::string& stream, SimTime arrival, 
   streams_[stream].latency_us.Observe(latency.ToMicrosF());
 }
 
+void DeadlineMonitor::ReportRejected(const std::string& stream, bool shed) {
+  StreamStats& stats = streams_[stream];
+  ++stats.rejected;
+  if (shed) {
+    ++stats.shed;
+  }
+}
+
 DeadlineMonitor::StreamStats DeadlineMonitor::Stats(const std::string& stream) const {
   const auto it = streams_.find(stream);
   return it == streams_.end() ? StreamStats{} : it->second;
@@ -56,6 +64,22 @@ std::int64_t DeadlineMonitor::TotalMissed() const {
   std::int64_t n = 0;
   for (const auto& [name, stats] : streams_) {
     n += stats.missed;
+  }
+  return n;
+}
+
+std::int64_t DeadlineMonitor::TotalRejected() const {
+  std::int64_t n = 0;
+  for (const auto& [name, stats] : streams_) {
+    n += stats.rejected;
+  }
+  return n;
+}
+
+std::int64_t DeadlineMonitor::TotalShed() const {
+  std::int64_t n = 0;
+  for (const auto& [name, stats] : streams_) {
+    n += stats.shed;
   }
   return n;
 }

@@ -50,8 +50,20 @@ class DeadlineMonitor {
     // Response-time distribution in microseconds, filled by ReportRequest()
     // (empty for streams that only report bare deadline events).
     LogHistogram latency_us;
+    // Requests the admission gate turned away (never queued, so they
+    // contribute neither a miss nor a latency sample); `shed` is the subset
+    // rejected by the degraded brownout mode rather than the
+    // schedulability test.  A stream can be rejected-only: its `total`
+    // stays 0 and every percentile/rate below must degrade to 0, not NaN.
+    std::int64_t rejected = 0;
+    std::int64_t shed = 0;
     double MissRate() const {
       return total == 0 ? 0.0 : static_cast<double>(missed) / static_cast<double>(total);
+    }
+    // Rejected fraction of everything offered (admitted + rejected).
+    double RejectRate() const {
+      const std::int64_t offered = total + rejected;
+      return offered == 0 ? 0.0 : static_cast<double>(rejected) / static_cast<double>(offered);
     }
   };
 
@@ -67,15 +79,22 @@ class DeadlineMonitor {
   void ReportRequest(const std::string& stream, SimTime arrival, SimTime slo,
                      SimTime completed, SimTime tolerance = SimTime::Zero());
 
+  // Reports one request the admission gate refused on `stream` (`shed` when
+  // the degraded brownout mode, not the schedulability test, rejected it).
+  // Rejected requests never count as deadline events or misses.
+  void ReportRejected(const std::string& stream, bool shed = false);
+
   // Stats for one stream (zeroes if the stream never reported).
   StreamStats Stats(const std::string& stream) const;
 
-  // All stream names that reported at least one event.
+  // All stream names that reported at least one event (or rejection).
   std::vector<std::string> Streams() const;
 
   // Aggregates across every stream.
   std::int64_t TotalEvents() const;
   std::int64_t TotalMissed() const;
+  std::int64_t TotalRejected() const;
+  std::int64_t TotalShed() const;
   SimTime WorstLateness() const;
   SimTime WorstOverrun() const;
   bool AnyMissed() const { return TotalMissed() > 0; }

@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/kernel/kernel.h"
 #include "src/workload/apps.h"
 #include "src/workload/demand.h"
 
@@ -141,6 +142,101 @@ const char* ArrivalProcessName(ArrivalProcess process) {
   return "?";
 }
 
+void ValidateServerConfig(const ServerConfig& config) {
+  const auto fail = [](const std::string& what) {
+    throw std::invalid_argument("ServerConfig: " + what);
+  };
+  if (!(config.rate_rps > 0.0) || !std::isfinite(config.rate_rps)) {
+    fail("rate_rps must be positive and finite (got " + std::to_string(config.rate_rps) + ")");
+  }
+  if (config.duration <= SimTime::Zero()) {
+    fail("duration must be positive (got " + config.duration.ToString() + ")");
+  }
+  if (config.slo <= SimTime::Zero()) {
+    fail("slo must be positive (got " + config.slo.ToString() + ")");
+  }
+  if (!(config.service_ms_at_top > 0.0) || !std::isfinite(config.service_ms_at_top)) {
+    fail("service_ms_at_top must be positive and finite (got " +
+         std::to_string(config.service_ms_at_top) + ")");
+  }
+  if (!(config.max_service_factor > 0.05)) {
+    fail("max_service_factor must exceed the 0.05 lower clamp (got " +
+         std::to_string(config.max_service_factor) + ")");
+  }
+  if (!(config.burst_rate_factor >= 1.0)) {
+    fail("burst_rate_factor must be >= 1 (got " + std::to_string(config.burst_rate_factor) +
+         ")");
+  }
+  if (config.calm_dwell_mean <= SimTime::Zero() || config.burst_dwell_mean <= SimTime::Zero()) {
+    fail("MMPP dwell means must be positive");
+  }
+  if (config.onoff_sources < 1) {
+    fail("onoff_sources must be >= 1 (got " + std::to_string(config.onoff_sources) + ")");
+  }
+  if (!(config.pareto_shape > 1.0)) {
+    fail("pareto_shape must be > 1 (got " + std::to_string(config.pareto_shape) + ")");
+  }
+  if (config.pareto_on_min <= SimTime::Zero() || config.pareto_off_min <= SimTime::Zero()) {
+    fail("Pareto on/off minimums must be positive");
+  }
+  for (std::size_t i = 0; i < config.streams.size(); ++i) {
+    const ServerStreamClass& cls = config.streams[i];
+    if (cls.name.empty()) {
+      fail("streams[" + std::to_string(i) + "] has an empty name");
+    }
+    if (!(cls.weight > 0.0) || !std::isfinite(cls.weight)) {
+      fail("streams[" + std::to_string(i) + "] ('" + cls.name +
+           "') weight must be positive and finite (got " + std::to_string(cls.weight) + ")");
+    }
+    if (!std::isfinite(cls.value)) {
+      fail("streams[" + std::to_string(i) + "] ('" + cls.name + "') value must be finite");
+    }
+    for (std::size_t j = 0; j < i; ++j) {
+      if (config.streams[j].name == cls.name) {
+        fail("streams[" + std::to_string(i) + "] duplicates name '" + cls.name + "'");
+      }
+    }
+  }
+  const AdmissionConfig& adm = config.admission;
+  if (!(adm.utilization_bound > 0.0) || !std::isfinite(adm.utilization_bound)) {
+    fail("admission.utilization_bound must be positive and finite (got " +
+         std::to_string(adm.utilization_bound) + ")");
+  }
+  if (!(adm.target_violation_rate >= 0.0) || !(adm.target_violation_rate < 1.0)) {
+    fail("admission.target_violation_rate must be in [0, 1) (got " +
+         std::to_string(adm.target_violation_rate) + ")");
+  }
+  if (!(adm.decrease_factor > 0.0) || !(adm.decrease_factor < 1.0)) {
+    fail("admission.decrease_factor must be in (0, 1) (got " +
+         std::to_string(adm.decrease_factor) + ")");
+  }
+  if (!(adm.increase_step >= 0.0) || !std::isfinite(adm.increase_step)) {
+    fail("admission.increase_step must be non-negative and finite");
+  }
+  if (!(adm.min_bound > 0.0) || !(adm.min_bound <= adm.max_bound)) {
+    fail("admission bounds must satisfy 0 < min_bound <= max_bound");
+  }
+  if (adm.feedback_window < 1) {
+    fail("admission.feedback_window must be >= 1 (got " +
+         std::to_string(adm.feedback_window) + ")");
+  }
+  if (!(adm.demand_ewma_weight > 0.0) || !(adm.demand_ewma_weight <= 1.0) ||
+      !(adm.speed_ewma_weight > 0.0) || !(adm.speed_ewma_weight <= 1.0)) {
+    fail("admission EWMA weights must be in (0, 1]");
+  }
+  if (!(adm.battery_shed_dod > 0.0) || !(adm.battery_shed_dod <= 1.0)) {
+    fail("admission.battery_shed_dod must be in (0, 1] (got " +
+         std::to_string(adm.battery_shed_dod) + ")");
+  }
+  if (adm.brownout_shed_hold < SimTime::Zero()) {
+    fail("admission.brownout_shed_hold must be non-negative");
+  }
+  if (!(adm.degraded_bound_factor > 0.0) || !(adm.degraded_bound_factor <= 1.0)) {
+    fail("admission.degraded_bound_factor must be in (0, 1] (got " +
+         std::to_string(adm.degraded_bound_factor) + ")");
+  }
+}
+
 double MmppCalmRateRps(const ServerConfig& config) {
   const double calm_dwell = config.calm_dwell_mean.ToSeconds();
   const double burst_dwell = config.burst_dwell_mean.ToSeconds();
@@ -150,6 +246,7 @@ double MmppCalmRateRps(const ServerConfig& config) {
 }
 
 InputTrace MakeServerRequestTrace(const ServerConfig& config, std::uint64_t seed) {
+  ValidateServerConfig(config);
   Rng rng(seed);
   std::vector<double> arrivals;
   switch (config.arrivals) {
@@ -175,12 +272,49 @@ InputTrace MakeServerRequestTrace(const ServerConfig& config, std::uint64_t seed
 ServerWorkload::ServerWorkload(InputTrace trace, const ServerConfig& config,
                                DeadlineMonitor* deadlines)
     : trace_(std::move(trace)), config_(config), deadlines_(deadlines) {
+  ValidateServerConfig(config_);
   for (const InputEvent& event : trace_.events()) {
     if (event.kind != "service_us" && event.kind != "arrival") {
       throw std::invalid_argument("ServerWorkload: unsupported event kind '" + event.kind +
                                   "' (expected service_us|arrival)");
     }
   }
+  classes_ = config_.streams;
+  if (classes_.empty()) {
+    classes_.push_back(ServerStreamClass{});
+  }
+  class_credit_.assign(classes_.size(), 0.0);
+  for (const ServerStreamClass& cls : classes_) {
+    total_weight_ += cls.weight;
+  }
+  if (config_.admission.policy != AdmissionPolicy::kNone) {
+    std::vector<double> values;
+    values.reserve(classes_.size());
+    for (const ServerStreamClass& cls : classes_) {
+      values.push_back(cls.value);
+    }
+    admission_.emplace(config_.admission, config_.slo, config_.rate_rps, config_.profile,
+                       std::move(values));
+  }
+}
+
+// Deficit round-robin on arrival index: each class accrues credit in
+// proportion to its weight; the richest class takes the request.  Purely
+// arithmetic on the arrival sequence number, so the assignment is the same
+// whatever the thread count and whether the trace was generated or replayed.
+std::size_t ServerWorkload::PickClass() {
+  if (classes_.size() == 1) {
+    return 0;
+  }
+  std::size_t pick = 0;
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    class_credit_[i] += classes_[i].weight / total_weight_;
+    if (class_credit_[i] > class_credit_[pick]) {
+      pick = i;
+    }
+  }
+  class_credit_[pick] -= 1.0;
+  return pick;
 }
 
 Action ServerWorkload::Next(const WorkloadContext& ctx) {
@@ -188,13 +322,26 @@ Action ServerWorkload::Next(const WorkloadContext& ctx) {
     primed_ = true;
     origin_ = ctx.now;
   }
+  if (admission_.has_value() && !supply_bound_ && ctx.kernel != nullptr) {
+    // First call runs inside the kernel's task bring-up, before Start():
+    // register for per-quantum supply samples and resolve admission.*
+    // instruments once, so the gate itself never touches the registry.
+    supply_bound_ = true;
+    ctx.kernel->BindSupplyObserver(&*admission_);
+    admission_->BindMetrics(ctx.kernel->metrics());
+  }
   if (serving_) {
     serving_ = false;
+    const bool violated = ctx.now > current_.arrival + config_.slo;
     if (deadlines_ != nullptr) {
-      deadlines_->ReportRequest("requests", current_.arrival, config_.slo, ctx.now);
+      deadlines_->ReportRequest(classes_[current_.cls].name, current_.arrival, config_.slo,
+                                ctx.now);
+    }
+    if (admission_.has_value()) {
+      admission_->ObserveOutcome(violated);
     }
   }
-  // Admit everything that arrived while the worker was busy.
+  // Gate everything that arrived while the worker was busy.
   while (next_arrival_ < trace_.events().size()) {
     const InputEvent& event = trace_.events()[next_arrival_];
     const SimTime at = origin_ + event.at;
@@ -204,12 +351,29 @@ Action ServerWorkload::Next(const WorkloadContext& ctx) {
     const double service_us = event.kind == "service_us"
                                   ? event.magnitude
                                   : event.magnitude * config_.service_ms_at_top * 1e3;
-    queue_.push_back(Request{at, service_us});
+    // The class assignment advances for every arrival, admitted or not, so
+    // the class sequence is a pure function of the arrival index.
+    const std::size_t cls = PickClass();
+    bool admit = true;
+    if (admission_.has_value()) {
+      const AdmissionController::Outcome outcome =
+          admission_->Consider(ctx.now, at, service_us, queue_work_us_, cls);
+      admit = outcome == AdmissionController::Outcome::kAdmitted;
+      if (!admit && deadlines_ != nullptr) {
+        deadlines_->ReportRejected(classes_[cls].name,
+                                   outcome == AdmissionController::Outcome::kRejectedShed);
+      }
+    }
+    if (admit) {
+      queue_.push_back(Request{at, service_us, cls});
+      queue_work_us_ += service_us;
+    }
     ++next_arrival_;
   }
   if (!queue_.empty()) {
     current_ = queue_.front();
     queue_.pop_front();
+    queue_work_us_ -= current_.service_us;
     serving_ = true;
     // Announce the request's deadline so deadline-aware governors can pace
     // the work; oblivious interval policies ignore it.

@@ -31,9 +31,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "src/kernel/workload_api.h"
+#include "src/workload/admission.h"
 #include "src/workload/deadline_monitor.h"
 #include "src/workload/input_trace.h"
 
@@ -45,6 +48,17 @@ enum class ArrivalProcess { kPoisson, kBursty, kSelfSimilar };
 // anything else.
 ArrivalProcess ArrivalProcessFromName(const std::string& name);
 const char* ArrivalProcessName(ArrivalProcess process);
+
+// A value class of requests sharing one deadline-monitor stream.  Requests
+// are assigned to classes by deterministic weighted round-robin on arrival
+// index — no RNG draws — so the arrival/demand trace itself is
+// class-independent and a recorded CSV replays identically whatever the
+// class mix.  Lower-value classes are shed first in degraded mode.
+struct ServerStreamClass {
+  std::string name = "requests";
+  double value = 1.0;   // shedding priority: lowest value shed first
+  double weight = 1.0;  // relative share of requests assigned here
+};
 
 struct ServerConfig {
   ArrivalProcess arrivals = ArrivalProcess::kPoisson;
@@ -76,7 +90,23 @@ struct ServerConfig {
   double pareto_shape = 1.5;
   SimTime pareto_on_min = SimTime::Millis(200);
   SimTime pareto_off_min = SimTime::Millis(400);
+
+  // -- overload control --
+  // Request classes; empty means one default {"requests", 1, 1} class,
+  // which keeps single-stream scenarios byte-identical to the
+  // pre-admission server.
+  std::vector<ServerStreamClass> streams;
+  // Admission gate (src/workload/admission.h); policy kNone leaves the
+  // simulation untouched, byte for byte.
+  AdmissionConfig admission;
 };
+
+// Rejects a nonsensical scenario up front with std::invalid_argument
+// (non-positive rate/SLO/service mean, bad MMPP/Pareto parameters,
+// malformed stream classes or admission bounds), in the strict InputTrace
+// v2 style: fail loudly at construction instead of silently simulating
+// garbage.  Called by ServerWorkload's constructor and the trace generator.
+void ValidateServerConfig(const ServerConfig& config);
 
 // Calm-state arrival rate of the bursty (MMPP) grammar: solved from the
 // stationary dwell fractions so the long-run mean stays at rate_rps while
@@ -104,17 +134,36 @@ class ServerWorkload final : public Workload {
   Action Next(const WorkloadContext& ctx) override;
   MemoryProfile Profile() const override { return config_.profile; }
 
+  // The gate's controller, when the scenario enables admission (tests and
+  // the bench verdict read the estimator state through this).
+  const AdmissionController* admission() const {
+    return admission_.has_value() ? &*admission_ : nullptr;
+  }
+
  private:
   struct Request {
     SimTime arrival;
-    double service_us;  // demand at the top clock step
+    double service_us;       // demand at the top clock step
+    std::size_t cls = 0;     // index into classes_
   };
+
+  std::size_t PickClass();
 
   InputTrace trace_;
   ServerConfig config_;
   DeadlineMonitor* deadlines_;
+  // Resolved request classes (config_.streams, or the single default).
+  std::vector<ServerStreamClass> classes_;
+  // Deficit counters for the weighted round-robin class assignment.
+  std::vector<double> class_credit_;
+  double total_weight_ = 0.0;
+  std::optional<AdmissionController> admission_;
+  bool supply_bound_ = false;
   std::size_t next_arrival_ = 0;
   std::deque<Request> queue_;
+  // Demand queued ahead of a new arrival, µs at the top step (the gate's
+  // backlog input), maintained incrementally.
+  double queue_work_us_ = 0.0;
   bool serving_ = false;
   Request current_;
   SimTime origin_;

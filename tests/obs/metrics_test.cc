@@ -96,6 +96,18 @@ TEST(LogHistogramTest, ApproxQuantileReturnsBucketUpperBound) {
   EXPECT_EQ(h.ApproxQuantile(0.99), 1024.0);
 }
 
+TEST(LogHistogramTest, ApproxQuantileGuardsNanAndEmpty) {
+  LogHistogram h;
+  // Empty histogram: every quantile is 0, including a NaN q from a caller
+  // dividing by a zero count.
+  EXPECT_EQ(h.ApproxQuantile(0.99), 0.0);
+  EXPECT_EQ(h.ApproxQuantile(std::nan("")), 0.0);
+  h.Observe(8.0);
+  // NaN q on a populated histogram degrades to p0, not UB.
+  EXPECT_EQ(h.ApproxQuantile(std::nan("")), h.ApproxQuantile(0.0));
+  EXPECT_EQ(h.ApproxQuantile(2.0), h.ApproxQuantile(1.0));  // clamped
+}
+
 TEST(LogHistogramTest, MergeAddsCountsAndExtremes) {
   LogHistogram a;
   LogHistogram b;

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <vector>
+
 namespace dcs {
 namespace {
 
@@ -148,6 +151,34 @@ TEST(DeadlineMonitorTest, ClearResets) {
   monitor.Clear();
   EXPECT_EQ(monitor.TotalEvents(), 0);
   EXPECT_TRUE(monitor.Streams().empty());
+}
+
+TEST(DeadlineMonitorTest, RejectedOnlyStreamDegradesToZeroesNotNaN) {
+  DeadlineMonitor monitor;
+  monitor.ReportRejected("bronze");
+  monitor.ReportRejected("bronze", /*shed=*/true);
+  const auto stats = monitor.Stats("bronze");
+  EXPECT_EQ(stats.total, 0);
+  EXPECT_EQ(stats.rejected, 2);
+  EXPECT_EQ(stats.shed, 1);
+  // Zero admitted requests: rates and percentiles degrade to 0, never NaN.
+  EXPECT_EQ(stats.MissRate(), 0.0);
+  EXPECT_EQ(stats.RejectRate(), 1.0);
+  EXPECT_EQ(stats.latency_us.count(), 0u);
+  EXPECT_EQ(stats.latency_us.ApproxQuantile(0.99), 0.0);
+  // The stream is visible even though it never completed a request.
+  EXPECT_EQ(monitor.Streams(), std::vector<std::string>{"bronze"});
+  EXPECT_EQ(monitor.TotalRejected(), 2);
+  EXPECT_EQ(monitor.TotalShed(), 1);
+  EXPECT_EQ(monitor.TotalEvents(), 0);
+}
+
+TEST(DeadlineMonitorTest, EmptyStreamStatsAreAllZero) {
+  DeadlineMonitor monitor;
+  const auto stats = monitor.Stats("never-reported");
+  EXPECT_EQ(stats.MissRate(), 0.0);
+  EXPECT_EQ(stats.RejectRate(), 0.0);
+  EXPECT_EQ(stats.latency_us.ApproxQuantile(0.5), 0.0);
 }
 
 }  // namespace

@@ -175,5 +175,62 @@ TEST(ServerAppTest, BundleDrainsQueueAfterArrivalWindow) {
   EXPECT_GT(bundle.duration, QuickConfig().duration);
 }
 
+// --- ServerConfig validation (strict, InputTrace-v2 style) ------------------
+
+TEST(ServerConfigValidationTest, RejectsNonPositiveCoreParameters) {
+  ServerConfig config = QuickConfig();
+  config.rate_rps = 0.0;
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config = QuickConfig();
+  config.duration = SimTime::Zero();
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config = QuickConfig();
+  config.slo = SimTime::Zero();
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config = QuickConfig();
+  config.service_ms_at_top = -1.0;
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+}
+
+TEST(ServerConfigValidationTest, RejectsBadStreams) {
+  ServerConfig config = QuickConfig();
+  config.streams = {{"gold", 1.0, 1.0}, {"gold", 2.0, 1.0}};  // duplicate name
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config.streams = {{"", 1.0, 1.0}};  // empty name
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config.streams = {{"gold", 1.0, 0.0}};  // non-positive weight
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config.streams = {{"gold", 1.0, 1.0}, {"bronze", 0.5, 2.0}};
+  EXPECT_NO_THROW(ValidateServerConfig(config));
+}
+
+TEST(ServerConfigValidationTest, RejectsBadAdmissionParameters) {
+  ServerConfig config = QuickConfig();
+  config.admission.utilization_bound = 0.0;
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config = QuickConfig();
+  config.admission.decrease_factor = 1.0;  // must strictly decrease
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config = QuickConfig();
+  config.admission.min_bound = 0.5;
+  config.admission.max_bound = 0.25;  // inverted range
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config = QuickConfig();
+  config.admission.feedback_window = 0;
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+  config = QuickConfig();
+  config.admission.demand_ewma_weight = 1.5;  // weight in (0, 1]
+  EXPECT_THROW(ValidateServerConfig(config), std::invalid_argument);
+}
+
+TEST(ServerConfigValidationTest, ConstructorsValidate) {
+  ServerConfig config = QuickConfig();
+  config.rate_rps = -3.0;
+  EXPECT_THROW(MakeServerRequestTrace(config, 7), std::invalid_argument);
+  InputTrace trace;
+  trace.Record(SimTime::Millis(1), "arrival", 1.0);
+  EXPECT_THROW(ServerWorkload(trace, config, nullptr), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace dcs
