@@ -16,6 +16,7 @@
 #include "src/exp/sweep.h"
 #include "src/hw/memory_model.h"
 #include "src/sim/event_queue.h"
+#include "src/sim/rng.h"
 #include "src/workload/synthetic.h"
 
 namespace dcs {
@@ -141,7 +142,7 @@ void BM_ParallelSweep8Jobs(benchmark::State& state) {
     ExperimentConfig config;
     config.app = "mpeg";
     config.governor = "PAST-peg-peg-93-98";
-    config.seed = 100 + static_cast<std::uint64_t>(i);
+    config.seed = Rng(100).Fork(static_cast<std::uint64_t>(i)).Next();
     config.duration = SimTime::Seconds(1);
     configs.push_back(config);
   }

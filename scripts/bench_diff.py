@@ -5,13 +5,17 @@ Usage:
     scripts/bench_diff.py OLD.json NEW.json [--threshold=0.25]
 
 Each argument is either a dcs-bench/1 run object (what `perf_harness --out`
-writes) or the committed dcs-bench-trajectory/1 file (BENCH_dcs.json), in
-which case a specific entry can be picked with `FILE:LABEL`; without a label
-the most recent (last) entry is used — so CI's
+or `fleet_scale --out` writes) or the committed dcs-bench-trajectory/1 file
+(BENCH_dcs.json), in which case a specific entry can be picked with
+`FILE:LABEL`; without a label the most recent entry sharing at least one
+benchmark name with the new run is used (falling back to the last entry).
+The trajectory interleaves perf_harness and fleet_scale entries, so both
+CI invocations resolve to the right baseline automatically:
 
-    scripts/bench_diff.py BENCH_dcs.json new_run.json
+    scripts/bench_diff.py BENCH_dcs.json BENCH_ci.json        # perf_harness
+    scripts/bench_diff.py BENCH_dcs.json BENCH_fleet_ci.json  # fleet_scale
 
-compares a fresh run against the latest recorded numbers, and
+while
 
     scripts/bench_diff.py BENCH_dcs.json:pr5-baseline BENCH_dcs.json:pr5-optimized
 
@@ -26,7 +30,7 @@ import json
 import sys
 
 
-def load_run(spec):
+def load_run(spec, prefer_names=None):
     path, _, label = spec.partition(":")
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
@@ -41,6 +45,14 @@ def load_run(spec):
                 if entry.get("label") == label:
                     return entry
             sys.exit(f"{path}: no entry labelled {label!r}")
+        # No label: prefer the most recent entry that overlaps the other
+        # run's benchmark names, so a trajectory interleaving perf_harness
+        # and fleet_scale entries resolves each diff to its own baseline.
+        if prefer_names:
+            for entry in reversed(entries):
+                names = {b["name"] for b in entry.get("benchmarks", [])}
+                if names & prefer_names:
+                    return entry
         return entries[-1]
     sys.exit(f"{path}: unrecognised schema {doc.get('schema')!r}")
 
@@ -56,8 +68,8 @@ def main(argv):
     if len(args) != 2:
         sys.exit(__doc__)
 
-    old_run = load_run(args[0])
     new_run = load_run(args[1])
+    old_run = load_run(args[0], prefer_names={b["name"] for b in new_run["benchmarks"]})
     old_by_name = {b["name"]: b for b in old_run["benchmarks"]}
 
     print(f"old: {old_run.get('label')}  ({old_run.get('host', {}).get('cpu')})")

@@ -57,6 +57,32 @@ class AdaptiveGovernor final : public ClockPolicy {
   void OnInstall(Kernel& /*kernel*/) override {}
   std::optional<SpeedRequest> OnQuantum(const UtilizationSample& sample) override;
   void Reset() override;
+  // Expert pool composition is ctor-fixed, so weights/predictions restore
+  // positionally and each expert serializes its own history in order.
+  void SaveState(SnapshotWriter* w) const override {
+    for (const auto& expert : experts_) {
+      expert->SaveState(w);
+    }
+    for (const double v : weights_) {
+      w->F64(v);
+    }
+    for (const double v : predictions_) {
+      w->F64(v);
+    }
+    w->F64(mixed_);
+  }
+  void LoadState(SnapshotReader* r) override {
+    for (const auto& expert : experts_) {
+      expert->LoadState(r);
+    }
+    for (double& v : weights_) {
+      v = r->F64();
+    }
+    for (double& v : predictions_) {
+      v = r->F64();
+    }
+    mixed_ = r->F64();
+  }
 
   // Introspection for tests: expert names and their current weights.
   std::vector<std::string> ExpertNames() const;

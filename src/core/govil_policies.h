@@ -69,6 +69,14 @@ class LongShortPredictor final : public UtilizationPredictor {
   double Current() const override { return current_; }
   void Reset() override;
   std::unique_ptr<UtilizationPredictor> Clone() const override;
+  void SaveState(SnapshotWriter* w) const override {
+    SaveSampleWindow(w, history_);
+    w->F64(current_);
+  }
+  void LoadState(SnapshotReader* r) override {
+    LoadSampleWindow(r, &history_);
+    current_ = r->F64();
+  }
 
  private:
   int short_window_;
@@ -93,6 +101,17 @@ class CyclePredictor final : public UtilizationPredictor {
   void Reset() override;
   std::unique_ptr<UtilizationPredictor> Clone() const override;
 
+  void SaveState(SnapshotWriter* w) const override {
+    SaveSampleWindow(w, history_);
+    w->F64(current_);
+    w->Bool(cycle_matched_);
+  }
+  void LoadState(SnapshotReader* r) override {
+    LoadSampleWindow(r, &history_);
+    current_ = r->F64();
+    cycle_matched_ = r->Bool();
+  }
+
   // True if the last prediction came from a matched cycle (diagnostics).
   bool cycle_matched() const { return cycle_matched_; }
 
@@ -116,6 +135,16 @@ class PeakPredictor final : public UtilizationPredictor {
   double Current() const override { return current_; }
   void Reset() override;
   std::unique_ptr<UtilizationPredictor> Clone() const override;
+  void SaveState(SnapshotWriter* w) const override {
+    w->F64(previous_);
+    w->F64(current_);
+    w->Bool(primed_);
+  }
+  void LoadState(SnapshotReader* r) override {
+    previous_ = r->F64();
+    current_ = r->F64();
+    primed_ = r->Bool();
+  }
 
  private:
   std::string name_;

@@ -58,6 +58,18 @@ class IntervalGovernor final : public ClockPolicy {
   // an unsafe rail drop is refused by the hardware layer.
   std::optional<SpeedRequest> OnQuantum(const UtilizationSample& sample) override;
   void Reset() override;
+  // Counter instruments are not serialized: they live in the (separately
+  // snapshotted) metrics registry and re-resolve through OnInstall.
+  void SaveState(SnapshotWriter* w) const override {
+    predictor_->SaveState(w);
+    w->I64(scale_ups_);
+    w->I64(scale_downs_);
+  }
+  void LoadState(SnapshotReader* r) override {
+    predictor_->LoadState(r);
+    scale_ups_ = static_cast<int>(r->I64());
+    scale_downs_ = static_cast<int>(r->I64());
+  }
 
   // Introspection for tests and benches.
   double weighted_utilization() const { return predictor_->Current(); }

@@ -20,6 +20,8 @@
 #include <memory>
 #include <string>
 
+#include "src/sim/snapshot.h"
+
 namespace dcs {
 
 class UtilizationPredictor {
@@ -41,7 +43,32 @@ class UtilizationPredictor {
 
   // Deep copy, for sweeps that reuse a configured prototype.
   virtual std::unique_ptr<UtilizationPredictor> Clone() const = 0;
+
+  // Device-snapshot support (src/sim/snapshot.h): mutable history only —
+  // windows/decay constants are ctor-owned and must match the image.
+  virtual void SaveState(SnapshotWriter* w) const { (void)w; }
+  virtual void LoadState(SnapshotReader* r) { (void)r; }
 };
+
+// Serializes a deque/vector of doubles (predictor history windows).  Loads
+// clear-then-push within the container's retained chunk storage, so device
+// cycling with a same-shape window does not allocate in steady state.
+template <typename Container>
+void SaveSampleWindow(SnapshotWriter* w, const Container& c) {
+  w->U64(c.size());
+  for (const double v : c) {
+    w->F64(v);
+  }
+}
+
+template <typename Container>
+void LoadSampleWindow(SnapshotReader* r, Container* c) {
+  const std::size_t n = static_cast<std::size_t>(r->U64());
+  c->clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    c->push_back(r->F64());
+  }
+}
 
 // PAST: prediction == previous interval's utilization.
 class PastPredictor final : public UtilizationPredictor {
@@ -52,6 +79,8 @@ class PastPredictor final : public UtilizationPredictor {
   double Current() const override { return last_; }
   void Reset() override { last_ = 0.0; }
   std::unique_ptr<UtilizationPredictor> Clone() const override;
+  void SaveState(SnapshotWriter* w) const override { w->F64(last_); }
+  void LoadState(SnapshotReader* r) override { last_ = r->F64(); }
 
  private:
   std::string name_;
@@ -67,6 +96,8 @@ class AvgNPredictor final : public UtilizationPredictor {
   double Current() const override { return weighted_; }
   void Reset() override { weighted_ = 0.0; }
   std::unique_ptr<UtilizationPredictor> Clone() const override;
+  void SaveState(SnapshotWriter* w) const override { w->F64(weighted_); }
+  void LoadState(SnapshotReader* r) override { weighted_ = r->F64(); }
 
   int n() const { return n_; }
 
@@ -85,6 +116,14 @@ class SlidingWindowPredictor final : public UtilizationPredictor {
   double Current() const override;
   void Reset() override;
   std::unique_ptr<UtilizationPredictor> Clone() const override;
+  void SaveState(SnapshotWriter* w) const override {
+    SaveSampleWindow(w, samples_);
+    w->F64(sum_);
+  }
+  void LoadState(SnapshotReader* r) override {
+    LoadSampleWindow(r, &samples_);
+    sum_ = r->F64();
+  }
 
   int window() const { return window_; }
 

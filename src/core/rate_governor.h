@@ -43,6 +43,21 @@ class SaturationAwareGovernor final : public ClockPolicy {
   const char* Name() const override { return name_.c_str(); }
   std::optional<SpeedRequest> OnQuantum(const UtilizationSample& sample) override;
   void Reset() override;
+  void SaveState(SnapshotWriter* w) const override {
+    w->U64(busy_mhz_.size());
+    for (const double v : busy_mhz_) {
+      w->F64(v);
+    }
+    w->F64(sum_);
+  }
+  void LoadState(SnapshotReader* r) override {
+    const std::size_t n = static_cast<std::size_t>(r->U64());
+    busy_mhz_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      busy_mhz_.push_back(r->F64());
+    }
+    sum_ = r->F64();
+  }
 
   double AverageBusyMhz() const;
 

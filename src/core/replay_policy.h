@@ -30,6 +30,10 @@ class ScheduleReplayPolicy final : public ClockPolicy {
   const char* Name() const override { return name_.c_str(); }
   std::optional<SpeedRequest> OnQuantum(const UtilizationSample& sample) override;
   void Reset() override { next_ = 0; }
+  void SaveState(SnapshotWriter* w) const override { w->U64(next_); }
+  void LoadState(SnapshotReader* r) override {
+    next_ = static_cast<std::size_t>(r->U64());
+  }
 
   std::size_t schedule_length() const { return steps_.size(); }
 

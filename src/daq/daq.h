@@ -26,6 +26,7 @@
 #include "src/hw/power_tape.h"
 #include "src/sim/arena.h"
 #include "src/sim/rng.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -97,6 +98,18 @@ class Daq {
   // Convenience: sample + integrate in one call.
   double MeasureEnergyJoules(const PowerTape& tape, SimTime begin, SimTime end);
 
+  // Device-snapshot support (src/sim/snapshot.h): the noise RNG's stream
+  // position and drop accounting.  Sample buffers are transient outputs and
+  // are not serialized.
+  void SaveState(SnapshotWriter* w) const {
+    rng_.SaveState(w);
+    w->U64(dropped_samples_);
+  }
+  void LoadState(SnapshotReader* r) {
+    rng_.LoadState(r);
+    dropped_samples_ = r->U64();
+  }
+
  private:
   // SoA block size: big enough to amortise loop overhead and fill vector
   // lanes, small enough that the scratch arrays stay cache-resident.
@@ -159,6 +172,29 @@ class GpioTrigger {
   const std::vector<std::pair<SimTime, SimTime>>& windows() const { return windows_; }
   // Window currently open (started but not yet ended), if any.
   std::optional<SimTime> open_window_start() const { return open_start_; }
+
+  // Device-snapshot support (src/sim/snapshot.h).
+  void SaveState(SnapshotWriter* w) const {
+    w->Bool(open_start_.has_value());
+    w->Time(open_start_.value_or(SimTime::Zero()));
+    w->U64(windows_.size());
+    for (const auto& [start, end] : windows_) {
+      w->Time(start);
+      w->Time(end);
+    }
+  }
+  void LoadState(SnapshotReader* r) {
+    const bool open = r->Bool();
+    const SimTime open_at = r->Time();
+    open_start_ = open ? std::optional<SimTime>(open_at) : std::nullopt;
+    const std::size_t n = static_cast<std::size_t>(r->U64());
+    windows_.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      const SimTime start = r->Time();
+      const SimTime end = r->Time();
+      windows_.emplace_back(start, end);
+    }
+  }
 
  private:
   int pin_;

@@ -78,7 +78,7 @@ SweepJobResult CampaignRunner::RunJobWithWatchdog(const ExperimentConfig& config
     bool permanent = false;
     slot = SweepJobResult{};
     try {
-      slot.result = RunExperiment(job);
+      slot.result = job_fn_ ? job_fn_(job) : RunExperiment(job);
     } catch (const CancelledError& e) {
       slot.error = "watchdog timeout after " + std::to_string(campaign.job_timeout) +
                    "s: " + e.what();

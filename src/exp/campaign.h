@@ -39,6 +39,7 @@
 #define SRC_EXP_CAMPAIGN_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -81,7 +82,20 @@ struct CampaignReport {
 
 class CampaignRunner {
  public:
+  // Replacement for RunExperiment as the body of one job.  The function must
+  // be a pure function of the config (minus the excluded cancel/arena
+  // fields): journal replay hands back previously recorded results without
+  // re-invoking it, so a non-deterministic body would break the resume
+  // byte-identity contract.  Jobs still get the watchdog cancel token and
+  // the worker arena through the config, and retries/quarantine behave
+  // exactly as with RunExperiment.  The fleet layer uses this to make one
+  // "job" simulate a whole shard of devices (src/exp/fleet.h).
+  using JobFn = std::function<ExperimentResult(const ExperimentConfig&)>;
+
   explicit CampaignRunner(SweepOptions options);
+
+  // Installs `fn` as the job body (default: RunExperiment).
+  void SetJobFunction(JobFn fn) { job_fn_ = std::move(fn); }
 
   // Runs (or resumes) the campaign.  Slot i always corresponds to
   // configs[i]; quarantined slots come back with ok() == false and the error
@@ -99,6 +113,7 @@ class CampaignRunner {
                                     bool* quarantined);
 
   SweepOptions options_;
+  JobFn job_fn_;
   CampaignReport report_;
   SweepMetrics sweep_metrics_;
 };

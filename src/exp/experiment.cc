@@ -1,271 +1,25 @@
 #include "src/exp/experiment.h"
 
-#include <cassert>
-#include <functional>
-#include <stdexcept>
 #include <utility>
 
-#include "src/core/governor_registry.h"
-#include "src/fault/fault_injector.h"
-#include "src/fault/fault_plan.h"
-#include "src/fault/invariants.h"
-#include "src/sim/simulator.h"
+#include "src/exp/device_sim.h"
 
 namespace dcs {
 
+// Both entry points are thin wrappers over DeviceSim (src/exp/device_sim.h),
+// which is the old RunExperiment body split at its phase boundaries so fleet
+// workers can snapshot/restore mid-run.  Run() preserves the original
+// statement order exactly; the golden suite holds the results byte-identical.
+
 ExperimentResult RunExperiment(const ExperimentConfig& config) {
-  DeadlineMonitor deadlines;
-  AppBundle bundle;
-  if (config.app == "mpeg" && config.mpeg.has_value()) {
-    bundle = MakeMpegApp(*config.mpeg, &deadlines, config.seed);
-  } else if (config.app == "server" && config.server.has_value()) {
-    bundle = MakeServerApp(*config.server, &deadlines, config.seed);
-  } else {
-    bundle = MakeApp(config.app, &deadlines, config.seed);
-  }
-  return RunExperiment(config, std::move(bundle), deadlines);
+  DeviceSim device(config);
+  return device.Run();
 }
 
 ExperimentResult RunExperiment(const ExperimentConfig& config, AppBundle bundle,
                                DeadlineMonitor& deadlines) {
-  Simulator sim(config.arena);
-  sim.BindCancel(config.cancel);
-  Itsy itsy(sim, config.itsy, config.arena);
-  KernelConfig kernel_config = config.kernel;
-  // The experiment seed drives every stochastic element: per-task workload
-  // jitter (via the kernel's forked RNG streams) and the DAQ noise below.
-  kernel_config.rng_seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
-  Kernel kernel(sim, itsy, kernel_config, config.arena);
-
-  // Bind the observability registry before the policy is installed so
-  // governors can pick up their instruments in OnInstall.
-  MetricsRegistry metrics;
-  kernel.BindMetrics(&metrics);
-  itsy.BindMetrics(&metrics);
-
-  std::string error;
-  GovernorHandle governor = MakeGovernorDispatch(config.governor, &error);
-  if (governor.governor == nullptr && !error.empty()) {
-    // An assert would vanish under NDEBUG and the run would silently proceed
-    // without a policy; throwing lets the sweep engine fail just this job.
-    throw std::invalid_argument("invalid governor spec '" + config.governor + "': " + error);
-  }
-  if (governor.governor != nullptr) {
-    if (config.legacy_policy_dispatch) {
-      kernel.InstallPolicy(governor.governor.get());
-    } else {
-      kernel.InstallPolicy(governor.dispatch);
-    }
-  }
-
-  FaultPlan fault_plan;
-  std::string fault_error;
-  if (!FaultPlan::Parse(config.faults, &fault_plan, &fault_error)) {
-    throw std::invalid_argument("invalid fault spec '" + config.faults + "': " + fault_error);
-  }
-  // The injector (and the invariant checker riding along) only exists for an
-  // active plan: an inactive one must leave the event sequence — and thus the
-  // sim.events_* metrics — untouched.
-  std::optional<FaultInjector> injector;
-  std::optional<InvariantChecker> checker;
-  // Re-arms the checker sweep every quantum.  Queued events hold copies that
-  // re-arm through the reference to this local — which outlives the
-  // simulation loop below — rather than through a self-referential
-  // shared_ptr, whose ownership cycle leaked one closure per faulted run.
-  std::function<void()> check_tick;
-  if (fault_plan.Active()) {
-    injector.emplace(fault_plan, config.seed);
-    itsy.BindFaults(&*injector);
-    kernel.BindFaults(&*injector);
-    checker.emplace(sim, itsy, kernel);
-    check_tick = [&sim, &check_tick, &checker, quantum = kernel_config.quantum] {
-      checker->Check();
-      sim.After(quantum, check_tick);
-    };
-    sim.After(kernel_config.quantum, check_tick);
-  }
-
-  for (auto& task : bundle.tasks) {
-    kernel.AddTask(std::move(task));
-  }
-
-  const SimTime duration = config.duration.value_or(bundle.duration + SimTime::Seconds(2));
-  // The measurement window is GPIO-triggered exactly like the paper's rig.
-  constexpr int kTriggerPin = 5;
-  GpioTrigger trigger(kTriggerPin);
-  trigger.Attach(itsy.gpio());
-  itsy.gpio().Toggle(kTriggerPin, sim.Now());
-
-  // Pre-size the per-quantum trace series so the tick path never reallocates.
-  if (kernel_config.quantum.nanos() > 0) {
-    kernel.ReserveTraces(
-        static_cast<std::size_t>(duration.nanos() / kernel_config.quantum.nanos()));
-  }
-  kernel.Start();
-  sim.RunUntil(duration);
-  if (sim.CancelRequested()) {
-    // The watchdog pulled the token mid-run: everything below would report a
-    // half-simulated experiment as if it finished.  Fail the job instead.
-    throw CancelledError("experiment cancelled at simulated " + sim.Now().ToString() +
-                         " of " + duration.ToString());
-  }
-  itsy.gpio().Toggle(kTriggerPin, sim.Now());
-  itsy.SyncBattery();
-
-  ExperimentResult result;
-  result.app = bundle.name;
-  result.governor = governor.governor != nullptr ? governor.governor->Name() : "none";
-  result.duration = duration;
-
-  assert(trigger.windows().size() == 1);
-  const auto [begin, end] = trigger.windows().front();
-  DaqConfig daq_config = config.daq;
-  daq_config.seed ^= config.seed * 0x9e3779b97f4a7c15ULL;
-  Daq daq(daq_config, config.arena);
-  if (injector) {
-    daq.BindFaults(&*injector);
-  }
-  const std::span<const double> samples = daq.SampleWindow(itsy.tape(), begin, end);
-  result.energy_joules = daq.EnergyJoules(samples);
-  result.exact_energy_joules = itsy.tape().EnergyJoules(begin, end);
-  result.average_watts = daq.AverageWatts(samples);
-
-  result.quanta = kernel.quanta_elapsed();
-  const TraceSeries* util = kernel.sink().Find("utilization");
-  if (util != nullptr && !util->empty()) {
-    double sum = 0.0;
-    for (const TracePoint& p : util->points()) {
-      sum += p.value;
-    }
-    result.avg_utilization = sum / static_cast<double>(util->size());
-  }
-  result.clock_changes = itsy.clock_changes();
-  result.voltage_transitions = itsy.voltage_transitions();
-  result.total_stall = itsy.total_stall();
-  const auto& residency = kernel.step_residency();
-  const double total_s = duration.ToSeconds();
-  for (int k = 0; k < kNumClockSteps; ++k) {
-    result.step_residency[static_cast<std::size_t>(k)] =
-        total_s > 0.0 ? residency[static_cast<std::size_t>(k)].ToSeconds() / total_s : 0.0;
-  }
-
-  for (Pid pid = 1; Task* task = kernel.FindTask(pid); ++pid) {
-    result.task_cpu_seconds.emplace(std::to_string(pid) + ":" + task->name(),
-                                    task->cpu_time().ToSeconds());
-  }
-
-  result.deadline_events = deadlines.TotalEvents();
-  result.deadline_misses = deadlines.TotalMissed();
-  result.worst_lateness = deadlines.WorstLateness();
-  result.worst_overrun = deadlines.WorstOverrun();
-  for (const std::string& stream : deadlines.Streams()) {
-    result.streams.emplace(stream, deadlines.Stats(stream));
-    // Streams with response-time tracking (ReportRequest) surface their
-    // latency distribution through the metrics pipeline, so --metrics-out
-    // carries p50/p95/p99/p999 without per-request artifacts.
-    const DeadlineMonitor::StreamStats& stats = result.streams.at(stream);
-    if (stats.latency_us.count() > 0) {
-      metrics.Histogram("latency_us." + stream).MergeFrom(stats.latency_us);
-    }
-    // Admission-gate outcomes, per stream.  Only touched when the gate
-    // actually rejected something, so admission-free runs (every pre-existing
-    // bench) render byte-identical metrics reports.
-    if (stats.rejected > 0) {
-      metrics.Gauge("admission.reject_pct." + stream).Set(stats.RejectRate() * 100.0);
-      if (stats.shed > 0) {
-        metrics.Gauge("admission.shed_pct." + stream)
-            .Set(static_cast<double>(stats.shed) /
-                 static_cast<double>(stats.total + stats.rejected) * 100.0);
-      }
-    }
-  }
-  const std::int64_t total_rejected = deadlines.TotalRejected();
-  if (total_rejected > 0) {
-    metrics.Counter("exp.rejected_requests").Inc(static_cast<std::uint64_t>(total_rejected));
-    metrics.Counter("exp.shed_requests").Inc(static_cast<std::uint64_t>(deadlines.TotalShed()));
-    // Energy-ledger attribution of the rejected work: it consumed zero
-    // joules (conservation over executed work is untouched), so what the
-    // gate bought is the *avoided* burn — the rejected full-speed-equivalent
-    // microseconds priced at busy top-step/1.5 V processor power.
-    const MetricsGauge* rejected_work = metrics.FindGauge("admission.rejected_work_fs_us");
-    if (rejected_work != nullptr) {
-      const double watts = itsy.power_model().ProcessorWatts(
-          ExecState::kBusy, ClockTable::MaxStep(),
-          VoltageVolts(CoreVoltage::kHigh));
-      metrics.Gauge("admission.rejected_energy_est_joules")
-          .Set(rejected_work->value() * 1e-6 * watts);
-    }
-  }
-
-  // Experiment- and simulator-level readings into the registry (simulated
-  // state only — never wall-clock — to keep reports thread-count invariant).
-  metrics.Gauge("exp.energy_joules").Set(result.energy_joules);
-  metrics.Gauge("exp.exact_energy_joules").Set(result.exact_energy_joules);
-  metrics.Gauge("exp.average_watts").Set(result.average_watts);
-  metrics.Gauge("exp.avg_utilization").Set(result.avg_utilization);
-  metrics.Counter("exp.deadline_events").Inc(static_cast<std::uint64_t>(result.deadline_events));
-  metrics.Counter("exp.deadline_misses").Inc(static_cast<std::uint64_t>(result.deadline_misses));
-  metrics.Gauge("exp.worst_lateness_us").Set(result.worst_lateness.ToMicrosF());
-  metrics.Gauge("exp.total_stall_us").Set(result.total_stall.ToMicrosF());
-  metrics.Counter("sim.events_executed").Inc(sim.events_executed());
-  metrics.Counter("sim.events_cancelled").Inc(sim.events_cancelled());
-
-  if (config.capture_obs) {
-    result.obs.captured = true;
-    result.obs.window_begin = begin;
-    result.obs.window_end = end;
-    result.obs.sched = kernel.sched_log().Snapshot();
-    result.obs.power = itsy.tape();
-    result.obs.task_names.emplace(kIdlePid, "idle");
-    for (Pid pid = 1; Task* task = kernel.FindTask(pid); ++pid) {
-      result.obs.task_names.emplace(pid, task->name());
-    }
-    result.obs.energy = EnergyLedger::Attribute(result.obs.power, result.obs.sched, begin, end);
-    for (const auto& [pid, joules] : result.obs.energy.joules_by_pid) {
-      metrics.Gauge("energy.pid." + std::to_string(pid) + "." +
-                    result.obs.task_names[pid] + "_joules")
-          .Set(joules);
-    }
-  }
-
-  if (checker) {
-    // One final structural sweep at end time, plus energy conservation over
-    // the measurement window.
-    checker->Check();
-    checker->CheckEnergyConservation(kernel.sched_log().Snapshot(), begin, end);
-
-    FaultReport& report = result.faults;
-    report.enabled = true;
-    report.plan = fault_plan.Describe();
-    for (int k = 0; k < kNumFaultClasses; ++k) {
-      const auto c = static_cast<FaultClass>(k);
-      if (injector->injected(c) > 0) {
-        report.injected.emplace(FaultClassName(c), injector->injected(c));
-      }
-    }
-    report.injected_total = injector->injected_total();
-    report.transition_retries = kernel.transition_retries();
-    report.brownouts = itsy.brownouts();
-    report.dropped_samples = daq.dropped_samples();
-    report.invariant_checks = checker->checks();
-    report.invariant_violations = checker->violation_count();
-    report.violations = checker->violations();
-
-    metrics.Counter("fault.injected_total").Inc(report.injected_total);
-    metrics.Counter("fault.transition_retries").Inc(report.transition_retries);
-    metrics.Counter("fault.brownouts").Inc(static_cast<std::uint64_t>(report.brownouts));
-    metrics.Counter("fault.daq_dropped_samples").Inc(report.dropped_samples);
-    metrics.Counter("fault.invariant_checks").Inc(report.invariant_checks);
-    metrics.Counter("fault.invariant_violations").Inc(report.invariant_violations);
-  }
-
-  result.sink = std::move(kernel.sink());
-  // Unbind before the registry moves into the result: the kernel's and the
-  // Itsy's cached instrument handles would otherwise dangle.
-  kernel.BindMetrics(nullptr);
-  itsy.BindMetrics(nullptr);
-  result.metrics = std::move(metrics);
-  return result;
+  DeviceSim device(config, std::move(bundle), &deadlines);
+  return device.Run();
 }
 
 }  // namespace dcs

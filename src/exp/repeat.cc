@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/exp/sweep.h"
+#include "src/sim/rng.h"
 
 namespace dcs {
 
@@ -15,12 +16,16 @@ RepeatedResult RunRepeated(ExperimentConfig config, int repetitions,
   }
   // Each repetition is an independent job; the engine's slot-indexed results
   // keep run i at index i, so aggregation below is identical to the old
-  // serial loop for any thread count.
+  // serial loop for any thread count.  Repetition seeds come from the
+  // splitmix-style Fork substream family, not seed+i: consecutive base seeds
+  // used to alias each other's repetition streams (seed 100 repetition 1 ==
+  // seed 101 repetition 0), which correlated adjacent grid points.
+  const Rng seeder(config.seed);
   std::vector<ExperimentConfig> configs;
   configs.reserve(static_cast<std::size_t>(repetitions));
   for (int i = 0; i < repetitions; ++i) {
     configs.push_back(config);
-    configs.back().seed = config.seed + static_cast<std::uint64_t>(i);
+    configs.back().seed = seeder.Fork(static_cast<std::uint64_t>(i)).Next();
   }
   result.runs = RunSweep(configs, options);
 

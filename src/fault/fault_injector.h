@@ -68,6 +68,26 @@ class FaultInjector {
   // True when this sample is lost and must be interpolated.
   bool DropSample() { return Draw(FaultClass::kDaqDrop); }
 
+  // --- Device snapshots (src/sim/snapshot.h) -------------------------------
+  // Per-class stream positions and trigger counts; the plan itself is config
+  // and must match on the restore target.
+  void SaveState(SnapshotWriter* w) const {
+    for (const Rng& rng : streams_) {
+      rng.SaveState(w);
+    }
+    for (const std::uint64_t n : injected_) {
+      w->U64(n);
+    }
+  }
+  void LoadState(SnapshotReader* r) {
+    for (Rng& rng : streams_) {
+      rng.LoadState(r);
+    }
+    for (std::uint64_t& n : injected_) {
+      n = r->U64();
+    }
+  }
+
   // --- Accounting ----------------------------------------------------------
   std::uint64_t injected(FaultClass c) const {
     return injected_[static_cast<std::size_t>(static_cast<int>(c))];

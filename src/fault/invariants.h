@@ -32,6 +32,7 @@
 #include "src/kernel/kernel.h"
 #include "src/kernel/sched_log.h"
 #include "src/sim/simulator.h"
+#include "src/sim/snapshot.h"
 
 namespace dcs {
 
@@ -62,6 +63,42 @@ class InvariantChecker {
 
   // Human-readable summary (used by bench/fault_storm --report-out).
   void Report(std::ostream& os) const;
+
+  // Device-snapshot support (src/sim/snapshot.h).  The watched components
+  // are reference-bound at construction; only the checker's own history
+  // serializes.  Violation strings allocate on load, but a clean run (the
+  // fleet steady state) carries none.
+  void SaveState(SnapshotWriter* w) const {
+    w->U64(checks_);
+    w->U64(violation_count_);
+    w->U64(violations_.size());
+    for (const std::string& v : violations_) {
+      w->Span(v.data(), v.size());
+    }
+    w->Bool(has_last_);
+    w->Time(last_now_);
+    w->Time(last_busy_);
+    w->Time(last_idle_);
+    w->U64(last_tape_segments_);
+    w->Time(last_tape_start_);
+  }
+  void LoadState(SnapshotReader* r) {
+    checks_ = r->U64();
+    violation_count_ = r->U64();
+    const std::size_t n = static_cast<std::size_t>(r->U64());
+    violations_.clear();
+    char buf[512];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t len = r->SpanInto(buf, sizeof(buf));
+      violations_.emplace_back(buf, len);
+    }
+    has_last_ = r->Bool();
+    last_now_ = r->Time();
+    last_busy_ = r->Time();
+    last_idle_ = r->Time();
+    last_tape_segments_ = static_cast<std::size_t>(r->U64());
+    last_tape_start_ = r->Time();
+  }
 
  private:
   void Fail(const std::string& message);

@@ -10,6 +10,9 @@ void Battery::Drain(double watts, SimTime dt) {
   if (dt <= SimTime::Zero() || watts < 0.0) {
     return;
   }
+  const SimTime life_before = life_;
+  const double depth_before = depth_;
+  life_ = life_ + dt;
   const double hours = dt.ToSeconds() / 3600.0;
   const double amps = watts / params_.supply_volts;
   if (amps <= 0.0) {
@@ -27,6 +30,13 @@ void Battery::Drain(double watts, SimTime dt) {
       amps * std::pow(params_.reference_current_a, params_.peukert_exponent - 1.0) /
       params_.peukert_capacity;
   depth_ += peukert_rate * hours;
+  if (!died_ && depth_ >= 1.0) {
+    died_ = true;
+    // Linear interpolation of the crossing point within this segment.
+    const double rise = depth_ - depth_before;
+    const double frac = rise > 0.0 ? std::clamp((1.0 - depth_before) / rise, 0.0, 1.0) : 1.0;
+    died_at_ = life_before + SimTime::FromSecondsF(dt.ToSeconds() * frac);
+  }
   if (peukert_rate > ideal_rate) {
     // High-rate segment: bank part of the excess loss as recoverable.
     recoverable_ += params_.recoverable_fraction * (peukert_rate - ideal_rate) * hours;
@@ -50,6 +60,9 @@ double Battery::LifetimeHoursAtConstantPower(double watts) const {
 void Battery::Reset() {
   depth_ = 0.0;
   recoverable_ = 0.0;
+  life_ = SimTime::Zero();
+  died_ = false;
+  died_at_ = SimTime::Zero();
 }
 
 }  // namespace dcs

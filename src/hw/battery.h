@@ -20,6 +20,7 @@
 #ifndef SRC_HW_BATTERY_H_
 #define SRC_HW_BATTERY_H_
 
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -59,6 +60,13 @@ class Battery {
   double DepthOfDischarge() const { return depth_; }
   bool Empty() const { return depth_ >= 1.0; }
 
+  // Time of death: total drained time when depth first crossed 1.0 (linearly
+  // interpolated within the crossing segment).  Feeds the fleet layer's
+  // battery-death time curve.  Died() stays true even if recovery later
+  // pulls the depth back under 1.0 — the device browned out regardless.
+  bool Died() const { return died_; }
+  SimTime DiedAt() const { return died_at_; }
+
   // Charge currently banked as recoverable, as a fraction of capacity.
   double RecoverablePool() const { return recoverable_; }
 
@@ -69,10 +77,36 @@ class Battery {
   // Resets to a full battery.
   void Reset();
 
+  // Replaces the parameter set.  The fleet layer uses this at device-fork
+  // time to apply per-device capacity jitter: the shared warmup charge state
+  // (depth, recoverable pool — both capacity fractions) carries over, future
+  // drain follows the device's own capacity.
+  void SetParams(const BatteryParams& params) { params_ = params; }
+
+  // Device-snapshot support (src/sim/snapshot.h).  Params are config and not
+  // saved; SetParams above reapplies any per-device jitter after a load.
+  void SaveState(SnapshotWriter* w) const {
+    w->F64(depth_);
+    w->F64(recoverable_);
+    w->Time(life_);
+    w->Bool(died_);
+    w->Time(died_at_);
+  }
+  void LoadState(SnapshotReader* r) {
+    depth_ = r->F64();
+    recoverable_ = r->F64();
+    life_ = r->Time();
+    died_ = r->Bool();
+    died_at_ = r->Time();
+  }
+
  private:
   BatteryParams params_;
   double depth_ = 0.0;        // fraction of usable capacity consumed
   double recoverable_ = 0.0;  // fraction banked for recovery
+  SimTime life_;              // total drained (simulated) time so far
+  bool died_ = false;
+  SimTime died_at_;
 };
 
 }  // namespace dcs

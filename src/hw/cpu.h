@@ -6,6 +6,7 @@
 
 #include "src/hw/clock_table.h"
 #include "src/hw/power_model.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -48,6 +49,23 @@ class Cpu {
   // Diagnostics for the overhead accounting in section 5.4.
   int clock_changes() const { return clock_changes_; }
   SimTime total_stall() const { return total_stall_; }
+
+  // Device-snapshot support (src/sim/snapshot.h).  switch_stall_ is config,
+  // not state — a restored Cpu keeps the value it was constructed with.
+  void SaveState(SnapshotWriter* w) const {
+    w->U32(static_cast<std::uint32_t>(step_));
+    w->U8(static_cast<std::uint8_t>(state_));
+    w->Time(stall_until_);
+    w->U32(static_cast<std::uint32_t>(clock_changes_));
+    w->Time(total_stall_);
+  }
+  void LoadState(SnapshotReader* r) {
+    step_ = static_cast<int>(r->U32());
+    state_ = static_cast<ExecState>(r->U8());
+    stall_until_ = r->Time();
+    clock_changes_ = static_cast<int>(r->U32());
+    total_stall_ = r->Time();
+  }
 
  private:
   int step_;

@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -34,6 +35,19 @@ class Gpio {
 
   // Registers an observer for all pin transitions.
   void Observe(EdgeObserver observer);
+
+  // Device-snapshot support (src/sim/snapshot.h).  Pin levels only;
+  // observers are wiring, re-attached when the stack is built.
+  void SaveState(SnapshotWriter* w) const {
+    for (const bool level : levels_) {
+      w->Bool(level);
+    }
+  }
+  void LoadState(SnapshotReader* r) {
+    for (bool& level : levels_) {
+      level = r->Bool();
+    }
+  }
 
  private:
   std::array<bool, kNumGpioPins> levels_{};

@@ -107,6 +107,18 @@ class Itsy {
   int brownouts() const { return brownouts_; }
   bool brownout_pending() const { return brownout_event_ != kInvalidEventId; }
 
+  // Device-snapshot support (src/sim/snapshot.h): component state, battery
+  // charge, peripheral levels, and the armed brownout event (absolute fire
+  // time + original queue sequence, re-armed through `rearm`).  LoadState
+  // first cancels any brownout left over from the device previously occupying
+  // this stack, so fleet workers can reload in place.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r, RearmList* rearm);
+
+  // Restore protocol step 1 (see snapshot.h): cancels the armed brownout
+  // event so the device harness can empty the queue before RestoreClock.
+  void CancelPendingEvents() { CancelBrownout(); }
+
  private:
   // Re-derives the instantaneous power and appends it to the tape; also
   // integrates the battery over the segment that just ended.
@@ -132,6 +144,9 @@ class Itsy {
   bool last_clock_change_failed_ = false;
   int brownouts_ = 0;
   EventId brownout_event_ = kInvalidEventId;
+  // Absolute fire time of the armed brownout, recorded so a snapshot can
+  // re-arm it (the event id alone does not reveal its deadline).
+  SimTime brownout_at_;
 
   // Observability instruments (all null until BindMetrics).
   MetricsCounter* ctr_clock_changes_ = nullptr;

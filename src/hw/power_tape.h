@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "src/sim/arena.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 // Feature probe for call sites (bench harness) that want the sequential
@@ -63,6 +64,28 @@ class PowerTape {
 
   const SegmentVector& segments() const { return segments_; }
   bool empty() const { return segments_.empty(); }
+
+  // Device-snapshot support (src/sim/snapshot.h): the segment and prefix
+  // arrays as raw POD spans — the bulk of a device image, and the part the
+  // "contiguous image" clone path memcpys.  LoadState restores in place:
+  // resizing within the reserved capacity never allocates, so a warmed fleet
+  // worker reloads tapes heap-free.
+  void SaveState(SnapshotWriter* w) const {
+    w->U64(segments_.size());
+    if (!segments_.empty()) {
+      w->Bytes(segments_.data(), segments_.size() * sizeof(Segment));
+      w->Bytes(prefix_.data(), prefix_.size() * sizeof(double));
+    }
+  }
+  void LoadState(SnapshotReader* r) {
+    const std::size_t n = static_cast<std::size_t>(r->U64());
+    segments_.resize(n);
+    prefix_.resize(n);
+    if (n > 0) {
+      r->Bytes(segments_.data(), n * sizeof(Segment));
+      r->Bytes(prefix_.data(), n * sizeof(double));
+    }
+  }
 
   // Sequential reader: remembers the segment the previous lookup landed in,
   // so a non-decreasing stream of query times (the DAQ's sampling pattern)

@@ -15,6 +15,7 @@
 #ifndef SRC_HW_VOLTAGE_REGULATOR_H_
 #define SRC_HW_VOLTAGE_REGULATOR_H_
 
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -63,6 +64,22 @@ class VoltageRegulator {
 
   // True if running `step` at the *target* voltage is within spec.
   static bool StepAllowedAt(CoreVoltage v, int step);
+
+  // Device-snapshot support (src/sim/snapshot.h).
+  void SaveState(SnapshotWriter* w) const {
+    w->U8(static_cast<std::uint8_t>(target_));
+    w->Time(settle_until_);
+    w->Time(transition_start_);
+    w->U8(static_cast<std::uint8_t>(previous_));
+    w->U32(static_cast<std::uint32_t>(transitions_));
+  }
+  void LoadState(SnapshotReader* r) {
+    target_ = static_cast<CoreVoltage>(r->U8());
+    settle_until_ = r->Time();
+    transition_start_ = r->Time();
+    previous_ = static_cast<CoreVoltage>(r->U8());
+    transitions_ = static_cast<int>(r->U32());
+  }
 
  private:
   CoreVoltage target_ = CoreVoltage::kHigh;

@@ -79,7 +79,8 @@ void Kernel::Start() {
   series_core_volts_ = &sink_.Series("core_volts");
   series_freq_mhz_->Append(start_time_, itsy_.frequency_mhz());
   series_core_volts_->Append(start_time_, VoltageVolts(itsy_.voltage()));
-  sim_.After(config_.quantum, [this] { Tick(); });
+  tick_at_ = start_time_ + config_.quantum;
+  tick_event_ = sim_.At(tick_at_, [this] { Tick(); });
   Dispatch();
 }
 
@@ -157,6 +158,7 @@ void Kernel::AccountSegment() {
 }
 
 void Kernel::Tick() {
+  tick_event_ = kInvalidEventId;
   const SimTime now = sim_.Now();
   AccountSegment();
   CancelCompletion();
@@ -188,10 +190,12 @@ void Kernel::Tick() {
   if (faults_ != nullptr) {
     // The next interrupt may be jittered or missed entirely; the memory
     // subsystem may spike for the quantum now starting.
-    sim_.After(faults_->TickDelay(config_.quantum), [this] { Tick(); });
+    tick_at_ = now + faults_->TickDelay(config_.quantum);
+    tick_event_ = sim_.At(tick_at_, [this] { Tick(); });
     mem_spike_factor_ = faults_->QuantumMemSpikeFactor();
   } else {
-    sim_.After(config_.quantum, [this] { Tick(); });
+    tick_at_ = now + config_.quantum;
+    tick_event_ = sim_.At(tick_at_, [this] { Tick(); });
   }
 
   // Policy runs in the clock interrupt; the forced reschedule costs
@@ -256,6 +260,7 @@ void Kernel::Tick() {
     sim_.Cancel(dispatch_event_);
   }
   dispatch_pending_ = true;
+  dispatch_at_ = dispatch_at;
   dispatch_event_ = sim_.At(dispatch_at, [this] {
     dispatch_pending_ = false;
     dispatch_event_ = kInvalidEventId;
@@ -380,6 +385,7 @@ void Kernel::ArmCompletion() {
       assert(false && "ArmCompletion on a non-running action");
       return;
   }
+  completion_at_ = at;
   completion_event_ = sim_.At(at, [this] { OnCompletion(); });
 }
 
@@ -427,6 +433,7 @@ void Kernel::ProcessNextActions() {
           ctr_sleeps_->Inc();
         }
         const Pid pid = task->pid();
+        task->set_wake_at(wake);
         task->set_wake_event(sim_.At(wake, [this, pid] { WakeTask(pid); }));
         current_ = nullptr;
         Dispatch();
@@ -455,6 +462,7 @@ void Kernel::ProcessNextActions() {
           sim_.Cancel(dispatch_event_);
         }
         dispatch_pending_ = true;
+        dispatch_at_ = resume;
         dispatch_event_ = sim_.At(resume, [this] {
           dispatch_pending_ = false;
           dispatch_event_ = kInvalidEventId;
@@ -489,6 +497,189 @@ void Kernel::WakeTask(Pid pid) {
     // CPU was idle: dispatch immediately (idle wake-up path).
     AccountSegment();
     Dispatch();
+  }
+}
+
+namespace {
+constexpr std::uint32_t kKernelTag = 0x4B45524Eu;  // "KERN"
+}  // namespace
+
+void Kernel::SaveState(SnapshotWriter* w) const {
+  w->Tag(kKernelTag);
+  rng_.SaveState(w);
+  w->I64(next_pid_);
+  w->U64(tasks_.size());
+  for (const auto& [pid, task] : tasks_) {
+    w->I64(pid);
+    task->SaveState(w);
+    const bool wake_armed = task->wake_event() != kInvalidEventId;
+    w->Bool(wake_armed);
+    if (wake_armed) {
+      w->U64(sim_.EventSeq(task->wake_event()));
+    }
+  }
+  run_queue_.SaveState(w);
+  w->I64(current_ != nullptr ? current_->pid() : -1);
+  w->F64(mem_spike_factor_);
+  w->Bool(retry_step_.has_value());
+  w->I64(retry_step_.value_or(0));
+  w->I64(retry_attempts_);
+  w->U64(retry_due_quantum_);
+  w->U64(transition_retries_);
+  sched_log_.SaveState(w);
+  sink_.SaveState(w);
+  w->Bool(started_);
+  w->Time(start_time_);
+  w->Time(segment_start_);
+  const bool tick_armed = tick_event_ != kInvalidEventId;
+  w->Bool(tick_armed);
+  if (tick_armed) {
+    w->Time(tick_at_);
+    w->U64(sim_.EventSeq(tick_event_));
+  }
+  const bool dispatch_armed = dispatch_event_ != kInvalidEventId;
+  w->Bool(dispatch_armed);
+  if (dispatch_armed) {
+    w->Time(dispatch_at_);
+    w->U64(sim_.EventSeq(dispatch_event_));
+  }
+  w->Bool(dispatch_pending_);
+  const bool completion_armed = completion_event_ != kInvalidEventId;
+  w->Bool(completion_armed);
+  if (completion_armed) {
+    w->Time(completion_at_);
+    w->U64(sim_.EventSeq(completion_event_));
+  }
+  w->Time(quantum_start_);
+  w->Time(busy_in_quantum_);
+  w->F64(work_in_quantum_us_);
+  w->U64(quantum_index_);
+  w->F64(last_utilization_);
+  w->Time(total_busy_);
+  w->Time(total_idle_);
+  w->Bytes(step_residency_.data(), step_residency_.size() * sizeof(SimTime));
+}
+
+void Kernel::LoadState(SnapshotReader* r, RearmList* rearm) {
+  r->Tag(kKernelTag);
+  rng_.LoadState(r);
+  next_pid_ = static_cast<Pid>(r->I64());
+  if (r->U64() != tasks_.size()) {
+    r->Fail();
+    return;
+  }
+  for (auto& [pid, task] : tasks_) {
+    if (static_cast<Pid>(r->I64()) != pid) {
+      r->Fail();
+      return;
+    }
+    task->LoadState(r, this);
+    task->set_wake_event(kInvalidEventId);
+    if (r->Bool()) {
+      const std::uint64_t seq = r->U64();
+      rearm->Add(
+          seq, task->wake_at(),
+          [](void* ctx, SimTime at, std::int64_t aux) {
+            auto* self = static_cast<Kernel*>(ctx);
+            const Pid pid = static_cast<Pid>(aux);
+            Task* t = self->FindTask(pid);
+            t->set_wake_at(at);
+            t->set_wake_event(self->sim_.At(at, [self, pid] { self->WakeTask(pid); }));
+          },
+          this, pid);
+    }
+  }
+  run_queue_.LoadState(r);
+  const Pid current_pid = static_cast<Pid>(r->I64());
+  current_ = current_pid < 0 ? nullptr : FindTask(current_pid);
+  mem_spike_factor_ = r->F64();
+  const bool has_retry = r->Bool();
+  const int retry_step = static_cast<int>(r->I64());
+  retry_step_ = has_retry ? std::optional<int>(retry_step) : std::nullopt;
+  retry_attempts_ = static_cast<int>(r->I64());
+  retry_due_quantum_ = r->U64();
+  transition_retries_ = r->U64();
+  sched_log_.LoadState(r);
+  sink_.LoadState(r);
+  started_ = r->Bool();
+  start_time_ = r->Time();
+  segment_start_ = r->Time();
+  // Map nodes are stable, so re-resolving is idempotent on a warm kernel and
+  // necessary on a fresh one (Start() was never called on the restore path).
+  series_utilization_ = &sink_.Series("utilization");
+  series_work_fs_us_ = &sink_.Series("work_fs_us");
+  series_freq_mhz_ = &sink_.Series("freq_mhz");
+  series_core_volts_ = &sink_.Series("core_volts");
+  tick_event_ = kInvalidEventId;
+  if (r->Bool()) {
+    const SimTime at = r->Time();
+    const std::uint64_t seq = r->U64();
+    rearm->Add(
+        seq, at,
+        [](void* ctx, SimTime fire_at, std::int64_t) {
+          auto* self = static_cast<Kernel*>(ctx);
+          self->tick_at_ = fire_at;
+          self->tick_event_ = self->sim_.At(fire_at, [self] { self->Tick(); });
+        },
+        this);
+  }
+  dispatch_event_ = kInvalidEventId;
+  if (r->Bool()) {
+    const SimTime at = r->Time();
+    const std::uint64_t seq = r->U64();
+    rearm->Add(
+        seq, at,
+        [](void* ctx, SimTime fire_at, std::int64_t) {
+          auto* self = static_cast<Kernel*>(ctx);
+          self->dispatch_at_ = fire_at;
+          self->dispatch_event_ = self->sim_.At(fire_at, [self] {
+            self->dispatch_pending_ = false;
+            self->dispatch_event_ = kInvalidEventId;
+            self->Dispatch();
+          });
+        },
+        this);
+  }
+  dispatch_pending_ = r->Bool();
+  completion_event_ = kInvalidEventId;
+  if (r->Bool()) {
+    const SimTime at = r->Time();
+    const std::uint64_t seq = r->U64();
+    rearm->Add(
+        seq, at,
+        [](void* ctx, SimTime fire_at, std::int64_t) {
+          auto* self = static_cast<Kernel*>(ctx);
+          self->completion_at_ = fire_at;
+          self->completion_event_ = self->sim_.At(fire_at, [self] { self->OnCompletion(); });
+        },
+        this);
+  }
+  quantum_start_ = r->Time();
+  busy_in_quantum_ = r->Time();
+  work_in_quantum_us_ = r->F64();
+  quantum_index_ = r->U64();
+  last_utilization_ = r->F64();
+  total_busy_ = r->Time();
+  total_idle_ = r->Time();
+  r->Bytes(step_residency_.data(), step_residency_.size() * sizeof(SimTime));
+}
+
+void Kernel::CancelPendingEvents() {
+  CancelCompletion();
+  if (dispatch_event_ != kInvalidEventId) {
+    sim_.Cancel(dispatch_event_);
+    dispatch_event_ = kInvalidEventId;
+    dispatch_pending_ = false;
+  }
+  if (tick_event_ != kInvalidEventId) {
+    sim_.Cancel(tick_event_);
+    tick_event_ = kInvalidEventId;
+  }
+  for (auto& [pid, task] : tasks_) {
+    if (task->wake_event() != kInvalidEventId) {
+      sim_.Cancel(task->wake_event());
+      task->set_wake_event(kInvalidEventId);
+    }
   }
 }
 

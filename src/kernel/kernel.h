@@ -35,6 +35,7 @@
 #include "src/kernel/task.h"
 #include "src/kernel/workload_api.h"
 #include "src/obs/metrics.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/trace_sink.h"
 
 namespace dcs {
@@ -170,6 +171,35 @@ class Kernel {
   bool retry_pending() const { return retry_step_.has_value(); }
   std::uint64_t transition_retries() const { return transition_retries_; }
 
+  // --- Device-snapshot support (src/sim/snapshot.h) ---------------------------
+  // Serializes the complete kernel state — tasks (including their workload
+  // machines and RNG streams), run queue, scheduler log, recorded traces,
+  // quantum accounting, retry state, and the pending tick / dispatch /
+  // completion / wake events (absolute fire time + original queue sequence).
+  // Call only at a quiescent point (immediately after Simulator::RunUntil).
+  void SaveState(SnapshotWriter* w) const;
+  // Restores onto a structurally identical kernel (same tasks added in the
+  // same order, metrics bound, traces reserved).  Pending events register on
+  // `rearm`; the caller fires the list once after every component has loaded.
+  // Call CancelPendingEvents() on all components and then
+  // Simulator::RestoreClock() before any LoadState.
+  void LoadState(SnapshotReader* r, RearmList* rearm);
+  // Cancels every event this kernel has armed (tick, dispatch, completion,
+  // task wakes) so the simulator queue can be emptied before a restore.
+  void CancelPendingEvents();
+
+  // Fleet device divergence: forks the scheduler RNG and every task's
+  // workload-jitter RNG into the substream family selected by `stream` (the
+  // fleet-global device id).  Called once per device right after LoadState,
+  // so clones of a shared warmup image decorrelate from that point on while
+  // staying a pure function of (image, device id).
+  void ForkRngs(std::uint64_t stream) {
+    rng_ = rng_.Fork(stream);
+    for (auto& [pid, task] : tasks_) {
+      task->rng() = task->rng().Fork(stream);
+    }
+  }
+
   // --- Aggregate statistics ---------------------------------------------------
   std::uint64_t quanta_elapsed() const { return quantum_index_; }
   double last_utilization() const { return last_utilization_; }
@@ -249,6 +279,13 @@ class Kernel {
   EventId completion_event_ = kInvalidEventId;
   EventId dispatch_event_ = kInvalidEventId;
   bool dispatch_pending_ = false;
+  EventId tick_event_ = kInvalidEventId;
+  // Absolute fire times of the armed events above, recorded for snapshots
+  // (an EventId cannot reveal its fire time, and the faulty-tick delay is a
+  // random draw that must not be redrawn on restore).
+  SimTime tick_at_;
+  SimTime dispatch_at_;
+  SimTime completion_at_;
 
   SimTime quantum_start_;
   SimTime busy_in_quantum_;

@@ -18,6 +18,7 @@
 #include <type_traits>
 
 #include "src/hw/voltage_regulator.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -70,6 +71,13 @@ class ClockPolicy {
 
   // Clears predictor history (e.g. between repeated experiment runs).
   virtual void Reset() {}
+
+  // Device-snapshot support (src/sim/snapshot.h).  Stateful policies
+  // serialize every mutable field; stateless ones keep these defaults.
+  // Config (thresholds, windows, gains) is ctor-owned and not serialized —
+  // a restore target must be built from the same spec as the image.
+  virtual void SaveState(SnapshotWriter* w) const { (void)w; }
+  virtual void LoadState(SnapshotReader* r) { (void)r; }
 };
 
 // Type-erased static dispatch for the per-quantum policy call.

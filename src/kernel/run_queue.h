@@ -8,6 +8,7 @@
 
 #include "src/kernel/task.h"
 #include "src/sim/arena.h"
+#include "src/sim/snapshot.h"
 
 namespace dcs {
 
@@ -36,6 +37,22 @@ class RunQueue {
 
   // Front-to-back dispatch order (read-only; used by the invariant checker).
   const PidDeque& pids() const { return queue_; }
+
+  // Device-snapshot support (src/sim/snapshot.h).  Order matters — it is the
+  // round-robin dispatch order — so pids are replayed front to back.
+  void SaveState(SnapshotWriter* w) const {
+    w->U64(queue_.size());
+    for (const Pid pid : queue_) {
+      w->I64(pid);
+    }
+  }
+  void LoadState(SnapshotReader* r) {
+    queue_.clear();
+    const std::size_t n = static_cast<std::size_t>(r->U64());
+    for (std::size_t i = 0; i < n; ++i) {
+      queue_.push_back(static_cast<Pid>(r->I64()));
+    }
+  }
 
  private:
   PidDeque queue_;

@@ -15,6 +15,7 @@
 
 #include "src/kernel/task.h"
 #include "src/sim/arena.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -46,6 +47,29 @@ class SchedLog {
   bool Wrapped() const { return total_ > capacity_; }
 
   void Clear();
+
+  // Device-snapshot support (src/sim/snapshot.h): the raw ring contents plus
+  // the wrap counters.  In-place restore shrinks into the lazily-grown
+  // buffer's existing capacity.
+  void SaveState(SnapshotWriter* w) const {
+    w->U64(buffer_.size());
+    if (!buffer_.empty()) {
+      w->Bytes(buffer_.data(), buffer_.size() * sizeof(SchedLogEntry));
+    }
+    w->U64(next_);
+    w->U64(total_);
+    w->Bool(enabled_);
+  }
+  void LoadState(SnapshotReader* r) {
+    const std::size_t n = static_cast<std::size_t>(r->U64());
+    buffer_.resize(n);
+    if (n > 0) {
+      r->Bytes(buffer_.data(), n * sizeof(SchedLogEntry));
+    }
+    next_ = static_cast<std::size_t>(r->U64());
+    total_ = r->U64();
+    enabled_ = r->Bool();
+  }
 
  private:
   ArenaVector<SchedLogEntry> buffer_;  // grows to at most capacity_

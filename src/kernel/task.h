@@ -55,11 +55,51 @@ class Task {
   EventId wake_event() const { return wake_event_; }
   void set_wake_event(EventId id) { wake_event_ = id; }
 
+  // Absolute wake deadline recorded when the wake event is armed.  The event
+  // id alone cannot reveal its fire time, so snapshots need it kept here.
+  SimTime wake_at() const { return wake_at_; }
+  void set_wake_at(SimTime at) { wake_at_ = at; }
+
   // --- Statistics ----------------------------------------------------------
   void AddCpuTime(SimTime t) { cpu_time_ += t; }
   SimTime cpu_time() const { return cpu_time_; }
   void CountDispatch() { ++dispatches_; }
   std::uint64_t dispatches() const { return dispatches_; }
+
+  // --- Device-snapshot support (src/sim/snapshot.h) ------------------------
+  // Everything but the wake *event* (the kernel re-arms it, because the
+  // wake closure lives there).  remaining_cycles_ is restored verbatim, not
+  // recomputed via set_action, so mid-compute progress survives.
+  void SaveState(SnapshotWriter* w) const {
+    rng_.SaveState(w);
+    w->U8(static_cast<std::uint8_t>(state_));
+    w->U8(static_cast<std::uint8_t>(action_.kind));
+    w->F64(action_.base_cycles);
+    w->Time(action_.until);
+    w->Bool(action_.jiffy_rounded);
+    w->Bool(action_.has_deadline);
+    w->Time(action_.deadline);
+    w->F64(remaining_cycles_);
+    w->Time(wake_at_);
+    w->Time(cpu_time_);
+    w->U64(dispatches_);
+    workload_->SaveState(w);
+  }
+  void LoadState(SnapshotReader* r, Kernel* kernel) {
+    rng_.LoadState(r);
+    state_ = static_cast<TaskState>(r->U8());
+    action_.kind = static_cast<Action::Kind>(r->U8());
+    action_.base_cycles = r->F64();
+    action_.until = r->Time();
+    action_.jiffy_rounded = r->Bool();
+    action_.has_deadline = r->Bool();
+    action_.deadline = r->Time();
+    remaining_cycles_ = r->F64();
+    wake_at_ = r->Time();
+    cpu_time_ = r->Time();
+    dispatches_ = r->U64();
+    workload_->LoadState(r, kernel);
+  }
 
  private:
   Pid pid_;
@@ -70,6 +110,7 @@ class Task {
   Action action_{};
   double remaining_cycles_ = 0.0;
   EventId wake_event_ = kInvalidEventId;
+  SimTime wake_at_;
   SimTime cpu_time_;
   std::uint64_t dispatches_ = 0;
 };

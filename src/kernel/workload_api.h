@@ -17,6 +17,7 @@
 
 #include "src/hw/memory_model.h"
 #include "src/sim/rng.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -134,6 +135,21 @@ class Workload {
 
   // Memory behaviour of this task's compute phases.
   virtual MemoryProfile Profile() const { return {}; }
+
+  // --- Device-snapshot support (src/sim/snapshot.h) ------------------------
+  // Serializes / reinstates the workload's mutable progress state (frame
+  // counters, phase machines, queue contents).  Configuration and traces are
+  // rebuilt when the stack is constructed and must not be written here.  The
+  // defaults cover stateless workloads; every stateful implementation
+  // overrides both (the snapshot differential test catches omissions).
+  // `kernel` lets implementations re-establish kernel-side bindings on a
+  // fresh stack (the server re-registers its admission controller as the
+  // supply observer); it may be null when no re-binding is possible.
+  virtual void SaveState(SnapshotWriter* w) const { (void)w; }
+  virtual void LoadState(SnapshotReader* r, Kernel* kernel) {
+    (void)r;
+    (void)kernel;
+  }
 };
 
 }  // namespace dcs

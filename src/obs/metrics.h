@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "src/sim/snapshot.h"
+
 namespace dcs {
 
 // Monotone event count.
@@ -29,6 +31,10 @@ class MetricsCounter {
  public:
   void Inc(std::uint64_t n = 1) { value_ += n; }
   std::uint64_t value() const { return value_; }
+
+  // Reinstates a serialized counter exactly (device-snapshot restore);
+  // regular producers use Inc().
+  void Restore(std::uint64_t value) { value_ = value; }
 
  private:
   std::uint64_t value_ = 0;
@@ -161,6 +167,16 @@ class MetricsRegistry {
 
   // Human-readable "name value" lines, one instrument per line.
   void WriteText(std::ostream& os) const;
+
+  // Device-snapshot support (src/sim/snapshot.h).  Positional: instruments
+  // are written in map (sorted-name) order with a name hash per entry, and
+  // LoadState walks the live registry in the same order, verifying each
+  // hash.  The key set is fixed at stack-build time (producers resolve their
+  // instruments at bind/install), so save and load always see the same
+  // sequence — and restoring by position instead of by name keeps the load
+  // path free of string allocations for fleet device cycling.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
 
  private:
   std::map<std::string, MetricsCounter> counters_;

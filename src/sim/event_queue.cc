@@ -49,6 +49,25 @@ void EventQueue::MaybeCompact() {
   }
 }
 
+std::uint64_t EventQueue::SeqOf(EventId id) const {
+  const std::uint32_t slot = static_cast<std::uint32_t>(id);
+  const std::uint32_t generation = static_cast<std::uint32_t>(id >> 32);
+  if (slot >= slots_.size() || slots_[slot].generation != generation) {
+    return 0;
+  }
+  for (const HeapEntry& entry : staging_) {
+    if (entry.slot == slot && entry.generation == generation) {
+      return entry.seq;
+    }
+  }
+  for (const HeapEntry& entry : heap_) {
+    if (entry.slot == slot && entry.generation == generation) {
+      return entry.seq;
+    }
+  }
+  return 0;
+}
+
 void EventQueue::Clear() {
   for (const HeapEntry& entry : heap_) {
     if (IsLive(entry)) {

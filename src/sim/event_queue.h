@@ -107,6 +107,13 @@ class EventQueue {
   // 2 * Size() + kCompactSlack by MaybeCompact).
   std::size_t dead_entries() const { return dead_in_heap_; }
 
+  // Original insertion sequence number of a live event.  The snapshot layer
+  // records it at save time so restored events can be re-armed in their
+  // original FIFO tie-break order (src/sim/snapshot.h).  O(pending events) —
+  // a linear scan over staging and heap, paid only when a snapshot is taken.
+  // Returns 0 for ids that are no longer live.
+  std::uint64_t SeqOf(EventId id) const;
+
  private:
   static constexpr std::uint32_t kNoSlot = 0xffffffffu;
   // Compacting tiny heaps isn't worth the pass; below this many orphans the

@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/sim/snapshot.h"
+
 namespace dcs {
 
 // xoshiro256++ 1.0 generator seeded via splitmix64.  Not cryptographic; it is
@@ -95,6 +97,27 @@ class Rng {
   // one; used to give every task its own stream so adding a task does not
   // perturb the draws seen by the others.
   Rng Fork();
+
+  // Forks the generator for a numbered substream (device id, repetition
+  // index) without advancing this stream.  Distinct stream numbers give
+  // distinct, well-mixed states: the seed material is injective in `stream`
+  // (odd multiplier) and expanded through splitmix64 by the constructor.
+  // This replaces the ad-hoc `seed + i` idiom, whose nearby seeds feed
+  // splitmix64 nearly identical inputs.
+  Rng Fork(std::uint64_t stream) const {
+    return Rng(s_[0] ^ 0x9e3779b97f4a7c15ULL * (stream + 1));
+  }
+
+  // State capture for device snapshots (src/sim/snapshot.h): the four
+  // xoshiro words, so a restored generator continues its stream exactly.
+  void SaveState(std::uint64_t out[4]) const {
+    for (int i = 0; i < 4; ++i) out[i] = s_[i];
+  }
+  void LoadState(const std::uint64_t in[4]) {
+    for (int i = 0; i < 4; ++i) s_[i] = in[i];
+  }
+  void SaveState(SnapshotWriter* w) const { w->Bytes(s_, sizeof(s_)); }
+  void LoadState(SnapshotReader* r) { r->Bytes(s_, sizeof(s_)); }
 
   // Fisher-Yates shuffle.
   template <typename T>

@@ -85,6 +85,23 @@ class Simulator {
   // Live pending events.
   std::size_t PendingEvents() const { return queue_.Size(); }
 
+  // --- Snapshot support (src/sim/snapshot.h) --------------------------------
+
+  // Original insertion sequence of a live event; components record it at
+  // save time so restored events re-arm in their original tie-break order.
+  std::uint64_t EventSeq(EventId id) const { return queue_.SeqOf(id); }
+
+  // Restores the clock and the sim.* counters from a snapshot.  Only legal
+  // when no events are pending: a device being recycled cancels all its
+  // tracked events first, so moving the clock backwards cannot reorder
+  // anything.  Asserted rather than silently tolerated.
+  void RestoreClock(SimTime now, std::uint64_t executed, std::uint64_t cancelled) {
+    assert(queue_.Empty() && "RestoreClock with pending events");
+    now_ = now;
+    events_executed_ = executed;
+    events_cancelled_ = cancelled;
+  }
+
  private:
   EventQueue queue_;
   SimTime now_;

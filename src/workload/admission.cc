@@ -223,4 +223,54 @@ void AdmissionController::BindMetrics(MetricsRegistry* metrics) {
   gauge_speed_ewma_->Set(speed_ewma_);
 }
 
+namespace {
+constexpr std::uint32_t kAdmissionTag = 0x41444D54u;  // "ADMT"
+}  // namespace
+
+void AdmissionController::SaveState(SnapshotWriter* w) const {
+  w->Tag(kAdmissionTag);
+  w->F64(demand_ewma_us_);
+  w->F64(interarrival_ewma_us_);
+  w->Bool(have_arrival_);
+  w->Time(last_arrival_);
+  w->F64(speed_ewma_);
+  w->I64(max_step_);
+  w->Bool(degraded_);
+  w->I64(shed_level_);
+  w->I64(last_brownouts_);
+  w->Time(shed_until_);
+  w->Bool(battery_sagging_);
+  w->F64(bound_);
+  w->I64(window_outcomes_);
+  w->I64(window_violations_);
+  w->U64(considered_);
+  w->U64(admitted_);
+  w->U64(rejected_overload_);
+  w->U64(rejected_shed_);
+  w->F64(rejected_work_fs_us_);
+}
+
+void AdmissionController::LoadState(SnapshotReader* r) {
+  r->Tag(kAdmissionTag);
+  demand_ewma_us_ = r->F64();
+  interarrival_ewma_us_ = r->F64();
+  have_arrival_ = r->Bool();
+  last_arrival_ = r->Time();
+  speed_ewma_ = r->F64();
+  max_step_ = static_cast<int>(r->I64());
+  degraded_ = r->Bool();
+  shed_level_ = static_cast<int>(r->I64());
+  last_brownouts_ = static_cast<int>(r->I64());
+  shed_until_ = r->Time();
+  battery_sagging_ = r->Bool();
+  bound_ = r->F64();
+  window_outcomes_ = static_cast<int>(r->I64());
+  window_violations_ = static_cast<int>(r->I64());
+  considered_ = r->U64();
+  admitted_ = r->U64();
+  rejected_overload_ = r->U64();
+  rejected_shed_ = r->U64();
+  rejected_work_fs_us_ = r->F64();
+}
+
 }  // namespace dcs

@@ -162,6 +162,13 @@ class AdmissionController final : public SupplyObserver {
   // ledger attributes as load the platform never had to burn joules on.
   double rejected_work_fs_us() const { return rejected_work_fs_us_; }
 
+  // Device-snapshot support (src/sim/snapshot.h): every estimator, degraded
+  // -mode and counter field.  Config-derived tables (step ratios, class
+  // ranks) are rebuilt by the constructor and not serialized; metric
+  // instruments re-bind through BindMetrics.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
+
  private:
   void RefreshDegraded(SimTime now);
 

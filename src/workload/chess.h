@@ -46,6 +46,23 @@ class ChessWorkload final : public Workload {
   Action Next(const WorkloadContext& ctx) override;
   MemoryProfile Profile() const override { return profile_; }
 
+  void SaveState(SnapshotWriter* w) const override {
+    w->U64(next_event_);
+    w->U8(static_cast<std::uint8_t>(state_));
+    w->Time(origin_);
+    w->Bool(primed_);
+    w->Time(ui_deadline_);
+    w->I64(ply_);
+  }
+  void LoadState(SnapshotReader* r, Kernel* /*kernel*/) override {
+    next_event_ = static_cast<std::size_t>(r->U64());
+    state_ = static_cast<State>(r->U8());
+    origin_ = r->Time();
+    primed_ = r->Bool();
+    ui_deadline_ = r->Time();
+    ply_ = static_cast<int>(r->I64());
+  }
+
  private:
   enum class State { kWaitMove, kUserUi, kSearch, kEngineUi };
 

@@ -1,6 +1,8 @@
 #include "src/workload/deadline_monitor.h"
 
 #include <algorithm>
+#include <array>
+#include <cstring>
 
 namespace dcs {
 
@@ -98,6 +100,82 @@ SimTime DeadlineMonitor::WorstOverrun() const {
     worst = std::max(worst, stats.worst_overrun);
   }
   return worst;
+}
+
+namespace {
+
+constexpr std::uint32_t kDeadlineTag = 0x444C4D4Eu;  // "DLMN"
+
+void SaveStats(SnapshotWriter* w, const DeadlineMonitor::StreamStats& s) {
+  w->I64(s.total);
+  w->I64(s.missed);
+  w->Time(s.worst_lateness);
+  w->Time(s.total_lateness);
+  w->Time(s.worst_overrun);
+  w->Bytes(s.latency_us.buckets().data(), sizeof(std::uint64_t) * LogHistogram::kBuckets);
+  w->U64(s.latency_us.count());
+  w->F64(s.latency_us.sum());
+  w->F64(s.latency_us.min());
+  w->F64(s.latency_us.max());
+  w->I64(s.rejected);
+  w->I64(s.shed);
+}
+
+void LoadStats(SnapshotReader* r, DeadlineMonitor::StreamStats* s) {
+  s->total = r->I64();
+  s->missed = r->I64();
+  s->worst_lateness = r->Time();
+  s->total_lateness = r->Time();
+  s->worst_overrun = r->Time();
+  std::array<std::uint64_t, LogHistogram::kBuckets> buckets;
+  r->Bytes(buckets.data(), sizeof(std::uint64_t) * LogHistogram::kBuckets);
+  const std::uint64_t count = r->U64();
+  const double sum = r->F64();
+  const double min = r->F64();
+  const double max = r->F64();
+  s->latency_us.Restore(buckets, count, sum, min, max);
+  s->rejected = r->I64();
+  s->shed = r->I64();
+}
+
+}  // namespace
+
+void DeadlineMonitor::SaveState(SnapshotWriter* w) const {
+  w->Tag(kDeadlineTag);
+  w->U64(streams_.size());
+  for (const auto& [name, stats] : streams_) {
+    w->Span(name.data(), name.size());
+    SaveStats(w, stats);
+  }
+}
+
+void DeadlineMonitor::LoadState(SnapshotReader* r) {
+  r->Tag(kDeadlineTag);
+  const std::size_t n = static_cast<std::size_t>(r->U64());
+  char buf[256];
+  if (n == streams_.size()) {
+    // Same key set as the image (fleet device cycling): restore each stream
+    // in place, verifying the names line up, with no allocation.
+    for (auto& [name, stats] : streams_) {
+      const std::size_t len = r->SpanInto(buf, sizeof(buf));
+      if (!r->ok() || len != name.size() || std::memcmp(buf, name.data(), len) != 0) {
+        r->Fail();
+        return;
+      }
+      LoadStats(r, &stats);
+    }
+    return;
+  }
+  // Fresh (or differently-shaped) monitor: rebuild the key set.  This is the
+  // one restore path that allocates; it runs once per worker, not per device.
+  streams_.clear();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t len = r->SpanInto(buf, sizeof(buf));
+    if (!r->ok()) {
+      return;
+    }
+    LoadStats(r, &streams_[std::string(buf, len)]);
+  }
 }
 
 }  // namespace dcs

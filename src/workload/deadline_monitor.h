@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "src/obs/metrics.h"
+#include "src/sim/snapshot.h"
 #include "src/sim/time.h"
 
 namespace dcs {
@@ -100,6 +101,14 @@ class DeadlineMonitor {
   bool AnyMissed() const { return TotalMissed() > 0; }
 
   void Clear() { streams_.clear(); }
+
+  // Device-snapshot support (src/sim/snapshot.h).  Stream names are stored
+  // in full — unlike the fixed-key metrics registry, streams appear on first
+  // report, so a fresh monitor must be able to rebuild the key set.  When
+  // the live key set already matches (fleet device cycling), stats restore
+  // in place without allocating.
+  void SaveState(SnapshotWriter* w) const;
+  void LoadState(SnapshotReader* r);
 
  private:
   std::map<std::string, StreamStats> streams_;

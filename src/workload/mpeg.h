@@ -42,6 +42,16 @@ class AvSyncTracker {
   // Positive when video lags behind audio.
   SimTime Drift() const { return audio_position_ - video_position_; }
 
+  // Device-snapshot support (src/sim/snapshot.h).
+  void SaveState(SnapshotWriter* w) const {
+    w->Time(video_position_);
+    w->Time(audio_position_);
+  }
+  void LoadState(SnapshotReader* r) {
+    video_position_ = r->Time();
+    audio_position_ = r->Time();
+  }
+
  private:
   SimTime video_position_;
   SimTime audio_position_;
@@ -113,6 +123,19 @@ class MpegVideoWorkload final : public Workload {
   // Frames actually shown on time-ish: decoded minus dropped.
   int frames_delivered() const { return frame_ - dropped_; }
 
+  void SaveState(SnapshotWriter* w) const override {
+    w->U8(static_cast<std::uint8_t>(state_));
+    w->Time(origin_);
+    w->I64(frame_);
+    w->I64(dropped_);
+  }
+  void LoadState(SnapshotReader* r, Kernel* /*kernel*/) override {
+    state_ = static_cast<State>(r->U8());
+    origin_ = r->Time();
+    frame_ = static_cast<int>(r->I64());
+    dropped_ = static_cast<int>(r->I64());
+  }
+
  private:
   enum class State { kStart, kDecode, kPace, kPostSleep, kDisplay };
 
@@ -141,6 +164,17 @@ class MpegAudioWorkload final : public Workload {
   const char* Name() const override { return "mpeg_audio"; }
   Action Next(const WorkloadContext& ctx) override;
   MemoryProfile Profile() const override { return profile_; }
+
+  void SaveState(SnapshotWriter* w) const override {
+    w->U8(static_cast<std::uint8_t>(state_));
+    w->Time(origin_);
+    w->I64(buffer_);
+  }
+  void LoadState(SnapshotReader* r, Kernel* /*kernel*/) override {
+    state_ = static_cast<State>(r->U8());
+    origin_ = r->Time();
+    buffer_ = static_cast<int>(r->I64());
+  }
 
  private:
   enum class State { kStart, kRefill, kWait };

@@ -388,6 +388,71 @@ Action ServerWorkload::Next(const WorkloadContext& ctx) {
   return Action::Exit();
 }
 
+namespace {
+constexpr std::uint32_t kServerTag = 0x53525652u;  // "SRVR"
+}  // namespace
+
+void ServerWorkload::SaveState(SnapshotWriter* w) const {
+  w->Tag(kServerTag);
+  w->Bytes(class_credit_.data(), class_credit_.size() * sizeof(double));
+  w->Bool(admission_.has_value());
+  if (admission_.has_value()) {
+    admission_->SaveState(w);
+  }
+  w->Bool(supply_bound_);
+  w->U64(next_arrival_);
+  w->U64(queue_.size());
+  for (const Request& request : queue_) {
+    w->Time(request.arrival);
+    w->F64(request.service_us);
+    w->U64(request.cls);
+  }
+  w->F64(queue_work_us_);
+  w->Bool(serving_);
+  w->Time(current_.arrival);
+  w->F64(current_.service_us);
+  w->U64(current_.cls);
+  w->Time(origin_);
+  w->Bool(primed_);
+}
+
+void ServerWorkload::LoadState(SnapshotReader* r, Kernel* kernel) {
+  r->Tag(kServerTag);
+  r->Bytes(class_credit_.data(), class_credit_.size() * sizeof(double));
+  if (r->Bool() != admission_.has_value()) {
+    // The image came from a scenario with a different admission policy.
+    r->Fail();
+    return;
+  }
+  if (admission_.has_value()) {
+    admission_->LoadState(r);
+  }
+  supply_bound_ = r->Bool();
+  next_arrival_ = static_cast<std::size_t>(r->U64());
+  queue_.clear();
+  const std::size_t queued = static_cast<std::size_t>(r->U64());
+  for (std::size_t i = 0; i < queued; ++i) {
+    Request request;
+    request.arrival = r->Time();
+    request.service_us = r->F64();
+    request.cls = static_cast<std::size_t>(r->U64());
+    queue_.push_back(request);
+  }
+  queue_work_us_ = r->F64();
+  serving_ = r->Bool();
+  current_.arrival = r->Time();
+  current_.service_us = r->F64();
+  current_.cls = static_cast<std::size_t>(r->U64());
+  origin_ = r->Time();
+  primed_ = r->Bool();
+  if (supply_bound_ && admission_.has_value() && kernel != nullptr) {
+    // Re-establish the binding Next() made on its first call: a fresh stack
+    // has never run the workload, so the kernel's observer slot is empty.
+    kernel->BindSupplyObserver(&*admission_);
+    admission_->BindMetrics(kernel->metrics());
+  }
+}
+
 AppBundle MakeServerApp(DeadlineMonitor* deadlines, std::uint64_t seed) {
   return MakeServerApp(ServerConfig{}, deadlines, seed);
 }

@@ -28,6 +28,15 @@ class RectangleWaveWorkload final : public Workload {
   const char* Name() const override { return name_.c_str(); }
   Action Next(const WorkloadContext& ctx) override;
 
+  void SaveState(SnapshotWriter* w) const override {
+    w->I64(cycles_remaining_);
+    w->Bool(in_busy_);
+  }
+  void LoadState(SnapshotReader* r, Kernel* /*kernel*/) override {
+    cycles_remaining_ = static_cast<int>(r->I64());
+    in_busy_ = r->Bool();
+  }
+
  private:
   SimTime busy_;
   SimTime idle_;
@@ -45,6 +54,9 @@ class ConstantUtilizationWorkload final : public Workload {
 
   const char* Name() const override { return name_.c_str(); }
   Action Next(const WorkloadContext& ctx) override;
+
+  void SaveState(SnapshotWriter* w) const override { w->Bool(spun_); }
+  void LoadState(SnapshotReader* r, Kernel* /*kernel*/) override { spun_ = r->Bool(); }
 
  private:
   double utilization_;
@@ -66,6 +78,17 @@ class ComputeOnceWorkload final : public Workload {
   bool done() const { return done_; }
   SimTime completed_at() const { return completed_at_; }
 
+  void SaveState(SnapshotWriter* w) const override {
+    w->Bool(started_);
+    w->Bool(done_);
+    w->Time(completed_at_);
+  }
+  void LoadState(SnapshotReader* r, Kernel* /*kernel*/) override {
+    started_ = r->Bool();
+    done_ = r->Bool();
+    completed_at_ = r->Time();
+  }
+
  private:
   double base_cycles_;
   MemoryProfile profile_;
@@ -84,6 +107,9 @@ class PoissonBurstWorkload final : public Workload {
   const char* Name() const override { return "poisson_bursts"; }
   Action Next(const WorkloadContext& ctx) override;
   MemoryProfile Profile() const override { return profile_; }
+
+  void SaveState(SnapshotWriter* w) const override { w->Bool(bursting_); }
+  void LoadState(SnapshotReader* r, Kernel* /*kernel*/) override { bursting_ = r->Bool(); }
 
  private:
   SimTime idle_mean_;

@@ -53,6 +53,27 @@ class TalkingEditorWorkload final : public Workload {
   Action Next(const WorkloadContext& ctx) override;
   MemoryProfile Profile() const override { return profile_; }
 
+  void SaveState(SnapshotWriter* w) const override {
+    w->U64(next_event_);
+    w->U8(static_cast<std::uint8_t>(state_));
+    w->Time(origin_);
+    w->Bool(primed_);
+    w->I64(sentences_left_);
+    w->Time(audio_ends_);
+    w->Bool(audio_on_);
+    w->Bool(pipeline_empty_);
+  }
+  void LoadState(SnapshotReader* r, Kernel* /*kernel*/) override {
+    next_event_ = static_cast<std::size_t>(r->U64());
+    state_ = static_cast<State>(r->U8());
+    origin_ = r->Time();
+    primed_ = r->Bool();
+    sentences_left_ = static_cast<int>(r->I64());
+    audio_ends_ = r->Time();
+    audio_on_ = r->Bool();
+    pipeline_empty_ = r->Bool();
+  }
+
  private:
   enum class State { kWaitEvent, kUiBurst, kSynth, kAfterSynth };
 

@@ -44,6 +44,21 @@ class WebWorkload final : public Workload {
   Action Next(const WorkloadContext& ctx) override;
   MemoryProfile Profile() const override { return profile_; }
 
+  void SaveState(SnapshotWriter* w) const override {
+    w->U64(next_event_);
+    w->Bool(handling_);
+    w->Time(origin_);
+    w->Bool(primed_);
+    w->Time(event_deadline_);
+  }
+  void LoadState(SnapshotReader* r, Kernel* /*kernel*/) override {
+    next_event_ = static_cast<std::size_t>(r->U64());
+    handling_ = r->Bool();
+    origin_ = r->Time();
+    primed_ = r->Bool();
+    event_deadline_ = r->Time();
+  }
+
  private:
   InputTrace trace_;
   WebConfig config_;

@@ -19,6 +19,7 @@
 
 #include "src/core/governor_registry.h"
 #include "src/daq/daq.h"
+#include "src/exp/device_sim.h"
 #include "src/exp/experiment.h"
 #include "src/exp/sweep.h"
 #include "src/hw/itsy.h"
@@ -116,6 +117,48 @@ TEST(AllocSteadyStateTest, SweepWorkerReachesAllocationSteadyState) {
   // result-bookkeeping allocations, which identical configs repeat exactly.
   EXPECT_LT(second, first) << "arena warm-up did not reduce per-job allocations";
   EXPECT_EQ(third, second) << "steady-state jobs differ in allocation count";
+}
+
+TEST(AllocSteadyStateTest, FleetDeviceCycleRunsHeapFree) {
+  if (!testing::AllocCounterAvailable()) {
+    GTEST_SKIP() << "alloc counter unavailable under sanitizers";
+  }
+
+  // The fleet worker's inner loop: one DeviceSim cycled through many devices
+  // by restoring a shared warmup image, forking the RNG streams and running
+  // the tail.  After the first cycle grows containers to their steady-state
+  // capacity, a device cycle must be a zero-heap-allocation operation — this
+  // is what makes snapshot-clone forking memcpy-speed.
+  Arena arena;
+  ExperimentConfig config;
+  config.app = "mpeg";
+  config.governor = "PAST-peg-peg-93-98";
+  config.seed = 5;
+  config.duration = SimTime::Seconds(1);
+  config.itsy.battery = BatteryParams{};
+  config.arena = &arena;
+
+  DeviceSim dev(config);
+  dev.Start();
+  dev.RunUntil(SimTime::Millis(500));
+  SnapshotWriter image;
+  dev.SaveState(&image);
+
+  std::uint64_t delta[3] = {0, 0, 0};
+  for (int cycle = 0; cycle < 3; ++cycle) {
+    const std::uint64_t before = testing::ThreadAllocCount();
+    SnapshotReader reader(image);
+    dev.LoadState(&reader);
+    dev.kernel().ForkRngs(static_cast<std::uint64_t>(cycle));
+    dev.RunUntil(dev.duration());
+    delta[cycle] = testing::ThreadAllocCount() - before;
+    ASSERT_TRUE(reader.ok()) << "cycle " << cycle << " failed to restore";
+  }
+
+  // Cycle 0 may allocate (containers grow to the tail's high-water mark);
+  // warmed cycles must not touch the heap at all.
+  EXPECT_EQ(delta[1], 0u) << "second device cycle allocated";
+  EXPECT_EQ(delta[2], 0u) << "third device cycle allocated";
 }
 
 }  // namespace
